@@ -1,0 +1,51 @@
+// parabit-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	parabit-bench -list             list available experiments
+//	parabit-bench -run fig13a      regenerate one experiment
+//	parabit-bench -run all         regenerate everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parabit"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run, or \"all\"")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	render := parabit.RunExperiment
+	if *format == "csv" {
+		render = parabit.RunExperimentCSV
+	} else if *format != "table" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	switch {
+	case *list:
+		fmt.Println("available experiments:")
+		for _, e := range parabit.Experiments() {
+			fmt.Println("  " + e)
+		}
+	case *run == "all":
+		fmt.Print(parabit.RunAllExperiments())
+	case *run != "":
+		out, err := render(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseOp(t *testing.T) {
+	for _, name := range []string{"AND", "and", "XOR", "NOT-LSB", "not-msb"} {
+		if _, ok := parseOp(name); !ok {
+			t.Errorf("parseOp(%q) failed", name)
+		}
+	}
+	if _, ok := parseOp("bogus"); ok {
+		t.Error("parseOp accepted bogus")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]bool{
+		"prealloc": true, "parabit": true, "realloc": true,
+		"locfree": true, "LOCFREE": true, "nope": false,
+	}
+	for name, want := range cases {
+		if _, ok := parseScheme(name); ok != want {
+			t.Errorf("parseScheme(%q) = %v, want %v", name, ok, want)
+		}
+	}
+}
+
+func TestFillPage(t *testing.T) {
+	page, err := fillPage("a5", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range page {
+		if b != 0xA5 {
+			t.Fatal("pattern not repeated")
+		}
+	}
+	page, err = fillPage("0102", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 1, 2, 1}
+	for i := range want {
+		if page[i] != want[i] {
+			t.Fatalf("byte %d = %d", i, page[i])
+		}
+	}
+	if _, err := fillPage("zz", 8); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := fillPage("", 8); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}

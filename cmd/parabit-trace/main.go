@@ -1,0 +1,240 @@
+// parabit-trace replays a simple operation trace against the simulated
+// SSD and reports per-operation and total modeled latency.
+//
+// Trace format (one op per line, '#' comments):
+//
+//	write   <lpn> <hexpattern>
+//	pair    <lpnA> <lpnB> <hexA> <hexB>     # co-located operand pair
+//	group   <lpn1,lpn2,...> <hex1,hex2,...> # aligned LSB group
+//	bitwise <op> <scheme> <lpnA> <lpnB>
+//	reduce  <op> <scheme> <lpn1,lpn2,...>
+//
+// Usage:
+//
+//	parabit-trace -f trace.txt
+//	parabit-trace -demo          # run a built-in demonstration trace
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parabit"
+)
+
+const demoTrace = `# demonstration: pre-allocated pair, then a location-free reduction
+pair 0 1 a5 3c
+bitwise AND prealloc 0 1
+bitwise XOR prealloc 0 1
+group 10,11,12,13 ff,0f,33,55
+reduce AND locfree 10,11,12,13
+reduce XOR locfree 10,11,12,13
+`
+
+func main() {
+	file := flag.String("f", "", "trace file to replay")
+	demo := flag.Bool("demo", false, "replay the built-in demo trace")
+	flag.Parse()
+
+	var reader *bufio.Scanner
+	switch {
+	case *demo:
+		reader = bufio.NewScanner(strings.NewReader(demoTrace))
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		reader = bufio.NewScanner(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	if err != nil {
+		fail("%v", err)
+	}
+
+	lineNo := 0
+	ops := 0
+	for reader.Scan() {
+		lineNo++
+		line := strings.TrimSpace(reader.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := execute(dev, line); err != nil {
+			fail("line %d: %v", lineNo, err)
+		}
+		ops++
+	}
+	if err := reader.Err(); err != nil {
+		fail("%v", err)
+	}
+	s := dev.Stats()
+	fmt.Printf("\nreplayed %d trace lines: %d bitwise ops, %d SROs, %d reallocations, elapsed %v\n",
+		ops, s.BitwiseOps, s.SROs, s.Reallocations, dev.Elapsed())
+}
+
+func execute(dev *parabit.Device, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "write":
+		if len(fields) != 3 {
+			return fmt.Errorf("write wants <lpn> <hex>")
+		}
+		lpn, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		data, err := fillPage(fields[2], dev.PageSize())
+		if err != nil {
+			return err
+		}
+		return dev.Write(lpn, data)
+	case "pair":
+		if len(fields) != 5 {
+			return fmt.Errorf("pair wants <lpnA> <lpnB> <hexA> <hexB>")
+		}
+		a, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		b, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		da, err := fillPage(fields[3], dev.PageSize())
+		if err != nil {
+			return err
+		}
+		db, err := fillPage(fields[4], dev.PageSize())
+		if err != nil {
+			return err
+		}
+		return dev.WriteOperandPair(a, b, da, db)
+	case "group":
+		if len(fields) != 3 {
+			return fmt.Errorf("group wants <lpns> <hexes>")
+		}
+		lpns, err := parseLPNs(fields[1])
+		if err != nil {
+			return err
+		}
+		var data [][]byte
+		for _, h := range strings.Split(fields[2], ",") {
+			page, err := fillPage(h, dev.PageSize())
+			if err != nil {
+				return err
+			}
+			data = append(data, page)
+		}
+		if len(data) != len(lpns) {
+			return fmt.Errorf("%d lpns but %d patterns", len(lpns), len(data))
+		}
+		return dev.WriteOperandGroup(lpns, data)
+	case "bitwise":
+		if len(fields) != 5 {
+			return fmt.Errorf("bitwise wants <op> <scheme> <lpnA> <lpnB>")
+		}
+		op, scheme, err := parseOpScheme(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		a, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return err
+		}
+		b, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return err
+		}
+		r, err := dev.Bitwise(op, a, b, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bitwise %-8v %-16v -> %x... in %v\n", op, scheme, r.Data[:4], r.Latency)
+		return nil
+	case "reduce":
+		if len(fields) != 4 {
+			return fmt.Errorf("reduce wants <op> <scheme> <lpns>")
+		}
+		op, scheme, err := parseOpScheme(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		lpns, err := parseLPNs(fields[3])
+		if err != nil {
+			return err
+		}
+		r, err := dev.Reduce(op, lpns, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reduce  %-8v %-16v over %d operands -> %x... in %v\n",
+			op, scheme, len(lpns), r.Data[:4], r.Latency)
+		return nil
+	}
+	return fmt.Errorf("unknown trace verb %q", fields[0])
+}
+
+func parseOpScheme(opStr, schemeStr string) (parabit.Op, parabit.Scheme, error) {
+	var op parabit.Op
+	found := false
+	for _, o := range parabit.Ops {
+		if strings.EqualFold(o.String(), opStr) {
+			op, found = o, true
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("unknown op %q", opStr)
+	}
+	switch strings.ToLower(schemeStr) {
+	case "prealloc", "parabit":
+		return op, parabit.PreAllocated, nil
+	case "realloc":
+		return op, parabit.Reallocated, nil
+	case "locfree":
+		return op, parabit.LocationFree, nil
+	}
+	return 0, 0, fmt.Errorf("unknown scheme %q", schemeStr)
+}
+
+func parseLPNs(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fillPage(hexStr string, ps int) ([]byte, error) {
+	pattern, err := hex.DecodeString(hexStr)
+	if err != nil {
+		return nil, err
+	}
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	out := make([]byte, ps)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out, nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

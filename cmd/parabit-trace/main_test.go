@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"parabit"
+)
+
+func traceDevice(t *testing.T) *parabit.Device {
+	t.Helper()
+	d, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExecuteDemoTraceLines(t *testing.T) {
+	d := traceDevice(t)
+	for _, line := range strings.Split(strings.TrimSpace(demoTrace), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := execute(d, line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	// The demo runs 2 bitwise + 2 reduce; reductions count as single
+	// chained ops under LocFree.
+	if d.Stats().BitwiseOps == 0 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestExecuteRejectsMalformedLines(t *testing.T) {
+	d := traceDevice(t)
+	bad := []string{
+		"write 1",              // missing pattern
+		"write x a5",           // bad lpn
+		"write 1 zz",           // bad hex
+		"pair 1 2 a5",          // missing operand
+		"bitwise AND nope 0 1", // bad scheme
+		"bitwise WAT prealloc 0 1",
+		"reduce AND locfree 0", // parses but single-lpn reduce fails
+		"frobnicate 1 2 3",
+		"group 1,2 a5", // count mismatch
+	}
+	for _, line := range bad {
+		if err := execute(d, line); err == nil {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
+
+func TestParseLPNs(t *testing.T) {
+	lpns, err := parseLPNs("1,2,30")
+	if err != nil || len(lpns) != 3 || lpns[2] != 30 {
+		t.Fatalf("parseLPNs: %v %v", lpns, err)
+	}
+	if _, err := parseLPNs("1,x"); err == nil {
+		t.Error("bad lpn accepted")
+	}
+}
+
+func TestTraceSequencesCompose(t *testing.T) {
+	// pair -> bitwise -> group -> reduce, with data checked via verbs.
+	d := traceDevice(t)
+	script := []string{
+		"pair 0 1 ff 0f",
+		"bitwise AND prealloc 0 1",
+		"group 4,5,6 ff,f0,cc",
+		"reduce AND locfree 4,5,6",
+	}
+	for _, line := range script {
+		if err := execute(d, line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module parabit
+
+go 1.22

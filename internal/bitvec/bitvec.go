@@ -1,0 +1,218 @@
+// Package bitvec implements packed bit vectors with bulk boolean kernels.
+//
+// Vectors serve two roles in the ParaBit reproduction: they are the golden
+// model every in-flash result is checked against, and they are the host-side
+// representation used by the case-study workloads (YUV class masks, bitmap
+// index columns, image bit planes).
+//
+// Bits are stored little-endian within 64-bit words: bit i of the vector is
+// bit (i%64) of word i/64. The byte serialization used for flash pages is
+// little-endian as well, so bit i of a vector lands in bit (i%8) of byte
+// i/8 — matching how operand pages are laid out in the simulated SSD.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-length sequence of bits.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits. n must be non-negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBytes builds a vector of len(b)*8 bits from a little-endian byte
+// slice. The slice is copied.
+func FromBytes(b []byte) *Vector {
+	v := New(len(b) * 8)
+	for i, by := range b {
+		v.words[i/8] |= uint64(by) << (8 * (i % 8))
+	}
+	return v
+}
+
+// Bytes serializes the vector to little-endian bytes, padding the final
+// partial byte (if any) with zeros.
+func (v *Vector) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := range out {
+		out[i] = byte(v.words[i/8] >> (8 * (i % 8)))
+	}
+	return out
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i/64] |= 1 << (i % 64)
+	} else {
+		v.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and u have identical length and bits.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *Vector) PopCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// maskTail zeroes the bits of the last word beyond length n. Kernel results
+// always pass through it so padding bits stay zero regardless of inputs.
+func (v *Vector) maskTail() {
+	if rem := v.n % 64; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << rem) - 1
+	}
+}
+
+func sameLen(a, b *Vector) {
+	if a.n != b.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", a.n, b.n))
+	}
+}
+
+// And returns a AND b as a new vector. Panics on length mismatch, as all
+// binary kernels do: operand shape errors are programming bugs here.
+func And(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return x & y }) }
+
+// Or returns a OR b.
+func Or(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return x | y }) }
+
+// Xor returns a XOR b.
+func Xor(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return x ^ y }) }
+
+// Nand returns NOT(a AND b).
+func Nand(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return ^(x & y) }) }
+
+// Nor returns NOT(a OR b).
+func Nor(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return ^(x | y) }) }
+
+// Xnor returns NOT(a XOR b).
+func Xnor(a, b *Vector) *Vector { return binop(a, b, func(x, y uint64) uint64 { return ^(x ^ y) }) }
+
+// Not returns the bitwise complement of a.
+func Not(a *Vector) *Vector {
+	out := New(a.n)
+	for i, w := range a.words {
+		out.words[i] = ^w
+	}
+	out.maskTail()
+	return out
+}
+
+func binop(a, b *Vector, f func(x, y uint64) uint64) *Vector {
+	sameLen(a, b)
+	out := New(a.n)
+	for i := range a.words {
+		out.words[i] = f(a.words[i], b.words[i])
+	}
+	out.maskTail()
+	return out
+}
+
+// AndInto computes dst = a AND b in place, reusing dst's storage. All three
+// must share a length. The in-place forms exist because case studies chain
+// long reductions (bitmap index ANDs hundreds of columns) and per-step
+// allocation would dominate.
+func AndInto(dst, a, b *Vector) {
+	sameLen(a, b)
+	sameLen(dst, a)
+	for i := range a.words {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+	dst.maskTail()
+}
+
+// XorInto computes dst = a XOR b in place.
+func XorInto(dst, a, b *Vector) {
+	sameLen(a, b)
+	sameLen(dst, a)
+	for i := range a.words {
+		dst.words[i] = a.words[i] ^ b.words[i]
+	}
+	dst.maskTail()
+}
+
+// Slice returns a copy of bits [from, to).
+func (v *Vector) Slice(from, to int) *Vector {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: bad slice [%d,%d) of %d", from, to, v.n))
+	}
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		if v.Get(i) {
+			out.Set(i-from, true)
+		}
+	}
+	return out
+}
+
+// String renders small vectors as a 0/1 string (bit 0 first); longer
+// vectors are abbreviated. Intended for test failure messages.
+func (v *Vector) String() string {
+	const limit = 128
+	n := v.n
+	trunc := false
+	if n > limit {
+		n, trunc = limit, true
+	}
+	buf := make([]byte, 0, n+1)
+	for i := 0; i < n; i++ {
+		if v.Get(i) {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+	}
+	if trunc {
+		return string(buf) + "…"
+	}
+	return string(buf)
+}

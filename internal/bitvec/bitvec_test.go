@@ -1,0 +1,262 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.PopCount() != 0 {
+		t.Fatalf("new vector has %d set bits", v.PopCount())
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	v := New(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.PopCount() != len(idx) {
+		t.Fatalf("popcount %d, want %d", v.PopCount(), len(idx))
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 8, 100, 8192} {
+		b := make([]byte, n)
+		rng.Read(b)
+		v := FromBytes(b)
+		if v.Len() != n*8 {
+			t.Fatalf("len %d for %d bytes", v.Len(), n)
+		}
+		got := v.Bytes()
+		if len(got) != n {
+			t.Fatalf("round-trip length %d, want %d", len(got), n)
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				t.Fatalf("byte %d differs: %02x vs %02x", i, got[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBitOrderWithinByte(t *testing.T) {
+	v := FromBytes([]byte{0b0000_0101})
+	if !v.Get(0) || v.Get(1) || !v.Get(2) {
+		t.Fatalf("little-endian bit order violated: %s", v)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func TestKernelsAgainstPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []struct {
+		name string
+		bulk func(a, b *Vector) *Vector
+		bit  func(a, b bool) bool
+	}{
+		{"AND", And, func(a, b bool) bool { return a && b }},
+		{"OR", Or, func(a, b bool) bool { return a || b }},
+		{"XOR", Xor, func(a, b bool) bool { return a != b }},
+		{"NAND", Nand, func(a, b bool) bool { return !(a && b) }},
+		{"NOR", Nor, func(a, b bool) bool { return !(a || b) }},
+		{"XNOR", Xnor, func(a, b bool) bool { return a == b }},
+	}
+	for _, n := range []int{1, 63, 64, 65, 1000} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		for _, op := range ops {
+			got := op.bulk(a, b)
+			for i := 0; i < n; i++ {
+				if got.Get(i) != op.bit(a.Get(i), b.Get(i)) {
+					t.Fatalf("%s bit %d of %d wrong", op.name, i, n)
+				}
+			}
+		}
+		nv := Not(a)
+		for i := 0; i < n; i++ {
+			if nv.Get(i) == a.Get(i) {
+				t.Fatalf("NOT bit %d of %d wrong", i, n)
+			}
+		}
+	}
+}
+
+func TestTailPaddingStaysZero(t *testing.T) {
+	// A 3-bit vector occupies one word; NOT/NOR must not set padding bits,
+	// or PopCount and Bytes would leak garbage.
+	a, b := New(3), New(3)
+	if got := Not(a).PopCount(); got != 3 {
+		t.Fatalf("NOT popcount %d, want 3", got)
+	}
+	if got := Nor(a, b).PopCount(); got != 3 {
+		t.Fatalf("NOR popcount %d, want 3", got)
+	}
+	if by := Not(a).Bytes(); by[0] != 0b111 {
+		t.Fatalf("serialized NOT = %08b, want 00000111", by[0])
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched lengths did not panic")
+		}
+	}()
+	And(New(8), New(9))
+}
+
+func TestIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := randVec(rng, 500), randVec(rng, 500)
+	dst := New(500)
+	AndInto(dst, a, b)
+	if !dst.Equal(And(a, b)) {
+		t.Fatal("AndInto differs from And")
+	}
+	XorInto(dst, a, b)
+	if !dst.Equal(Xor(a, b)) {
+		t.Fatal("XorInto differs from Xor")
+	}
+	// Aliasing dst with an operand must work: reduction loops do this.
+	acc := a.Clone()
+	AndInto(acc, acc, b)
+	if !acc.Equal(And(a, b)) {
+		t.Fatal("aliased AndInto wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(10)
+	c := a.Clone()
+	c.Set(3, true)
+	if a.Get(3) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := New(100)
+	v.Set(10, true)
+	v.Set(50, true)
+	s := v.Slice(10, 60)
+	if s.Len() != 50 || !s.Get(0) || !s.Get(40) || s.PopCount() != 2 {
+		t.Fatalf("slice wrong: %s", s)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(64), New(64)
+	if !a.Equal(b) {
+		t.Fatal("zero vectors unequal")
+	}
+	b.Set(63, true)
+	if a.Equal(b) {
+		t.Fatal("different vectors equal")
+	}
+	if a.Equal(New(63)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+// Properties over random byte slices: De Morgan duality and double
+// negation, the invariants the latch sequences also rely on.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(x, y []byte) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		a, b := FromBytes(x[:n]), FromBytes(y[:n])
+		return Nand(a, b).Equal(Or(Not(a), Not(b))) &&
+			Nor(a, b).Equal(And(Not(a), Not(b))) &&
+			Xnor(a, b).Equal(Not(Xor(a, b))) &&
+			Not(Not(a)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorSelfInverseProperty(t *testing.T) {
+	f := func(x, y []byte) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		a, k := FromBytes(x[:n]), FromBytes(y[:n])
+		// Encrypt then decrypt (the image-encryption case study's core).
+		return Xor(Xor(a, k), k).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopCountMatchesLoop(t *testing.T) {
+	f := func(x []byte) bool {
+		v := FromBytes(x)
+		n := 0
+		for i := 0; i < v.Len(); i++ {
+			if v.Get(i) {
+				n++
+			}
+		}
+		return n == v.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnd8KBPage(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]byte, 8192)
+	y := make([]byte, 8192)
+	rng.Read(x)
+	rng.Read(y)
+	a, c := FromBytes(x), FromBytes(y)
+	dst := New(a.Len())
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndInto(dst, a, c)
+	}
+}

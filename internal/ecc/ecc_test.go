@@ -1,0 +1,151 @@
+package ecc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func codec(t *testing.T, page, sector int) *Codec {
+	t.Helper()
+	c, err := NewCodec(page, sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	c := codec(t, 8192, 512)
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(1)).Read(data)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != c.ParityBytes() {
+		t.Fatalf("parity block %d bytes", len(parity))
+	}
+	n, err := c.Decode(data, parity)
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+}
+
+func TestSingleErrorPerSectorCorrected(t *testing.T) {
+	c := codec(t, 8192, 512)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 8192)
+	rng.Read(data)
+	parity, _ := c.Encode(data)
+	orig := append([]byte(nil), data...)
+
+	// Flip exactly one bit in every sector.
+	for s := 0; s < c.Sectors(); s++ {
+		bit := rng.Intn(512 * 8)
+		data[s*512+bit/8] ^= 1 << (bit % 8)
+	}
+	n, err := c.Decode(data, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != c.Sectors() {
+		t.Fatalf("corrected %d bits, want %d", n, c.Sectors())
+	}
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatalf("byte %d not restored", i)
+		}
+	}
+}
+
+func TestDoubleErrorDetected(t *testing.T) {
+	c := codec(t, 1024, 512)
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(3)).Read(data)
+	parity, _ := c.Encode(data)
+	data[0] ^= 1
+	data[100] ^= 2 // two errors in sector 0
+	if _, err := c.Decode(data, parity); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("double error: err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestEveryBitPositionCorrectable(t *testing.T) {
+	c := codec(t, 64, 64)
+	base := make([]byte, 64)
+	rand.New(rand.NewSource(4)).Read(base)
+	parity, _ := c.Encode(base)
+	for bit := 0; bit < 64*8; bit++ {
+		data := append([]byte(nil), base...)
+		data[bit/8] ^= 1 << (bit % 8)
+		n, err := c.Decode(data, parity)
+		if err != nil || n != 1 {
+			t.Fatalf("bit %d: n=%d err=%v", bit, n, err)
+		}
+		if data[bit/8] != base[bit/8] {
+			t.Fatalf("bit %d not restored", bit)
+		}
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	if _, err := NewCodec(8192, 600); err == nil {
+		t.Fatal("non-dividing sector accepted")
+	}
+	if _, err := NewCodec(0, 512); err == nil {
+		t.Fatal("zero page accepted")
+	}
+	c := codec(t, 1024, 512)
+	if _, err := c.Encode(make([]byte, 100)); err == nil {
+		t.Fatal("short encode accepted")
+	}
+	if _, err := c.Decode(make([]byte, 1024), make([]byte, 3)); err == nil {
+		t.Fatal("short parity accepted")
+	}
+}
+
+// Property: one random flip per random sector always restores the page.
+func TestSingleErrorProperty(t *testing.T) {
+	c, _ := NewCodec(1024, 256)
+	f := func(seed int64, bitRaw uint16) bool {
+		data := make([]byte, 1024)
+		rand.New(rand.NewSource(seed)).Read(data)
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		orig := append([]byte(nil), data...)
+		bit := int(bitRaw) % (1024 * 8)
+		data[bit/8] ^= 1 << (bit % 8)
+		n, err := c.Decode(data, parity)
+		if err != nil || n != 1 {
+			return false
+		}
+		for i := range data {
+			if data[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode8KBOneError(b *testing.B) {
+	c, _ := NewCodec(8192, 512)
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(5)).Read(data)
+	parity, _ := c.Encode(data)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[17] ^= 4
+		if _, err := c.Decode(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

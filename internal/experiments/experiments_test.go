@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tolFrac float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tolFrac {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, tolFrac*100)
+	}
+}
+
+func TestFig4Anchors(t *testing.T) {
+	env := DefaultEnv()
+	pts := MotivationSeries(env, []int{200_000})
+	p := pts[0]
+	within(t, "PIM movement", p.PIMMoveSecs, 43.9, 0.05)
+	within(t, "ISC movement", p.ISCMoveSecs, 41.8, 0.05)
+	within(t, "PIM move/op ratio", p.PIMMoveSecs/p.PIMOpSecs, 30.7, 0.15)
+	within(t, "ISC move/op ratio", p.ISCMoveSecs/p.ISCOpSecs, 60.2, 0.15)
+}
+
+func TestFig4Monotone(t *testing.T) {
+	env := DefaultEnv()
+	pts := MotivationSeries(env, []int{10_000, 50_000, 100_000, 200_000})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PIMMoveSecs <= pts[i-1].PIMMoveSecs {
+			t.Error("PIM movement not monotone in image count")
+		}
+		// Movement always dominates compute on both baselines.
+		if pts[i].PIMMoveSecs < 10*pts[i].PIMOpSecs {
+			t.Error("PIM movement does not dominate compute")
+		}
+		if pts[i].ISCMoveSecs < 10*pts[i].ISCOpSecs {
+			t.Error("ISC movement does not dominate compute")
+		}
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	env := DefaultEnv()
+	r := Fig13a(env)
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// XOR row: ParaBit = 100µs.
+	for _, row := range r.Rows {
+		if row[0] == "XOR" && row[3] != "100.0µs" {
+			t.Errorf("ParaBit XOR = %s, want 100.0µs", row[3])
+		}
+		if row[0] == "AND" && row[3] != "25.0µs" {
+			t.Errorf("ParaBit AND = %s, want 25.0µs", row[3])
+		}
+	}
+}
+
+func TestFig13bNotMSBAnchor(t *testing.T) {
+	// §5.2: ReAlloc NOT-MSB ≈ 25.8x slower than PIM w/8MB NOT.
+	env := DefaultEnv()
+	ra := reallocSingleOp(env.Timing, env.Geo, 7 /* OpNotMSB */).Seconds()
+	pim := env.PIM.OpLatency(7, 8<<20).Seconds()
+	within(t, "ReAlloc/PIM NOT-MSB ratio", ra/pim, 25.8, 0.1)
+}
+
+func TestCrossoverNearPaper(t *testing.T) {
+	env := DefaultEnv()
+	width, _ := CrossoverPoint(env)
+	// Paper: 206.4 MB.
+	within(t, "crossover wave width", float64(width)/1e6, 206.4, 0.15)
+}
+
+func TestSegmentationAnchors(t *testing.T) {
+	env := DefaultEnv()
+	rows := SegmentationStudy(env, 200_000)
+	pim, isc, ra, pb, lf := rows[0], rows[1], rows[2], rows[3], rows[4]
+
+	// Paper: ParaBit+Res-Move totals 32.3% of PIM and 34.4% of ISC.
+	within(t, "ParaBit/PIM", pb.TotalPipe/pim.Total, 0.323, 0.05)
+	within(t, "ParaBit/ISC", pb.TotalPipe/isc.Total, 0.344, 0.05)
+	// Paper: ReAlloc+Res-Move totals 37.3% / 39.8%.
+	within(t, "ReAlloc/PIM", ra.TotalPipe/pim.Total, 0.373, 0.12)
+	// Paper: ParaBit reduces AND cost by 51.7% vs ReAlloc.
+	within(t, "ParaBit AND vs ReAlloc", pb.Bitwise/ra.Bitwise, 0.483, 0.08)
+	// Paper: movement reduced to 33.3% / 35.0% (result vs operand moves).
+	within(t, "ResMove/PIM-move", pb.ResMove/pim.OpeMove, 0.333, 0.03)
+	within(t, "ResMove/ISC-move", pb.ResMove/isc.OpeMove, 0.350, 0.03)
+	// §5.5: LocFree ≈ ParaBit for segmentation (result movement bound).
+	within(t, "LocFree vs ParaBit total", lf.TotalPipe/pb.TotalPipe, 1.0, 0.1)
+}
+
+func TestBitmapAnchors(t *testing.T) {
+	env := DefaultEnv()
+	rows := BitmapStudy(env, 12)
+	pim, _, ra, pb, lf := rows[0], rows[1], rows[2], rows[3], rows[4]
+
+	// Paper: PIM 353ms, ReAlloc 6137ms, ParaBit 3179ms of AND time.
+	within(t, "PIM AND", pim.Bitwise, 0.353, 0.10)
+	within(t, "ReAlloc AND", ra.Bitwise, 6.137, 0.10)
+	within(t, "ParaBit AND", pb.Bitwise, 3.179, 0.10)
+	// Paper: data movement reduced to ≈0.3%.
+	within(t, "movement ratio", pb.ResMove/pim.OpeMove, 0.003, 0.15)
+	// LocFree is the clear winner with no reallocation.
+	if lf.TotalPipe > 0.15*ra.TotalPipe {
+		t.Errorf("LocFree total %.3fs not well below ReAlloc %.3fs", lf.TotalPipe, ra.TotalPipe)
+	}
+}
+
+func TestBitmapMonotoneInMonths(t *testing.T) {
+	env := DefaultEnv()
+	prev := 0.0
+	for _, m := range []int{1, 3, 6, 12} {
+		rows := BitmapStudy(env, m)
+		if rows[3].Bitwise <= prev {
+			t.Errorf("ParaBit bitmap time not monotone at m=%d", m)
+		}
+		prev = rows[3].Bitwise
+	}
+}
+
+func TestEncryptionAnchors(t *testing.T) {
+	env := DefaultEnv()
+	rows := EncryptionStudy(env, 100_000)
+	pim, isc, ra, pb, lf := rows[0], rows[1], rows[2], rows[3], rows[4]
+
+	// ParaBit and ReAlloc coincide (§5.3.3).
+	if ra.Total != pb.Total {
+		t.Errorf("ParaBit %.3fs != ReAlloc %.3fs", pb.Total, ra.Total)
+	}
+	// Paper: ReAlloc reduces execution to 23.3% / 25.3% of PIM / ISC.
+	within(t, "ReAlloc/PIM", ra.Total/pim.Total, 0.233, 0.25)
+	within(t, "ReAlloc/ISC", ra.Total/isc.Total, 0.253, 0.25)
+	// Paper: PIM spends <3.5% on XOR.
+	if share := pim.Bitwise / pim.Total; share > 0.035 {
+		t.Errorf("PIM XOR share = %.1f%%, paper <3.5%%", share*100)
+	}
+	// Fig. 15: LocFree ≈ 57.1% of ReAlloc.
+	within(t, "LocFree/ReAlloc", lf.TotalPipe/ra.TotalPipe, 0.571, 0.15)
+}
+
+func TestEnduranceAnchors(t *testing.T) {
+	env := DefaultEnv()
+	r := Endurance(env)
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Effective TBW ≈ paper's 200.67 / 257.51 / 300.
+	wants := []float64{200.67, 257.51, 300}
+	for i, row := range r.Rows {
+		var got float64
+		if _, err := sscanf(row[3], &got); err != nil {
+			t.Fatalf("row %d TBW cell %q", i, row[3])
+		}
+		within(t, "TBW "+row[0], got, wants[i], 0.07)
+	}
+}
+
+// sscanf parses a float cell.
+func sscanf(s string, out *float64) (int, error) {
+	var v float64
+	n, err := fmtSscan(s, &v)
+	*out = v
+	return n, err
+}
+
+func TestCompressionBreakEvenAnchor(t *testing.T) {
+	env := DefaultEnv()
+	be := CompressionBreakEven(env, 200_000)
+	// Paper: 30.1%.
+	within(t, "compression break-even", be, 0.301, 0.05)
+}
+
+func TestFig16RendersAllOps(t *testing.T) {
+	r := Fig16(DefaultEnv())
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+}
+
+func TestFig17Renders(t *testing.T) {
+	r := Fig17(DefaultEnv())
+	if len(r.Rows) != 5+3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// The 5K P/E row's 7-sensing column should read ≈0.945/≈5.
+	last := r.Rows[4]
+	if !strings.HasPrefix(last[0], "5000") {
+		t.Fatalf("last P/E row is %q", last[0])
+	}
+	var mean float64
+	var maxN int
+	if _, err := fmtSscanSlash(last[3], &mean, &maxN); err != nil {
+		t.Fatalf("cell %q: %v", last[3], err)
+	}
+	within(t, "mean errors", mean, 0.945, 0.12)
+	if maxN < 3 || maxN > 9 {
+		t.Errorf("max errors = %d, want ≈5", maxN)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"compression", "crossover", "endurance",
+		"ext-energy", "ext-gc", "ext-scale", "ext-tlc",
+		"fig13a", "fig13b", "fig14a", "fig14b", "fig14c",
+		"fig15", "fig16", "fig17", "fig4",
+	}
+	ds := Drivers()
+	if len(ds) != len(want) {
+		t.Fatalf("%d drivers registered, want %d", len(ds), len(want))
+	}
+	for i, d := range ds {
+		if d.ID != want[i] {
+			t.Errorf("driver %d = %s, want %s", i, d.ID, want[i])
+		}
+	}
+	if _, ok := Lookup("fig15"); !ok {
+		t.Error("Lookup failed for fig15")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found a ghost")
+	}
+}
+
+func TestAllDriversRunAndRender(t *testing.T) {
+	env := DefaultEnv()
+	for _, d := range Drivers() {
+		r := d.Run(env)
+		table := r.Table()
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", d.ID)
+		}
+		if !strings.Contains(table, "==") || len(table) < 50 {
+			t.Errorf("%s: table render suspicious:\n%s", d.ID, table)
+		}
+	}
+}
+
+func TestPipelineHelper(t *testing.T) {
+	// Long phase dominates, plus one wave of the short phase.
+	if got := pipeline(10, 2, 4); got != 10.5 {
+		t.Errorf("pipeline(10,2,4) = %v", got)
+	}
+	if got := pipeline(2, 10, 4); got != 10.5 {
+		t.Errorf("pipeline(2,10,4) = %v", got)
+	}
+	if got := pipeline(10, 2, 0.5); got != 12.0 {
+		t.Errorf("pipeline with <1 wave = %v", got)
+	}
+}
+
+// fmtSscan and fmtSscanSlash are tiny parsing helpers for table cells.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+func fmtSscanSlash(s string, mean *float64, max *int) (int, error) {
+	return fmt.Sscanf(s, "%f/%d", mean, max)
+}

@@ -1,0 +1,416 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"parabit/internal/ecc"
+	"parabit/internal/sim"
+)
+
+// Program-order violations and related storage errors.
+var (
+	// ErrNotErased reports a program to a page that already holds data.
+	ErrNotErased = errors.New("flash: program to non-erased page")
+	// ErrProgramOrder reports an MSB program before the wordline's LSB
+	// program, which MLC flash forbids.
+	ErrProgramOrder = errors.New("flash: MSB programmed before LSB")
+	// ErrPageSize reports a program whose buffer is not exactly one page.
+	ErrPageSize = errors.New("flash: data is not one page")
+	// ErrPlaneMismatch reports a location-free op whose operands do not
+	// share a plane (and therefore do not share latching circuits).
+	ErrPlaneMismatch = errors.New("flash: location-free operands on different planes")
+)
+
+// Corruptor injects read errors into sensed data. The reliability package
+// provides the paper-calibrated implementation; a nil Corruptor is ideal.
+type Corruptor interface {
+	// Corrupt flips bits in data in place and returns the number flipped.
+	// peCycles is the block's erase count; sros is the number of sensing
+	// steps the producing operation used (errors grow with both, paper
+	// Fig. 17).
+	Corrupt(data []byte, peCycles, sros int) int
+}
+
+// DisturbCorruptor is an optional Corruptor extension that also accounts
+// for read disturb: the error rate grows with the SROs a block has
+// absorbed since its last erase. Arrays feed the per-block read counter
+// to models implementing it.
+type DisturbCorruptor interface {
+	Corruptor
+	CorruptWithReads(data []byte, peCycles, sros, blockReads int) int
+}
+
+// wordline stores the CellBits pages of one row, indexed by PageKind.
+// nil slices mean erased: every cell in state E, so every page reads back
+// all ones. The parity slices model the out-of-band spare area where the
+// controller keeps ECC parity; entries exist only when the array has a
+// codec installed.
+type wordline struct {
+	pages  [][]byte
+	parity [][]byte
+}
+
+type block struct {
+	wl     []wordline // nil until first program after (re-)erase
+	erases int
+	// reads counts SROs issued against the block since its last erase:
+	// the read-disturb exposure the reliability model can consume.
+	reads int
+}
+
+type plane struct {
+	sense  *sim.Resource
+	blocks []block
+}
+
+// Array is the NAND flash device: storage plus occupancy-based timing.
+// Methods take an "at" time (when the controller issues the command) and
+// return the command's completion time; queueing on busy planes and
+// channels is resolved by the embedded resources. Array is not safe for
+// concurrent use — the controller above it is single-threaded over
+// simulated time.
+type Array struct {
+	geo    Geometry
+	timing Timing
+	planes []*plane        // by PlaneIndex
+	buses  []*sim.Resource // per channel
+	noise  Corruptor
+	// codec, when set, protects baseline reads: programs store parity in
+	// the OOB area and reads correct raw errors. ParaBit sense results
+	// never pass through it (§4.4.3).
+	codec *ecc.Codec
+	// noisyBaseline applies the Corruptor to baseline reads too (raw bit
+	// errors on ordinary reads), which the codec then corrects — the
+	// §5.8 configuration. Without a codec, raw errors would reach the
+	// host, so enabling this without a codec is rejected.
+	noisyBaseline bool
+	stats         Stats
+}
+
+// NewArray builds an erased array. It panics on invalid configuration:
+// geometry and timing come from code, not user input.
+func NewArray(geo Geometry, timing Timing) *Array {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if err := timing.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{
+		geo:    geo,
+		timing: timing,
+		planes: make([]*plane, geo.Planes()),
+		buses:  make([]*sim.Resource, geo.Channels),
+	}
+	for i := range a.planes {
+		a.planes[i] = &plane{
+			sense:  sim.NewResource(fmt.Sprintf("plane-%d", i)),
+			blocks: make([]block, geo.BlocksPerPlane),
+		}
+	}
+	for i := range a.buses {
+		a.buses[i] = sim.NewResource(fmt.Sprintf("chan-%d", i))
+	}
+	return a
+}
+
+// Geometry returns the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the array's timing parameters.
+func (a *Array) Timing() Timing { return a.timing }
+
+// Stats returns a copy of the accumulated operation counts.
+func (a *Array) Stats() Stats { return a.stats }
+
+// SetCorruptor installs a read-noise model; nil restores ideal sensing.
+func (a *Array) SetCorruptor(c Corruptor) { a.noise = c }
+
+// SetECC installs a baseline-read codec. Pages programmed afterwards
+// carry parity; reads of parity-bearing pages correct raw errors.
+func (a *Array) SetECC(c *ecc.Codec) { a.codec = c }
+
+// SetNoisyBaseline makes ordinary reads experience raw bit errors too
+// (corrected by the codec). Requires SetECC first.
+func (a *Array) SetNoisyBaseline(on bool) error {
+	if on && a.codec == nil {
+		return errors.New("flash: noisy baseline reads require an ECC codec")
+	}
+	a.noisyBaseline = on
+	return nil
+}
+
+// DrainTime returns the instant all queued work on every plane and channel
+// completes — the wave-completion time experiments report.
+func (a *Array) DrainTime() sim.Time {
+	var t sim.Time
+	for _, p := range a.planes {
+		if ft := p.sense.FreeAt(); ft > t {
+			t = ft
+		}
+	}
+	for _, b := range a.buses {
+		if ft := b.FreeAt(); ft > t {
+			t = ft
+		}
+	}
+	return t
+}
+
+// ResetTiming returns every plane and channel to idle without touching
+// stored data, so successive experiments on one array start from t=0.
+func (a *Array) ResetTiming() {
+	for _, p := range a.planes {
+		p.sense.Reset()
+	}
+	for _, b := range a.buses {
+		b.Reset()
+	}
+}
+
+func (a *Array) planeAt(p PlaneAddr) *plane { return a.planes[a.geo.PlaneIndex(p)] }
+
+func (a *Array) wordlineAt(w WordlineAddr) *wordline {
+	blk := &a.planeAt(w.PlaneAddr).blocks[w.Block]
+	if blk.wl == nil {
+		return nil
+	}
+	return &blk.wl[w.WL]
+}
+
+// pageBits returns the stored page content, treating erased storage as all
+// ones (cells in state E carry 1 in every page).
+func (a *Array) pageBits(w WordlineAddr, kind PageKind) []byte {
+	out := make([]byte, a.geo.PageSize)
+	wl := a.wordlineAt(w)
+	var src []byte
+	if wl != nil && wl.pages != nil {
+		src = wl.pages[kind]
+	}
+	if src == nil {
+		for i := range out {
+			out[i] = 0xFF
+		}
+		return out
+	}
+	copy(out, src)
+	return out
+}
+
+// peCycles returns the erase count of the block holding w.
+func (a *Array) peCycles(w WordlineAddr) int {
+	return a.planeAt(w.PlaneAddr).blocks[w.Block].erases
+}
+
+// ReadCount returns the SROs a block has absorbed since its last erase.
+func (a *Array) ReadCount(p PlaneAddr, blockIdx int) int {
+	return a.planeAt(p).blocks[blockIdx].reads
+}
+
+// noteReads charges sensing disturb to a block and returns its exposure
+// before this operation.
+func (a *Array) noteReads(w WordlineAddr, sros int) int {
+	blk := &a.planeAt(w.PlaneAddr).blocks[w.Block]
+	before := blk.reads
+	blk.reads += sros
+	return before
+}
+
+// corrupt applies the noise model to sensed data, routing through the
+// read-disturb extension when the model supports it.
+func (a *Array) corrupt(data []byte, pe, sros, blockReads int) int {
+	if a.noise == nil {
+		return 0
+	}
+	if dc, ok := a.noise.(DisturbCorruptor); ok {
+		return dc.CorruptWithReads(data, pe, sros, blockReads)
+	}
+	return a.noise.Corrupt(data, pe, sros)
+}
+
+// SenseResult is the outcome of an array-side operation that leaves data
+// in the plane's cache register: the data itself, when the sensing
+// finished (register valid), how many bit errors the noise model
+// injected, and how many the baseline ECC path corrected.
+type SenseResult struct {
+	Data      []byte
+	Ready     sim.Time
+	FlipCount int
+	Corrected int
+}
+
+// parityOf returns the stored OOB parity for a programmed page, or nil.
+func (a *Array) parityOf(p PageAddr) []byte {
+	wl := a.wordlineAt(p.WordlineAddr)
+	if wl == nil || wl.parity == nil {
+		return nil
+	}
+	return wl.parity[p.Kind]
+}
+
+// ReadSense senses one page into the plane's cache register without
+// transferring it: the building block for reads, reallocation and the
+// ParaBit pipelines. This is the baseline (ECC-protected) path: with
+// noisy baseline reads enabled, raw errors are injected and corrected
+// against the page's stored parity — the flow ParaBit results cannot
+// use (§4.4.3). A correction failure surfaces as a read error, like a
+// real drive's uncorrectable-ECC status.
+func (a *Array) ReadSense(p PageAddr, at sim.Time) (SenseResult, error) {
+	if err := a.geo.CheckPage(p); err != nil {
+		return SenseResult{}, err
+	}
+	pl := a.planeAt(p.PlaneAddr)
+	sros := a.geo.ReadSROs(p.Kind)
+	_, end := pl.sense.Reserve(at, sim.Duration(sros)*a.timing.SenseSRO)
+	a.stats.SROs += int64(sros)
+	exposure := a.noteReads(p.WordlineAddr, sros)
+	res := SenseResult{Data: a.pageBits(p.WordlineAddr, p.Kind), Ready: end}
+	if a.noisyBaseline && a.noise != nil {
+		par := a.parityOf(p)
+		if par == nil {
+			return res, nil
+		}
+		res.FlipCount = a.corrupt(res.Data, a.peCycles(p.WordlineAddr), sros, exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+		n, derr := a.codec.Decode(res.Data, par)
+		// Uncorrectable sector: re-read with calibrated reference
+		// voltages (§5.8). Each retry is one more SRO on the plane and a
+		// fresh, milder sensing outcome — the Vref lands closer to the
+		// shifted distributions.
+		retries := 0
+		for derr != nil && retries < a.timing.MaxReadRetries {
+			retries++
+			a.stats.ReadRetries++
+			_, end = pl.sense.Reserve(end, a.timing.SenseSRO)
+			a.stats.SROs++
+			a.noteReads(p.WordlineAddr, 1)
+			res.Data = a.pageBits(p.WordlineAddr, p.Kind)
+			// Calibrated sensing quarters the effective error exposure
+			// per attempt.
+			res.FlipCount = a.corrupt(res.Data, a.peCycles(p.WordlineAddr), 1, exposure>>(2*uint(retries)))
+			a.stats.InjectedFlips += int64(res.FlipCount)
+			n, derr = a.codec.Decode(res.Data, par)
+		}
+		if derr != nil {
+			return res, fmt.Errorf("flash: read %v after %d retries: %w", p, retries, derr)
+		}
+		res.Ready = end
+		res.Corrected = n
+		a.stats.CorrectedBits += int64(n)
+	}
+	return res, nil
+}
+
+// Read senses a page and transfers it over the channel to the controller.
+// The returned time is when the controller holds the data. With cache
+// read (the default), the plane frees as soon as sensing completes — the
+// cache register holds the outgoing data while the next sense proceeds.
+// Without it, the plane stays busy until the transfer drains.
+func (a *Array) Read(p PageAddr, at sim.Time) ([]byte, sim.Time, error) {
+	res, err := a.ReadSense(p, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := a.transferOut(p.Channel, res.Ready, len(res.Data))
+	if a.timing.NoCacheRead && done > res.Ready {
+		// Hold the single data register (and with it the plane's sense
+		// path) until the transfer completes.
+		a.planeAt(p.PlaneAddr).sense.Reserve(res.Ready, done.Sub(res.Ready))
+	}
+	return res.Data, done, nil
+}
+
+// transferOut books the channel for a plane->controller page transfer.
+func (a *Array) transferOut(channel int, ready sim.Time, n int) sim.Time {
+	_, end := a.buses[channel].Reserve(ready, a.timing.Transfer(n))
+	a.stats.BytesOut += int64(n)
+	return end
+}
+
+// transferIn books the channel for a controller->plane transfer.
+func (a *Array) transferIn(channel int, at sim.Time, n int) sim.Time {
+	_, end := a.buses[channel].Reserve(at, a.timing.Transfer(n))
+	a.stats.BytesIn += int64(n)
+	return end
+}
+
+// Program writes one page. Data is copied. MLC rules are enforced: the
+// target page must be erased and a wordline's LSB page must be programmed
+// before its MSB page. The returned time is program completion.
+func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) {
+	if err := a.geo.CheckPage(p); err != nil {
+		return 0, err
+	}
+	if len(data) != a.geo.PageSize {
+		return 0, fmt.Errorf("%w: %d bytes, page is %d", ErrPageSize, len(data), a.geo.PageSize)
+	}
+	pl := a.planeAt(p.PlaneAddr)
+	blk := &pl.blocks[p.Block]
+	if blk.wl == nil {
+		blk.wl = make([]wordline, a.geo.WordlinesPerBlock)
+	}
+	wl := &blk.wl[p.WL]
+	if wl.pages == nil {
+		wl.pages = make([][]byte, a.geo.CellBits)
+		wl.parity = make([][]byte, a.geo.CellBits)
+	}
+	if wl.pages[p.Kind] != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNotErased, p)
+	}
+	// Pages of one wordline program in kind order (LSB first), the MLC
+	// rule generalized to TLC.
+	if p.Kind > 0 && wl.pages[p.Kind-1] == nil {
+		return 0, fmt.Errorf("%w: %v", ErrProgramOrder, p)
+	}
+	// Data crosses the channel into the register, then the plane programs.
+	xferEnd := a.transferIn(p.Channel, at, len(data))
+	_, end := pl.sense.Reserve(xferEnd, a.timing.ProgramPage)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	var par []byte
+	if a.codec != nil {
+		var perr error
+		par, perr = a.codec.Encode(buf)
+		if perr != nil {
+			return 0, fmt.Errorf("flash: parity for %v: %w", p, perr)
+		}
+	}
+	wl.pages[p.Kind] = buf
+	wl.parity[p.Kind] = par
+	a.stats.Programs++
+	return end, nil
+}
+
+// Erase wipes a block, returning its wordlines to the erased (all ones)
+// state and bumping the P/E cycle count.
+func (a *Array) Erase(p PlaneAddr, blockIdx int, at sim.Time) (sim.Time, error) {
+	if err := a.geo.CheckPlane(p); err != nil {
+		return 0, err
+	}
+	if blockIdx < 0 || blockIdx >= a.geo.BlocksPerPlane {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	pl := a.planeAt(p)
+	blk := &pl.blocks[blockIdx]
+	_, end := pl.sense.Reserve(at, a.timing.EraseBlock)
+	blk.wl = nil
+	blk.erases++
+	blk.reads = 0
+	a.stats.Erases++
+	return end, nil
+}
+
+// EraseCount returns a block's P/E cycle count.
+func (a *Array) EraseCount(p PlaneAddr, blockIdx int) int {
+	return a.planeAt(p).blocks[blockIdx].erases
+}
+
+// PageProgrammed reports whether the page currently holds data.
+func (a *Array) PageProgrammed(p PageAddr) bool {
+	wl := a.wordlineAt(p.WordlineAddr)
+	if wl == nil || wl.pages == nil {
+		return false
+	}
+	return wl.pages[p.Kind] != nil
+}

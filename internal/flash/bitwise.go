@@ -1,0 +1,407 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"parabit/internal/latch"
+	"parabit/internal/sim"
+)
+
+// ErrCellMode reports an operation invalid for the array's cell mode
+// (MLC sequences on a TLC array or vice versa).
+var ErrCellMode = errors.New("flash: operation not supported in this cell mode")
+
+// applyOp computes a ParaBit operation over whole pages with word-wide
+// kernels. The latch package proves per-bit equivalence between these
+// kernels and the actual control sequences (see TestKernelMatchesCircuit);
+// the array uses the kernels so an 8 KB page op is a few hundred machine
+// ops instead of 65536 circuit simulations.
+func applyOp(op latch.Op, lsb, msb []byte) []byte {
+	if len(lsb) != len(msb) {
+		panic(fmt.Sprintf("flash: operand pages differ in size: %d vs %d", len(lsb), len(msb)))
+	}
+	out := make([]byte, len(lsb))
+	switch op {
+	case latch.OpAnd:
+		for i := range out {
+			out[i] = lsb[i] & msb[i]
+		}
+	case latch.OpOr:
+		for i := range out {
+			out[i] = lsb[i] | msb[i]
+		}
+	case latch.OpXnor:
+		for i := range out {
+			out[i] = ^(lsb[i] ^ msb[i])
+		}
+	case latch.OpNand:
+		for i := range out {
+			out[i] = ^(lsb[i] & msb[i])
+		}
+	case latch.OpNor:
+		for i := range out {
+			out[i] = ^(lsb[i] | msb[i])
+		}
+	case latch.OpXor:
+		for i := range out {
+			out[i] = lsb[i] ^ msb[i]
+		}
+	case latch.OpNotLSB:
+		for i := range out {
+			out[i] = ^lsb[i]
+		}
+	case latch.OpNotMSB:
+		for i := range out {
+			out[i] = ^msb[i]
+		}
+	default:
+		panic(fmt.Sprintf("flash: unknown op %v", op))
+	}
+	return out
+}
+
+// BitwiseSense performs a basic ParaBit operation on a wordline whose LSB
+// page holds the first operand and MSB page the second (paper §4.1). The
+// result lands in the plane's cache register; latency is the control
+// sequence's SRO count times the sense latency. Read noise, if a Corruptor
+// is installed, applies to the result — ParaBit results bypass ECC
+// (paper §4.4.3).
+func (a *Array) BitwiseSense(op latch.Op, w WordlineAddr, at sim.Time) (SenseResult, error) {
+	if a.geo.CellBits != 2 {
+		return SenseResult{}, fmt.Errorf("%w: MLC op %v on %d-bit cells", ErrCellMode, op, a.geo.CellBits)
+	}
+	if err := a.geo.CheckWordline(w); err != nil {
+		return SenseResult{}, err
+	}
+	seq := latch.ForOp(op)
+	pl := a.planeAt(w.PlaneAddr)
+	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	out := applyOp(op, a.pageBits(w, LSBPage), a.pageBits(w, MSBPage))
+	exposure := a.noteReads(w, seq.SROs())
+	res := SenseResult{Data: out, Ready: end}
+	if a.noise != nil {
+		res.FlipCount = a.corrupt(out, a.peCycles(w), seq.SROs(), exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+	}
+	a.stats.SROs += int64(seq.SROs())
+	a.stats.BitwiseOps++
+	return res, nil
+}
+
+// Bitwise performs BitwiseSense and transfers the result to the
+// controller, returning the data and the time the controller holds it.
+func (a *Array) Bitwise(op latch.Op, w WordlineAddr, at sim.Time) ([]byte, sim.Time, error) {
+	res, err := a.BitwiseSense(op, w, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := a.transferOut(w.Channel, res.Ready, len(res.Data))
+	return res.Data, done, nil
+}
+
+// BitwiseSenseLocFree performs a location-free ParaBit operation
+// (paper §4.2): the first operand is the MSB page of wordline m, the
+// second the LSB page of wordline n. Both wordlines must share a plane —
+// they use that plane's latching circuits via CACHE READ RANDOM — but may
+// sit in different blocks. Latency is the location-free sequence's SRO
+// count; XOR-family ops require the added inverter hardware.
+func (a *Array) BitwiseSenseLocFree(op latch.Op, m, n WordlineAddr, at sim.Time) (SenseResult, error) {
+	if a.geo.CellBits != 2 {
+		return SenseResult{}, fmt.Errorf("%w: MLC op %v on %d-bit cells", ErrCellMode, op, a.geo.CellBits)
+	}
+	if err := a.geo.CheckWordline(m); err != nil {
+		return SenseResult{}, err
+	}
+	if err := a.geo.CheckWordline(n); err != nil {
+		return SenseResult{}, err
+	}
+	if m.PlaneAddr != n.PlaneAddr {
+		return SenseResult{}, fmt.Errorf("%w: %v vs %v", ErrPlaneMismatch, m.PlaneAddr, n.PlaneAddr)
+	}
+	seq := latch.ForOpLocFree(op)
+	pl := a.planeAt(m.PlaneAddr)
+	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	// Operand order per §4.2: M from the MSB page, N from the LSB page.
+	msb := a.pageBits(m, MSBPage)
+	lsb := a.pageBits(n, LSBPage)
+	out := applyOp(op, lsb, msb)
+	// Disturb attribution: the MSB operand is read with 2-SRO MSB reads
+	// (twice for the two-phase XOR family), the LSB operand with single
+	// senses.
+	mShare := 2
+	if seq.SROs() == 6 {
+		mShare = 4
+	}
+	expM := a.noteReads(m, mShare)
+	expN := a.noteReads(n, seq.SROs()-mShare)
+	exposure := expM
+	if expN > exposure {
+		exposure = expN
+	}
+	res := SenseResult{Data: out, Ready: end}
+	if a.noise != nil {
+		pe := a.peCycles(m)
+		if p2 := a.peCycles(n); p2 > pe {
+			pe = p2
+		}
+		res.FlipCount = a.corrupt(out, pe, seq.SROs(), exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+	}
+	a.stats.SROs += int64(seq.SROs())
+	a.stats.BitwiseOps++
+	return res, nil
+}
+
+// BitwiseSenseLocFreeLSB is the location-free operation for the all-LSB
+// data layout (§5.5): both operands are LSB pages of aligned wordlines on
+// one plane — M on wordline m, N on wordline n. Costs the shorter LSB
+// sequence's SRO count (2 for AND/OR/NAND/NOR, 4 for XOR/XNOR).
+func (a *Array) BitwiseSenseLocFreeLSB(op latch.Op, m, n WordlineAddr, at sim.Time) (SenseResult, error) {
+	if a.geo.CellBits != 2 {
+		return SenseResult{}, fmt.Errorf("%w: MLC op %v on %d-bit cells", ErrCellMode, op, a.geo.CellBits)
+	}
+	if err := a.geo.CheckWordline(m); err != nil {
+		return SenseResult{}, err
+	}
+	if err := a.geo.CheckWordline(n); err != nil {
+		return SenseResult{}, err
+	}
+	if m.PlaneAddr != n.PlaneAddr {
+		return SenseResult{}, fmt.Errorf("%w: %v vs %v", ErrPlaneMismatch, m.PlaneAddr, n.PlaneAddr)
+	}
+	seq := latch.ForOpLocFreeLSB(op)
+	pl := a.planeAt(m.PlaneAddr)
+	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	mBits := a.pageBits(m, LSBPage)
+	nBits := a.pageBits(n, LSBPage)
+	// Binary ops are symmetric; the NOT pair maps to inverting the first
+	// (wordline m) or second (wordline n) operand, matching the LSB
+	// location-free sequences.
+	var out []byte
+	switch op {
+	case latch.OpNotLSB:
+		out = applyOp(latch.OpNotLSB, mBits, mBits)
+	case latch.OpNotMSB:
+		out = applyOp(latch.OpNotLSB, nBits, nBits)
+	default:
+		out = applyOp(op, nBits, mBits)
+	}
+	// LSB-layout senses split evenly; the NOT variants touch only their
+	// own wordline.
+	mShare := seq.SROs() - seq.SROs()/2
+	switch op {
+	case latch.OpNotLSB:
+		mShare = seq.SROs()
+	case latch.OpNotMSB:
+		mShare = 0
+	}
+	expM := a.noteReads(m, mShare)
+	expN := a.noteReads(n, seq.SROs()-mShare)
+	exposure := expM
+	if expN > exposure {
+		exposure = expN
+	}
+	res := SenseResult{Data: out, Ready: end}
+	if a.noise != nil {
+		pe := a.peCycles(m)
+		if p2 := a.peCycles(n); p2 > pe {
+			pe = p2
+		}
+		res.FlipCount = a.corrupt(out, pe, seq.SROs(), exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+	}
+	a.stats.SROs += int64(seq.SROs())
+	a.stats.BitwiseOps++
+	return res, nil
+}
+
+// BitwiseLocFreeLSB performs BitwiseSenseLocFreeLSB and transfers the
+// result to the controller.
+func (a *Array) BitwiseLocFreeLSB(op latch.Op, m, n WordlineAddr, at sim.Time) ([]byte, sim.Time, error) {
+	res, err := a.BitwiseSenseLocFreeLSB(op, m, n, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := a.transferOut(m.Channel, res.Ready, len(res.Data))
+	return res.Data, done, nil
+}
+
+// BitwiseLatencyLocFreeLSB returns the array-side latency of an all-LSB
+// location-free op.
+func (t Timing) BitwiseLatencyLocFreeLSB(op latch.Op) sim.Duration {
+	return sim.Duration(latch.ForOpLocFreeLSB(op).SROs()) * t.SenseSRO
+}
+
+// BitwiseLocFree performs BitwiseSenseLocFree and transfers the result to
+// the controller.
+func (a *Array) BitwiseLocFree(op latch.Op, m, n WordlineAddr, at sim.Time) ([]byte, sim.Time, error) {
+	res, err := a.BitwiseSenseLocFree(op, m, n, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := a.transferOut(m.Channel, res.Ready, len(res.Data))
+	return res.Data, done, nil
+}
+
+// ChainCost describes the array-side cost of a location-free k-operand
+// reduction (§4.2). For AND and OR the running result stays in the
+// latches (A and B respectively), so each additional operand costs one
+// more sense. The XOR family cannot accumulate in place: after each step
+// the partial result goes to the controller buffer and is reloaded (the
+// result and its complement) before the next operand's two-phase
+// sensing — two register loads plus two senses per additional operand.
+type ChainCost struct {
+	SROs          int // total sensing operations
+	RegisterLoads int // controller-buffer reloads (page transfers in)
+}
+
+// ChainCostLSB returns the cost of reducing k all-LSB aligned operands.
+func ChainCostLSB(op latch.Op, k int) (ChainCost, error) {
+	if k < 2 {
+		return ChainCost{}, fmt.Errorf("flash: chain of %d operands", k)
+	}
+	base := latch.ForOpLocFreeLSB(op).SROs()
+	switch op {
+	case latch.OpAnd, latch.OpOr:
+		// One sense per operand: the first two cost `base` (2), each
+		// additional operand gates the latch with one more sense.
+		return ChainCost{SROs: base + (k - 2)}, nil
+	case latch.OpNand, latch.OpNor:
+		// Accumulate as AND/OR, invert on the final transfer.
+		return ChainCost{SROs: base + (k - 2)}, nil
+	case latch.OpXor, latch.OpXnor:
+		// Buffer round-trip per extra operand: reload result + inverted
+		// result, then the two-phase sensing of the new operand.
+		return ChainCost{SROs: base + 2*(k-2), RegisterLoads: 2 * (k - 2)}, nil
+	default:
+		return ChainCost{}, fmt.Errorf("flash: op %v cannot chain", op)
+	}
+}
+
+// BitwiseChainLSB reduces k aligned LSB-resident operands on one plane
+// with a single chained location-free operation. All wordlines must share
+// a plane. The result lands in the plane's cache register.
+func (a *Array) BitwiseChainLSB(op latch.Op, wls []WordlineAddr, at sim.Time) (SenseResult, error) {
+	if a.geo.CellBits != 2 {
+		return SenseResult{}, fmt.Errorf("%w: MLC chain on %d-bit cells", ErrCellMode, a.geo.CellBits)
+	}
+	if len(wls) < 2 {
+		return SenseResult{}, fmt.Errorf("flash: chain of %d operands", len(wls))
+	}
+	cost, err := ChainCostLSB(op, len(wls))
+	if err != nil {
+		return SenseResult{}, err
+	}
+	plane := wls[0].PlaneAddr
+	maxPE := 0
+	for _, w := range wls {
+		if err := a.geo.CheckWordline(w); err != nil {
+			return SenseResult{}, err
+		}
+		if w.PlaneAddr != plane {
+			return SenseResult{}, fmt.Errorf("%w: %v vs %v", ErrPlaneMismatch, plane, w.PlaneAddr)
+		}
+		if pe := a.peCycles(w); pe > maxPE {
+			maxPE = pe
+		}
+	}
+	pl := a.planeAt(plane)
+	dur := sim.Duration(cost.SROs) * a.timing.SenseSRO
+	// Register reloads cross the channel bus into the plane register.
+	for i := 0; i < cost.RegisterLoads; i++ {
+		dur += a.timing.Transfer(a.geo.PageSize)
+		a.stats.BytesIn += int64(a.geo.PageSize)
+	}
+	_, end := pl.sense.Reserve(at, dur)
+	// Fold the data.
+	acc := a.pageBits(wls[0], LSBPage)
+	for _, w := range wls[1:] {
+		next := a.pageBits(w, LSBPage)
+		switch op {
+		case latch.OpAnd, latch.OpNand:
+			acc = applyOp(latch.OpAnd, acc, next)
+		case latch.OpOr, latch.OpNor:
+			acc = applyOp(latch.OpOr, acc, next)
+		case latch.OpXor, latch.OpXnor:
+			acc = applyOp(latch.OpXor, acc, next)
+		}
+	}
+	switch op {
+	case latch.OpNand, latch.OpNor, latch.OpXnor:
+		acc = applyOp(latch.OpNotLSB, acc, acc)
+	}
+	exposure := 0
+	for _, w := range wls {
+		if e := a.noteReads(w, 1); e > exposure {
+			exposure = e
+		}
+	}
+	res := SenseResult{Data: acc, Ready: end}
+	if a.noise != nil {
+		res.FlipCount = a.corrupt(acc, maxPE, cost.SROs, exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+	}
+	a.stats.SROs += int64(cost.SROs)
+	a.stats.BitwiseOps++
+	return res, nil
+}
+
+// BitwiseLatency returns the array-side latency of a basic ParaBit op.
+func (t Timing) BitwiseLatency(op latch.Op) sim.Duration {
+	return sim.Duration(latch.ForOp(op).SROs()) * t.SenseSRO
+}
+
+// BitwiseLatencyLocFree returns the array-side latency of a location-free
+// ParaBit op.
+func (t Timing) BitwiseLatencyLocFree(op latch.Op) sim.Duration {
+	return sim.Duration(latch.ForOpLocFree(op).SROs()) * t.SenseSRO
+}
+
+// BitwiseSenseTLC performs a three-operand ParaBit operation on a TLC
+// wordline whose LSB, CSB and TOP pages hold the three operands
+// (paper §4.4.1 — AND3 is a single sense at VREAD1 detecting state E).
+// Only valid on TLC arrays.
+func (a *Array) BitwiseSenseTLC(op latch.TLCOp3, w WordlineAddr, at sim.Time) (SenseResult, error) {
+	if a.geo.CellBits != 3 {
+		return SenseResult{}, fmt.Errorf("%w: TLC op %v on %d-bit cells", ErrCellMode, op, a.geo.CellBits)
+	}
+	if err := a.geo.CheckWordline(w); err != nil {
+		return SenseResult{}, err
+	}
+	seq := latch.TLCForOp(op)
+	pl := a.planeAt(w.PlaneAddr)
+	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	lsb := a.pageBits(w, LSBPage)
+	csb := a.pageBits(w, MSBPage) // kind 1 = the TLC centre page
+	top := a.pageBits(w, TopPage)
+	out := make([]byte, a.geo.PageSize)
+	for i := range out {
+		var v byte
+		for b := 0; b < 8; b++ {
+			if op.Eval(lsb[i]&(1<<b) != 0, csb[i]&(1<<b) != 0, top[i]&(1<<b) != 0) {
+				v |= 1 << b
+			}
+		}
+		out[i] = v
+	}
+	exposure := a.noteReads(w, seq.SROs())
+	res := SenseResult{Data: out, Ready: end}
+	if a.noise != nil {
+		res.FlipCount = a.corrupt(out, a.peCycles(w), seq.SROs(), exposure)
+		a.stats.InjectedFlips += int64(res.FlipCount)
+	}
+	a.stats.SROs += int64(seq.SROs())
+	a.stats.BitwiseOps++
+	return res, nil
+}
+
+// BitwiseTLC performs BitwiseSenseTLC and transfers the result out.
+func (a *Array) BitwiseTLC(op latch.TLCOp3, w WordlineAddr, at sim.Time) ([]byte, sim.Time, error) {
+	res, err := a.BitwiseSenseTLC(op, w, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := a.transferOut(w.Channel, res.Ready, len(res.Data))
+	return res.Data, done, nil
+}

@@ -1,0 +1,821 @@
+// Package ftl implements the flash translation layer of the simulated SSD:
+// a page-mapping table, channel-striped data allocation, greedy garbage
+// collection, erase-count wear leveling, and the write accounting that the
+// paper's endurance study (§5.4) draws on.
+//
+// Beyond a standard FTL, two allocation modes exist for ParaBit:
+//
+//   - WritePaired places two logical pages into the LSB and MSB pages of
+//     one physical wordline, the co-located layout basic ParaBit computes
+//     on (§4.1, §4.3.3).
+//   - The allocator's striping walks planes channel-first, so consecutive
+//     logical pages spread across channels and a full-device wave touches
+//     every plane — the parallelism §5.1 exploits.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"parabit/internal/flash"
+	"parabit/internal/sim"
+)
+
+// Config parameterizes the FTL.
+type Config struct {
+	// OverprovisionPct is the fraction of physical capacity hidden from
+	// the logical space (e.g. 0.07 for 7 %).
+	OverprovisionPct float64
+	// GCFreeBlockLow triggers garbage collection on a plane when its free
+	// block count drops below this value.
+	GCFreeBlockLow int
+	// ReadReclaimThreshold migrates a block's valid pages once it has
+	// absorbed this many senses since its last erase, bounding read
+	// disturb (the refresh policy real MLC management pairs with the
+	// §5.8 error behaviour). Zero disables read reclaim.
+	ReadReclaimThreshold int
+	// StaticWLDelta triggers static wear leveling: when a plane's
+	// erase-count spread (max sealed block vs min free block) exceeds
+	// this, the coldest sealed block migrates into the most-worn free
+	// block so cold data stops pinning young blocks. Zero disables it.
+	StaticWLDelta int
+}
+
+// DefaultConfig returns a 7 % overprovisioned FTL that collects garbage
+// when a plane has fewer than 2 free blocks.
+func DefaultConfig() Config {
+	return Config{OverprovisionPct: 0.07, GCFreeBlockLow: 2}
+}
+
+// FTL errors.
+var (
+	// ErrDeviceFull reports that allocation failed even after GC.
+	ErrDeviceFull = errors.New("ftl: device full")
+	// ErrUnmapped reports a read of a never-written logical page.
+	ErrUnmapped = errors.New("ftl: logical page not mapped")
+	// ErrLogicalRange reports a logical page beyond the exported capacity.
+	ErrLogicalRange = errors.New("ftl: logical page out of range")
+)
+
+// Stats tracks write-amplification and endurance inputs.
+type Stats struct {
+	HostPagesWritten  int64 // pages written on behalf of the host
+	ExtraPagesWritten int64 // pages written for GC relocation or ParaBit reallocation
+	GCRuns            int64
+	GCPagesMoved      int64
+	PaddedPages       int64 // MSB slots skipped to keep paired writes aligned
+	ReadReclaims      int64 // blocks refreshed for read-disturb exposure
+	StaticWLMoves     int64 // cold blocks migrated by static wear leveling
+}
+
+// WriteAmplification returns (host+extra)/host, or 1 when nothing was
+// written.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostPagesWritten == 0 {
+		return 1
+	}
+	return float64(s.HostPagesWritten+s.ExtraPagesWritten) / float64(s.HostPagesWritten)
+}
+
+type planeAlloc struct {
+	addr     flash.PlaneAddr
+	active   int // block being filled, -1 when none
+	nextWL   int // next wordline in the active block
+	nextKind flash.PageKind
+	free     []int // erased block indexes
+	valid    []int // valid page count per block
+	full     []int // filled, non-free blocks (GC candidates)
+}
+
+// FTL maps logical page numbers to physical pages on a flash.Array.
+type FTL struct {
+	cfg    Config
+	array  *flash.Array
+	geo    flash.Geometry
+	l2p    map[uint64]uint64 // LPN -> PPN
+	p2l    map[uint64]uint64 // PPN -> LPN, for GC relocation
+	planes []*planeAlloc
+	order  []int // striping order: channel varies fastest
+	cursor int   // round-robin position in order
+	stats  Stats
+}
+
+// New builds an FTL over an erased array.
+func New(array *flash.Array, cfg Config) *FTL {
+	geo := array.Geometry()
+	f := &FTL{
+		cfg:    cfg,
+		array:  array,
+		geo:    geo,
+		l2p:    make(map[uint64]uint64),
+		p2l:    make(map[uint64]uint64),
+		planes: make([]*planeAlloc, geo.Planes()),
+	}
+	for i := range f.planes {
+		pa := &planeAlloc{addr: geo.PlaneAt(i), active: -1}
+		pa.free = make([]int, geo.BlocksPerPlane)
+		for b := range pa.free {
+			pa.free[b] = b
+		}
+		pa.valid = make([]int, geo.BlocksPerPlane)
+		f.planes[i] = pa
+	}
+	// Striping visits channels round-robin before reusing one, so
+	// consecutive logical pages transfer over different buses and a
+	// device-wide wave engages every channel (§5.1 parallelism).
+	perChannel := geo.PlanesPerChannel()
+	f.order = make([]int, geo.Planes())
+	for i := range f.order {
+		ch := i % geo.Channels
+		within := i / geo.Channels
+		f.order[i] = ch*perChannel + within
+	}
+	return f
+}
+
+// Array returns the underlying flash array.
+func (f *FTL) Array() *flash.Array { return f.array }
+
+// Stats returns a copy of the accumulated counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// LogicalPages returns the exported logical capacity in pages.
+func (f *FTL) LogicalPages() int64 {
+	return int64(float64(f.geo.TotalPages()) * (1 - f.cfg.OverprovisionPct))
+}
+
+// PageSize returns the page size in bytes.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+func (f *FTL) checkLPN(lpn uint64) error {
+	if int64(lpn) >= f.LogicalPages() {
+		return fmt.Errorf("%w: %d >= %d", ErrLogicalRange, lpn, f.LogicalPages())
+	}
+	return nil
+}
+
+// Lookup returns the physical location of a logical page.
+func (f *FTL) Lookup(lpn uint64) (flash.PageAddr, bool) {
+	ppn, ok := f.l2p[lpn]
+	if !ok {
+		return flash.PageAddr{}, false
+	}
+	return f.geo.PageAt(ppn), true
+}
+
+// Read returns the content of a logical page and the completion time.
+// When read reclaim is configured and the page's block has crossed the
+// disturb threshold, the block's valid pages migrate after the read.
+func (f *FTL) Read(lpn uint64, at sim.Time) ([]byte, sim.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return nil, 0, err
+	}
+	addr, ok := f.Lookup(lpn)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
+	}
+	data, done, err := f.array.Read(addr, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.cfg.ReadReclaimThreshold > 0 &&
+		f.array.ReadCount(addr.PlaneAddr, addr.Block) >= f.cfg.ReadReclaimThreshold {
+		// Reclaim failure is not a read failure: the data is valid and
+		// the next read retries the refresh.
+		_ = f.reclaimBlock(addr.PlaneAddr, addr.Block, done)
+	}
+	return data, done, nil
+}
+
+// reclaimBlock migrates a block's valid pages and erases it, resetting
+// its read-disturb exposure.
+func (f *FTL) reclaimBlock(plane flash.PlaneAddr, blockIdx int, at sim.Time) error {
+	pa := f.planes[f.geo.PlaneIndex(plane)]
+	// Only full (sealed) blocks are reclaimable; an active block's
+	// exposure resolves when it seals and later collects.
+	idx := -1
+	for i, b := range pa.full {
+		if b == blockIdx {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("ftl: block %d not reclaimable", blockIdx)
+	}
+	f.stats.ReadReclaims++
+	now := at
+	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[blockIdx] > 0; wl++ {
+		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
+			addr := flash.PageAddr{
+				WordlineAddr: flash.WordlineAddr{PlaneAddr: plane, Block: blockIdx, WL: wl},
+				Kind:         kind,
+			}
+			lpn, ok := f.p2l[f.geo.PPN(addr)]
+			if !ok {
+				continue
+			}
+			data, readDone, err := f.array.Read(addr, now)
+			if err != nil {
+				return fmt.Errorf("ftl: reclaim read: %w", err)
+			}
+			target := f.relocationTarget(pa)
+			if target == nil {
+				return ErrDeviceFull
+			}
+			done, err := f.writeTo(target, lpn, data, readDone, false)
+			if err != nil {
+				return fmt.Errorf("ftl: reclaim write: %w", err)
+			}
+			now = done
+			f.stats.ExtraPagesWritten++
+		}
+	}
+	pa.full = append(pa.full[:idx], pa.full[idx+1:]...)
+	if _, err := f.array.Erase(plane, blockIdx, now); err != nil {
+		return fmt.Errorf("ftl: reclaim erase: %w", err)
+	}
+	pa.free = append(pa.free, blockIdx)
+	return nil
+}
+
+// invalidate drops the mapping for lpn, if any, releasing the old page.
+func (f *FTL) invalidate(lpn uint64) {
+	ppn, ok := f.l2p[lpn]
+	if !ok {
+		return
+	}
+	delete(f.l2p, lpn)
+	delete(f.p2l, ppn)
+	addr := f.geo.PageAt(ppn)
+	pa := f.planes[f.geo.PlaneIndex(addr.PlaneAddr)]
+	pa.valid[addr.Block]--
+}
+
+func (f *FTL) mapPage(lpn uint64, addr flash.PageAddr) {
+	ppn := f.geo.PPN(addr)
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	pa := f.planes[f.geo.PlaneIndex(addr.PlaneAddr)]
+	pa.valid[addr.Block]++
+}
+
+// Trim invalidates a logical page without writing.
+func (f *FTL) Trim(lpn uint64) { f.invalidate(lpn) }
+
+// nextPlane advances the striping cursor.
+func (f *FTL) nextPlane() *planeAlloc {
+	pa := f.planes[f.order[f.cursor]]
+	f.cursor = (f.cursor + 1) % len(f.order)
+	return pa
+}
+
+// maybeStaticWL runs static wear leveling on a plane: if the wear spread
+// between the most-worn free block and the least-worn sealed block
+// exceeds the configured delta, the cold block's pages migrate into the
+// worn block, and the cold (young) block joins the free pool where the
+// dynamic allocator will reuse it. This is what keeps write-once data
+// from permanently sheltering young blocks.
+func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
+	if f.cfg.StaticWLDelta <= 0 || len(pa.free) == 0 || len(pa.full) == 0 {
+		return
+	}
+	// Most-worn free block.
+	wornIdx := 0
+	for i, b := range pa.free {
+		if f.array.EraseCount(pa.addr, b) > f.array.EraseCount(pa.addr, pa.free[wornIdx]) {
+			wornIdx = i
+		}
+	}
+	// Coldest (least-worn) sealed block.
+	coldIdx := 0
+	for i, b := range pa.full {
+		if f.array.EraseCount(pa.addr, b) < f.array.EraseCount(pa.addr, pa.full[coldIdx]) {
+			coldIdx = i
+		}
+	}
+	worn := pa.free[wornIdx]
+	cold := pa.full[coldIdx]
+	if f.array.EraseCount(pa.addr, worn)-f.array.EraseCount(pa.addr, cold) < f.cfg.StaticWLDelta {
+		return
+	}
+	// Migrate the cold block's valid pages into the worn block directly.
+	pa.free = append(pa.free[:wornIdx], pa.free[wornIdx+1:]...)
+	now := at
+	dst := 0 // next page slot (linear) in the worn block
+	writeSlot := func(lpn uint64, data []byte) bool {
+		kind := flash.PageKind(dst % f.geo.CellBits)
+		wl := dst / f.geo.CellBits
+		addr := flash.PageAddr{
+			WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: worn, WL: wl},
+			Kind:         kind,
+		}
+		end, err := f.array.Program(addr, data, now)
+		if err != nil {
+			return false
+		}
+		f.invalidate(lpn)
+		f.mapPage(lpn, addr)
+		now = end
+		dst++
+		return true
+	}
+	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[cold] > 0; wl++ {
+		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
+			addr := flash.PageAddr{
+				WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: cold, WL: wl},
+				Kind:         kind,
+			}
+			lpn, ok := f.p2l[f.geo.PPN(addr)]
+			if !ok {
+				// Keep program order in the destination: pad the slot.
+				if dst%f.geo.CellBits != 0 || pa.valid[cold] > 0 {
+					if !writeSlotPad(f, pa, worn, &dst, &now) {
+						pa.full = append(pa.full, worn)
+						return
+					}
+				}
+				continue
+			}
+			data, readDone, err := f.array.Read(addr, now)
+			if err != nil {
+				pa.full = append(pa.full, worn)
+				return
+			}
+			now = readDone
+			if !writeSlot(lpn, data) {
+				pa.full = append(pa.full, worn)
+				return
+			}
+			f.stats.ExtraPagesWritten++
+		}
+	}
+	// The worn block now holds the cold data (sealed); the young cold
+	// block is erased into the free pool.
+	pa.full[coldIdx] = worn
+	if _, err := f.array.Erase(pa.addr, cold, now); err == nil {
+		pa.free = append(pa.free, cold)
+	}
+	f.stats.StaticWLMoves++
+}
+
+// writeSlotPad programs a filler page to keep destination program order.
+func writeSlotPad(f *FTL, pa *planeAlloc, worn int, dst *int, now *sim.Time) bool {
+	kind := flash.PageKind(*dst % f.geo.CellBits)
+	wl := *dst / f.geo.CellBits
+	addr := flash.PageAddr{
+		WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: worn, WL: wl},
+		Kind:         kind,
+	}
+	end, err := f.array.Program(addr, make([]byte, f.geo.PageSize), *now)
+	if err != nil {
+		return false
+	}
+	*now = end
+	*dst++
+	f.stats.PaddedPages++
+	return true
+}
+
+// takeFreeBlock removes and returns the free block with the lowest erase
+// count (wear leveling). Returns -1 when no free block exists.
+func (f *FTL) takeFreeBlock(pa *planeAlloc) int {
+	if len(pa.free) == 0 {
+		return -1
+	}
+	best := 0
+	bestErases := f.array.EraseCount(pa.addr, pa.free[0])
+	for i, b := range pa.free[1:] {
+		if e := f.array.EraseCount(pa.addr, b); e < bestErases {
+			best, bestErases = i+1, e
+		}
+	}
+	blk := pa.free[best]
+	pa.free = append(pa.free[:best], pa.free[best+1:]...)
+	return blk
+}
+
+// allocSlot reserves the next page slot on a plane, opening a new block
+// when the active block fills. With allowGC set, dropping below the free
+// headroom runs garbage collection first; relocation writes issued *by* GC
+// pass allowGC=false so collection never recurses. at is when the
+// allocation is requested; the returned time reflects any GC the
+// allocation had to wait for.
+func (f *FTL) allocSlot(pa *planeAlloc, at sim.Time, allowGC bool) (flash.PageAddr, sim.Time, error) {
+	ready := at
+	if pa.active < 0 {
+		if allowGC {
+			for len(pa.free) <= f.cfg.GCFreeBlockLow && len(pa.full) > 0 {
+				before := len(pa.free)
+				var err error
+				ready, err = f.collectPlane(pa, ready)
+				// Stop when collection fails or frees nothing net (every
+				// remaining victim is fully valid): further passes would
+				// only shuffle pages forever.
+				if err != nil || len(pa.free) <= before {
+					break
+				}
+			}
+			// Keep one free block in reserve so GC relocation always has
+			// somewhere to write; without it the plane can wedge with
+			// garbage present but unreachable.
+			if len(pa.free) < 2 && len(pa.full) > 0 {
+				return flash.PageAddr{}, 0, ErrDeviceFull
+			}
+			f.maybeStaticWL(pa, ready)
+		}
+		blk := f.takeFreeBlock(pa)
+		if blk < 0 {
+			return flash.PageAddr{}, 0, ErrDeviceFull
+		}
+		pa.active = blk
+		pa.nextWL = 0
+		pa.nextKind = flash.LSBPage
+	}
+	addr := flash.PageAddr{
+		WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: pa.active, WL: pa.nextWL},
+		Kind:         pa.nextKind,
+	}
+	pa.nextKind++
+	if int(pa.nextKind) == f.geo.CellBits {
+		pa.nextKind = flash.LSBPage
+		pa.nextWL++
+		if pa.nextWL == f.geo.WordlinesPerBlock {
+			pa.full = append(pa.full, pa.active)
+			pa.active = -1
+		}
+	}
+	return addr, ready, nil
+}
+
+// padToFreshWordline discards remaining page slots of a partially
+// allocated wordline so the next allocation starts at a fresh one's LSB.
+func (f *FTL) padToFreshWordline(pa *planeAlloc, at sim.Time) error {
+	for pa.active >= 0 && pa.nextKind != flash.LSBPage {
+		if _, _, err := f.allocSlot(pa, at, true); err != nil {
+			return err
+		}
+		f.stats.PaddedPages++
+	}
+	return nil
+}
+
+// writeTo programs data at a fresh slot on pa and maps it to lpn. The old
+// copy is invalidated *before* allocating, so an overwrite's garbage is
+// already collectible if the allocation has to run GC.
+func (f *FTL) writeTo(pa *planeAlloc, lpn uint64, data []byte, at sim.Time, allowGC bool) (sim.Time, error) {
+	f.invalidate(lpn)
+	addr, ready, err := f.allocSlot(pa, at, allowGC)
+	if err != nil {
+		return 0, err
+	}
+	done, err := f.array.Program(addr, data, ready)
+	if err != nil {
+		return 0, fmt.Errorf("ftl: program %v: %w", addr, err)
+	}
+	f.mapPage(lpn, addr)
+	return done, nil
+}
+
+// Write stores one logical page, striping across planes.
+func (f *FTL) Write(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	done, err := f.writeTo(f.nextPlane(), lpn, data, at, true)
+	if err != nil {
+		return 0, err
+	}
+	f.stats.HostPagesWritten++
+	return done, nil
+}
+
+// WritePaired stores two logical pages into the LSB and MSB pages of one
+// fresh wordline, the co-located layout basic ParaBit operates on. If the
+// current allocation point is mid-wordline, the dangling MSB slot is
+// skipped (and counted as padding write amplification).
+func (f *FTL) WritePaired(lpnLSB, lpnMSB uint64, dataLSB, dataMSB []byte, at sim.Time) (flash.WordlineAddr, sim.Time, error) {
+	if err := f.checkLPN(lpnLSB); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	if err := f.checkLPN(lpnMSB); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	pa := f.nextPlane()
+	f.invalidate(lpnLSB)
+	f.invalidate(lpnMSB)
+	// Align to a fresh wordline: discard dangling sibling slots.
+	if err := f.padToFreshWordline(pa, at); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	addrL, ready, err := f.allocSlot(pa, at, true)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	doneL, err := f.array.Program(addrL, dataLSB, ready)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: paired LSB program: %w", err)
+	}
+	addrM, _, err := f.allocSlot(pa, at, true)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	doneM, err := f.array.Program(addrM, dataMSB, doneL)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: paired MSB program: %w", err)
+	}
+	if addrL.WordlineAddr != addrM.WordlineAddr {
+		// allocSlot hands out LSB then MSB of one wordline by
+		// construction; anything else is an allocator bug.
+		panic(fmt.Sprintf("ftl: paired pages split across wordlines: %v vs %v", addrL, addrM))
+	}
+	f.mapPage(lpnLSB, addrL)
+	f.mapPage(lpnMSB, addrM)
+	f.stats.HostPagesWritten += 2
+	return addrL.WordlineAddr, doneM, nil
+}
+
+// WriteRelocation is Write for device-initiated writes (operand
+// reallocation); it charges ExtraPagesWritten instead of host writes.
+func (f *FTL) WriteRelocation(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	done, err := f.writeTo(f.nextPlane(), lpn, data, at, true)
+	if err != nil {
+		return 0, err
+	}
+	f.stats.ExtraPagesWritten++
+	return done, nil
+}
+
+// WritePairedRelocation is WritePaired charged to reallocation.
+func (f *FTL) WritePairedRelocation(lpnLSB, lpnMSB uint64, dataLSB, dataMSB []byte, at sim.Time) (flash.WordlineAddr, sim.Time, error) {
+	wl, done, err := f.WritePaired(lpnLSB, lpnMSB, dataLSB, dataMSB, at)
+	if err != nil {
+		return wl, done, err
+	}
+	f.stats.HostPagesWritten -= 2
+	f.stats.ExtraPagesWritten += 2
+	return wl, done, nil
+}
+
+// WriteTriple stores three logical pages into the LSB, CSB and TOP pages
+// of one TLC wordline — the co-located layout the §4.4.1 extension's
+// three-operand operations compute on. Only valid on TLC arrays.
+func (f *FTL) WriteTriple(lpns [3]uint64, data [3][]byte, at sim.Time) (flash.WordlineAddr, sim.Time, error) {
+	if f.geo.CellBits != 3 {
+		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: triple write on %d-bit cells", f.geo.CellBits)
+	}
+	for _, lpn := range lpns {
+		if err := f.checkLPN(lpn); err != nil {
+			return flash.WordlineAddr{}, 0, err
+		}
+	}
+	pa := f.nextPlane()
+	for _, lpn := range lpns {
+		f.invalidate(lpn)
+	}
+	if err := f.padToFreshWordline(pa, at); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	var wl flash.WordlineAddr
+	now := at
+	for i := 0; i < 3; i++ {
+		addr, ready, err := f.allocSlot(pa, now, true)
+		if err != nil {
+			return flash.WordlineAddr{}, 0, err
+		}
+		end, err := f.array.Program(addr, data[i], ready)
+		if err != nil {
+			return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: triple program: %w", err)
+		}
+		if i == 0 {
+			wl = addr.WordlineAddr
+		} else if addr.WordlineAddr != wl {
+			panic(fmt.Sprintf("ftl: triple split across wordlines: %v vs %v", addr.WordlineAddr, wl))
+		}
+		f.mapPage(lpns[i], addr)
+		now = end
+	}
+	f.stats.HostPagesWritten += 3
+	return wl, now, nil
+}
+
+// WriteLSBPair stores two logical pages into the LSB pages of two
+// wordlines on the same plane — the all-LSB aligned layout location-free
+// ParaBit computes on (§5.5). Each wordline's MSB slot is left
+// unprogrammed (counted as padding), halving density like SLC-mode use.
+// Returns the two wordlines (first operand M, second operand N).
+func (f *FTL) WriteLSBPair(lpnM, lpnN uint64, dataM, dataN []byte, at sim.Time) (m, n flash.WordlineAddr, done sim.Time, err error) {
+	if err = f.checkLPN(lpnM); err != nil {
+		return
+	}
+	if err = f.checkLPN(lpnN); err != nil {
+		return
+	}
+	pa := f.nextPlane()
+	f.invalidate(lpnM)
+	f.invalidate(lpnN)
+	writeLSB := func(lpn uint64, data []byte, when sim.Time) (flash.WordlineAddr, sim.Time, error) {
+		// Skip dangling sibling slots so we land on a fresh wordline's LSB.
+		if err := f.padToFreshWordline(pa, when); err != nil {
+			return flash.WordlineAddr{}, 0, err
+		}
+		addr, ready, err := f.allocSlot(pa, when, true)
+		if err != nil {
+			return flash.WordlineAddr{}, 0, err
+		}
+		end, err := f.array.Program(addr, data, ready)
+		if err != nil {
+			return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: lsb-pair program: %w", err)
+		}
+		f.mapPage(lpn, addr)
+		// Pad this wordline's remaining slots so nothing else lands next
+		// to the operand (and the layout stays pure LSB).
+		if err := f.padToFreshWordline(pa, end); err != nil {
+			return flash.WordlineAddr{}, 0, err
+		}
+		return addr.WordlineAddr, end, nil
+	}
+	m, done, err = writeLSB(lpnM, dataM, at)
+	if err != nil {
+		return
+	}
+	n, done, err = writeLSB(lpnN, dataN, done)
+	if err != nil {
+		return
+	}
+	if m.PlaneAddr != n.PlaneAddr {
+		panic(fmt.Sprintf("ftl: lsb pair split across planes: %v vs %v", m, n))
+	}
+	f.stats.HostPagesWritten += 2
+	return
+}
+
+// WriteLSBGroup stores k logical pages into LSB pages of one plane — the
+// aligned layout a location-free chained reduction senses in a single
+// operation. Returns one wordline per page, all on the same plane.
+func (f *FTL) WriteLSBGroup(lpns []uint64, data [][]byte, at sim.Time) ([]flash.WordlineAddr, sim.Time, error) {
+	if len(lpns) != len(data) || len(lpns) == 0 {
+		return nil, 0, fmt.Errorf("ftl: group of %d lpns with %d pages", len(lpns), len(data))
+	}
+	for _, lpn := range lpns {
+		if err := f.checkLPN(lpn); err != nil {
+			return nil, 0, err
+		}
+	}
+	pa := f.nextPlane()
+	wls := make([]flash.WordlineAddr, len(lpns))
+	now := at
+	for i, lpn := range lpns {
+		f.invalidate(lpn)
+		if err := f.padToFreshWordline(pa, now); err != nil {
+			return nil, 0, err
+		}
+		addr, ready, err := f.allocSlot(pa, now, true)
+		if err != nil {
+			return nil, 0, err
+		}
+		end, err := f.array.Program(addr, data[i], ready)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ftl: lsb-group program: %w", err)
+		}
+		f.mapPage(lpn, addr)
+		if err := f.padToFreshWordline(pa, end); err != nil {
+			return nil, 0, err
+		}
+		wls[i] = addr.WordlineAddr
+		now = end
+		f.stats.HostPagesWritten++
+	}
+	return wls, now, nil
+}
+
+// WriteLSBOnPlane stores one page into an LSB slot of a specific plane
+// (padding the MSB slot). With host set the write counts as host data;
+// otherwise it is charged as a device-initiated relocation. The
+// location-free executor uses it to park an intermediate result aligned
+// with the next operand; the column store uses it to pin query columns
+// to planes.
+func (f *FTL) WriteLSBOnPlane(plane flash.PlaneAddr, lpn uint64, data []byte, at sim.Time, host bool) (flash.WordlineAddr, sim.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	if err := f.array.Geometry().CheckPlane(plane); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	pa := f.planes[f.array.Geometry().PlaneIndex(plane)]
+	f.invalidate(lpn)
+	if err := f.padToFreshWordline(pa, at); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	addr, ready, err := f.allocSlot(pa, at, true)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	end, err := f.array.Program(addr, data, ready)
+	if err != nil {
+		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: lsb-on-plane program: %w", err)
+	}
+	f.mapPage(lpn, addr)
+	if err := f.padToFreshWordline(pa, end); err != nil {
+		return flash.WordlineAddr{}, 0, err
+	}
+	if host {
+		f.stats.HostPagesWritten++
+	} else {
+		f.stats.ExtraPagesWritten++
+	}
+	return addr.WordlineAddr, end, nil
+}
+
+// collectPlane garbage-collects one plane: pick the full block with the
+// fewest valid pages, relocate them, erase. Returns when the plane is
+// usable again.
+func (f *FTL) collectPlane(pa *planeAlloc, at sim.Time) (sim.Time, error) {
+	if len(pa.full) == 0 {
+		if len(pa.free) == 0 {
+			return at, ErrDeviceFull
+		}
+		return at, nil
+	}
+	// Victim: fewest valid pages among full blocks.
+	vi := 0
+	for i, b := range pa.full[1:] {
+		if pa.valid[b] < pa.valid[pa.full[vi]] {
+			vi = i + 1
+		}
+	}
+	victim := pa.full[vi]
+	pa.full = append(pa.full[:vi], pa.full[vi+1:]...)
+	f.stats.GCRuns++
+
+	now := at
+	// Relocate valid pages. Walk the victim's pages via the reverse map.
+	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[victim] > 0; wl++ {
+		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
+			addr := flash.PageAddr{
+				WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: victim, WL: wl},
+				Kind:         kind,
+			}
+			lpn, ok := f.p2l[f.geo.PPN(addr)]
+			if !ok {
+				continue
+			}
+			data, readDone, err := f.array.Read(addr, now)
+			if err != nil {
+				return now, fmt.Errorf("ftl: gc read: %w", err)
+			}
+			target := f.relocationTarget(pa)
+			if target == nil {
+				return now, ErrDeviceFull
+			}
+			done, err := f.writeTo(target, lpn, data, readDone, false)
+			if err != nil {
+				return now, fmt.Errorf("ftl: gc write: %w", err)
+			}
+			now = done
+			f.stats.ExtraPagesWritten++
+			f.stats.GCPagesMoved++
+		}
+	}
+	end, err := f.array.Erase(pa.addr, victim, now)
+	if err != nil {
+		return now, fmt.Errorf("ftl: gc erase: %w", err)
+	}
+	pa.free = append(pa.free, victim)
+	return end, nil
+}
+
+// relocationTarget picks a plane for a GC-relocated page: preferably not
+// the plane under collection, and one with room left — an open active
+// block or a spare free block. Returns nil when the device is truly full.
+func (f *FTL) relocationTarget(victim *planeAlloc) *planeAlloc {
+	var fallback *planeAlloc
+	for range f.planes {
+		pa := f.planes[f.order[f.cursor]]
+		f.cursor = (f.cursor + 1) % len(f.order)
+		if pa.active < 0 && len(pa.free) == 0 {
+			continue
+		}
+		if pa == victim {
+			fallback = pa
+			continue
+		}
+		return pa
+	}
+	return fallback
+}
+
+// FreeBlocks reports the total free (erased, unallocated) blocks.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for _, pa := range f.planes {
+		n += len(pa.free)
+	}
+	return n
+}
+
+// MappedPages reports how many logical pages currently hold data.
+func (f *FTL) MappedPages() int { return len(f.l2p) }

@@ -1,0 +1,554 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parabit/internal/flash"
+)
+
+func newFTL() *FTL {
+	return New(flash.NewArray(flash.Small(), flash.DefaultTiming()), DefaultConfig())
+}
+
+func page(f *FTL, seed byte) []byte {
+	b := make([]byte, f.PageSize())
+	for i := range b {
+		b[i] = seed ^ byte(i)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := newFTL()
+	for lpn := uint64(0); lpn < 20; lpn++ {
+		if _, err := f.Write(lpn, page(f, byte(lpn)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpn := uint64(0); lpn < 20; lpn++ {
+		data, _, err := f.Read(lpn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := page(f, byte(lpn))
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("lpn %d byte %d: %02x vs %02x", lpn, i, data[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadUnmapped(t *testing.T) {
+	f := newFTL()
+	if _, _, err := f.Read(5, 0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestLogicalRangeEnforced(t *testing.T) {
+	f := newFTL()
+	over := uint64(f.LogicalPages())
+	if _, err := f.Write(over, page(f, 0), 0); !errors.Is(err, ErrLogicalRange) {
+		t.Fatalf("write: err = %v, want ErrLogicalRange", err)
+	}
+	if _, _, err := f.Read(over, 0); !errors.Is(err, ErrLogicalRange) {
+		t.Fatalf("read: err = %v, want ErrLogicalRange", err)
+	}
+}
+
+func TestOverwriteRemaps(t *testing.T) {
+	f := newFTL()
+	f.Write(7, page(f, 1), 0)
+	first, _ := f.Lookup(7)
+	f.Write(7, page(f, 2), 0)
+	second, _ := f.Lookup(7)
+	if first == second {
+		t.Fatal("overwrite did not move the page (no out-of-place update)")
+	}
+	data, _, _ := f.Read(7, 0)
+	if data[0] != page(f, 2)[0] {
+		t.Fatal("read returned stale data")
+	}
+	if f.MappedPages() != 1 {
+		t.Fatalf("mapped pages = %d, want 1", f.MappedPages())
+	}
+}
+
+func TestStripingSpreadsChannels(t *testing.T) {
+	f := newFTL()
+	g := f.Array().Geometry()
+	channels := map[int]bool{}
+	for lpn := uint64(0); lpn < uint64(g.Channels); lpn++ {
+		f.Write(lpn, page(f, byte(lpn)), 0)
+		addr, _ := f.Lookup(lpn)
+		channels[addr.Channel] = true
+	}
+	if len(channels) != g.Channels {
+		t.Fatalf("%d consecutive pages hit %d channels, want %d",
+			g.Channels, len(channels), g.Channels)
+	}
+}
+
+func TestWritePairedSharesWordline(t *testing.T) {
+	f := newFTL()
+	wl, _, err := f.WritePaired(10, 11, page(f, 0xAA), page(f, 0x55), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := f.Lookup(10)
+	a2, _ := f.Lookup(11)
+	if a1.WordlineAddr != wl || a2.WordlineAddr != wl {
+		t.Fatalf("paired pages not on reported wordline: %v, %v, wl %v", a1, a2, wl)
+	}
+	if a1.Kind != flash.LSBPage || a2.Kind != flash.MSBPage {
+		t.Fatalf("paired kinds = %v, %v", a1.Kind, a2.Kind)
+	}
+	x, _, _ := f.Read(10, 0)
+	y, _, _ := f.Read(11, 0)
+	if x[0] != page(f, 0xAA)[0] || y[0] != page(f, 0x55)[0] {
+		t.Fatal("paired data corrupted")
+	}
+}
+
+func TestWritePairedAfterOddWrite(t *testing.T) {
+	f := newFTL()
+	// Odd single write leaves a plane mid-wordline somewhere; pairing must
+	// still produce a shared wordline (padding the dangling MSB slot).
+	g := f.Array().Geometry()
+	for lpn := uint64(0); lpn < uint64(g.Planes())+1; lpn++ {
+		if _, err := f.Write(lpn, page(f, byte(lpn)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wl, _, err := f.WritePaired(500, 501, page(f, 1), page(f, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := f.Lookup(500)
+	a2, _ := f.Lookup(501)
+	if a1.WordlineAddr != wl || a2.WordlineAddr != wl {
+		t.Fatal("pairing broken after odd write")
+	}
+}
+
+func TestRelocationAccounting(t *testing.T) {
+	f := newFTL()
+	f.Write(1, page(f, 1), 0)
+	f.WriteRelocation(2, page(f, 2), 0)
+	f.WritePairedRelocation(3, 4, page(f, 3), page(f, 4), 0)
+	s := f.Stats()
+	if s.HostPagesWritten != 1 {
+		t.Fatalf("host pages = %d, want 1", s.HostPagesWritten)
+	}
+	if s.ExtraPagesWritten != 3 {
+		t.Fatalf("extra pages = %d, want 3", s.ExtraPagesWritten)
+	}
+	wa := s.WriteAmplification()
+	if wa != 4.0 {
+		t.Fatalf("write amplification = %v, want 4", wa)
+	}
+}
+
+func TestWriteAmplificationEmpty(t *testing.T) {
+	var s Stats
+	if s.WriteAmplification() != 1 {
+		t.Fatal("empty stats WA != 1")
+	}
+}
+
+func TestGCReclaimsSpace(t *testing.T) {
+	// Small geometry, heavy overwrite of a narrow LPN range: GC must keep
+	// the device usable far beyond one device-full of writes.
+	f := newFTL()
+	g := f.Array().Geometry()
+	totalPhysical := g.TotalPages()
+	hot := uint64(64)
+	writes := totalPhysical * 3 // 3x device capacity
+	rng := rand.New(rand.NewSource(42))
+	for i := int64(0); i < writes; i++ {
+		lpn := uint64(rng.Intn(int(hot)))
+		if _, err := f.Write(lpn, page(f, byte(i)), 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	s := f.Stats()
+	if s.GCRuns == 0 {
+		t.Fatal("no GC ran despite 3x-capacity write traffic")
+	}
+	if f.MappedPages() > int(hot) {
+		t.Fatalf("mapped pages = %d, want <= %d", f.MappedPages(), hot)
+	}
+	// Everything must still read back as the latest version — spot check.
+	for lpn := uint64(0); lpn < hot; lpn++ {
+		if _, _, err := f.Read(lpn, 0); err != nil && !errors.Is(err, ErrUnmapped) {
+			t.Fatalf("read after GC churn: %v", err)
+		}
+	}
+}
+
+func TestGCDataIntegrity(t *testing.T) {
+	// Track golden values while churning; every surviving LPN must read
+	// back its last-written content after GC has relocated pages.
+	f := newFTL()
+	g := f.Array().Geometry()
+	golden := map[uint64]byte{}
+	rng := rand.New(rand.NewSource(7))
+	// A hot set around half the device keeps victims partially valid, so
+	// GC must relocate (not just erase) to reclaim space.
+	hot := int(f.LogicalPages() / 2)
+	writes := g.TotalPages() * 2
+	for i := int64(0); i < writes; i++ {
+		lpn := uint64(rng.Intn(hot))
+		seed := byte(rng.Intn(256))
+		if _, err := f.Write(lpn, page(f, seed), 0); err != nil {
+			t.Fatal(err)
+		}
+		golden[lpn] = seed
+	}
+	if f.Stats().GCPagesMoved == 0 {
+		t.Fatal("test did not exercise GC relocation")
+	}
+	for lpn, seed := range golden {
+		data, _, err := f.Read(lpn, 0)
+		if err != nil {
+			t.Fatalf("lpn %d: %v", lpn, err)
+		}
+		want := page(f, seed)
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("lpn %d byte %d corrupted after GC", lpn, i)
+			}
+		}
+	}
+}
+
+func TestWearLevelingPrefersLowErase(t *testing.T) {
+	f := newFTL()
+	g := f.Array().Geometry()
+	// Manually erase block 0 of plane 0 many times so its count is high.
+	addr := g.PlaneAt(0)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Array().Erase(addr, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first allocation on plane 0 should avoid block 0.
+	_, _, err := f.WritePaired(0, 1, page(f, 0), page(f, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Lookup(0)
+	if a.PlaneAddr == addr && a.Block == 0 {
+		t.Fatal("allocator picked the high-erase block")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := newFTL()
+	f.Write(3, page(f, 3), 0)
+	f.Trim(3)
+	if _, _, err := f.Read(3, 0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read after trim: %v", err)
+	}
+	if f.MappedPages() != 0 {
+		t.Fatal("trim left mapping")
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	// No GC can help when every page is valid: filling the entire logical
+	// space with unique LPNs on a tiny device must eventually fail cleanly
+	// once physical space (logical + OP) is exhausted by padding-free
+	// sequential writes... it should NOT fail before logical capacity.
+	geo := flash.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 4, WordlinesPerBlock: 4, PageSize: 64, CellBits: 2,
+	}
+	f := New(flash.NewArray(geo, flash.DefaultTiming()), Config{OverprovisionPct: 0.25, GCFreeBlockLow: 1})
+	var failedAt int64 = -1
+	for lpn := int64(0); lpn < f.LogicalPages()*2; lpn++ {
+		if _, err := f.Write(uint64(lpn)%uint64(f.LogicalPages()), page(f, byte(lpn)), 0); err != nil {
+			failedAt = lpn
+			if !errors.Is(err, ErrDeviceFull) {
+				t.Fatalf("unexpected error at %d: %v", lpn, err)
+			}
+			break
+		}
+	}
+	// With 25% OP and steady overwrite traffic, GC always finds victims
+	// with invalid pages, so the device should never report full.
+	if failedAt >= 0 && failedAt < f.LogicalPages() {
+		t.Fatalf("device full after only %d writes (logical capacity %d)", failedAt, f.LogicalPages())
+	}
+}
+
+func TestTimingMonotonic(t *testing.T) {
+	f := newFTL()
+	var last int64
+	for lpn := uint64(0); lpn < 50; lpn++ {
+		done, err := f.Write(lpn, page(f, byte(lpn)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(done) <= 0 {
+			t.Fatalf("write %d completed at %v", lpn, done)
+		}
+		_ = last
+	}
+}
+
+func TestParallelWritesFasterThanSerial(t *testing.T) {
+	// Striped writes across planes must complete much faster than the
+	// same number of writes would take on one plane.
+	f := newFTL()
+	g := f.Array().Geometry()
+	n := g.Planes()
+	var maxDone int64
+	for lpn := 0; lpn < n; lpn++ {
+		done, err := f.Write(uint64(lpn), page(f, byte(lpn)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(done) > maxDone {
+			maxDone = int64(done)
+		}
+	}
+	serial := int64(n) * int64(f.Array().Timing().ProgramPage)
+	if maxDone >= serial {
+		t.Fatalf("parallel writes took %d ns, not faster than serial %d ns", maxDone, serial)
+	}
+}
+
+func ExampleFTL_WritePaired() {
+	array := flash.NewArray(flash.Small(), flash.DefaultTiming())
+	f := New(array, DefaultConfig())
+	x := make([]byte, f.PageSize())
+	y := make([]byte, f.PageSize())
+	wl, _, _ := f.WritePaired(0, 1, x, y, 0)
+	a, _ := f.Lookup(0)
+	b, _ := f.Lookup(1)
+	fmt.Println(a.WordlineAddr == wl, b.WordlineAddr == wl, a.Kind, b.Kind)
+	// Output: true true LSB MSB
+}
+
+func TestWriteLSBPair(t *testing.T) {
+	f := newFTL()
+	m, n, _, err := f.WriteLSBPair(20, 21, page(f, 0x70), page(f, 0x07), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PlaneAddr != n.PlaneAddr {
+		t.Fatalf("pair split across planes: %v vs %v", m, n)
+	}
+	if m == n {
+		t.Fatal("both operands on one wordline (should be two LSB pages)")
+	}
+	aM, _ := f.Lookup(20)
+	aN, _ := f.Lookup(21)
+	if aM.Kind != flash.LSBPage || aN.Kind != flash.LSBPage {
+		t.Fatalf("kinds %v/%v, want LSB/LSB", aM.Kind, aN.Kind)
+	}
+	if aM.WordlineAddr != m || aN.WordlineAddr != n {
+		t.Fatal("lookups disagree with returned wordlines")
+	}
+	// Both MSB slots padded.
+	if f.Stats().PaddedPages < 2 {
+		t.Fatalf("padded pages = %d, want >= 2", f.Stats().PaddedPages)
+	}
+	x, _, _ := f.Read(20, 0)
+	y, _, _ := f.Read(21, 0)
+	if x[0] != page(f, 0x70)[0] || y[0] != page(f, 0x07)[0] {
+		t.Fatal("data corrupted")
+	}
+}
+
+func TestWriteTriple(t *testing.T) {
+	f := New(flash.NewArray(flash.SmallTLC(), flash.TLCTiming()), DefaultConfig())
+	var data [3][]byte
+	for i := range data {
+		data[i] = page(f, byte(0x20+i))
+	}
+	wl, _, err := f.WriteTriple([3]uint64{5, 6, 7}, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []flash.PageKind{flash.LSBPage, flash.MSBPage, flash.TopPage}
+	for i, lpn := range []uint64{5, 6, 7} {
+		addr, ok := f.Lookup(lpn)
+		if !ok || addr.WordlineAddr != wl || addr.Kind != kinds[i] {
+			t.Fatalf("lpn %d at %v (wl %v)", lpn, addr, wl)
+		}
+		got, _, err := f.Read(lpn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != data[i][0] {
+			t.Fatalf("lpn %d corrupted", lpn)
+		}
+	}
+}
+
+func TestWriteTripleRejectedOnMLC(t *testing.T) {
+	f := newFTL()
+	var data [3][]byte
+	for i := range data {
+		data[i] = page(f, 1)
+	}
+	if _, _, err := f.WriteTriple([3]uint64{0, 1, 2}, data, 0); err == nil {
+		t.Fatal("triple accepted on MLC")
+	}
+}
+
+func TestTLCFTLGCIntegrity(t *testing.T) {
+	// GC on a TLC device must relocate all three kinds correctly.
+	f := New(flash.NewArray(flash.SmallTLC(), flash.TLCTiming()), DefaultConfig())
+	g := f.Array().Geometry()
+	golden := map[uint64]byte{}
+	rng := rand.New(rand.NewSource(13))
+	hot := int(f.LogicalPages() / 2)
+	writes := g.TotalPages() * 2
+	for i := int64(0); i < writes; i++ {
+		lpn := uint64(rng.Intn(hot))
+		seed := byte(rng.Intn(256))
+		if _, err := f.Write(lpn, page(f, seed), 0); err != nil {
+			t.Fatal(err)
+		}
+		golden[lpn] = seed
+	}
+	if f.Stats().GCPagesMoved == 0 {
+		t.Fatal("no GC relocation on TLC device")
+	}
+	checked := 0
+	for lpn, seed := range golden {
+		data, _, err := f.Read(lpn, 0)
+		if err != nil {
+			t.Fatalf("lpn %d: %v", lpn, err)
+		}
+		if data[0] != page(f, seed)[0] {
+			t.Fatalf("lpn %d corrupted after TLC GC", lpn)
+		}
+		checked++
+		if checked > 2000 {
+			break
+		}
+	}
+}
+
+func TestReadReclaimRefreshesHotBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadReclaimThreshold = 50
+	f := New(flash.NewArray(flash.Small(), flash.DefaultTiming()), cfg)
+	g := f.Array().Geometry()
+
+	// Fill one plane's first block completely so it seals.
+	pagesPerBlock := g.PagesPerBlock()
+	planes := g.Planes()
+	for i := 0; i < pagesPerBlock*planes; i++ {
+		if _, err := f.Write(uint64(i), page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer one LPN until its block crosses the threshold.
+	addr, ok := f.Lookup(0)
+	if !ok {
+		t.Fatal("lpn 0 unmapped")
+	}
+	for i := 0; i < cfg.ReadReclaimThreshold+5; i++ {
+		if _, _, err := f.Read(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().ReadReclaims == 0 {
+		t.Fatal("hot block never reclaimed")
+	}
+	// The page moved and still reads back correctly.
+	newAddr, ok := f.Lookup(0)
+	if !ok {
+		t.Fatal("lpn 0 lost")
+	}
+	if newAddr == addr {
+		t.Fatal("reclaim did not move the page")
+	}
+	data, _, err := f.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != page(f, 0)[0] {
+		t.Fatal("data corrupted by reclaim")
+	}
+	// The old block's exposure was reset by the erase.
+	if f.Array().ReadCount(addr.PlaneAddr, addr.Block) != 0 {
+		t.Fatal("reclaimed block still carries exposure")
+	}
+}
+
+func TestReadReclaimDisabledByDefault(t *testing.T) {
+	f := newFTL()
+	f.Write(0, page(f, 1), 0)
+	for i := 0; i < 500; i++ {
+		if _, _, err := f.Read(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().ReadReclaims != 0 {
+		t.Fatal("reclaim ran with zero threshold")
+	}
+}
+
+func TestStaticWearLeveling(t *testing.T) {
+	geo := flash.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 16, WordlinesPerBlock: 8, PageSize: 64, CellBits: 2,
+	}
+	cfg := Config{OverprovisionPct: 0.25, GCFreeBlockLow: 2, StaticWLDelta: 4}
+	f := New(flash.NewArray(geo, flash.DefaultTiming()), cfg)
+
+	// Cold data: fill the first block's worth of LPNs once, never touch
+	// them again.
+	coldLPNs := geo.PagesPerBlock()
+	for i := 0; i < coldLPNs; i++ {
+		if _, err := f.Write(uint64(i), page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hot churn on a different LPN range racks up erases elsewhere.
+	rng := rand.New(rand.NewSource(99))
+	hotBase := uint64(coldLPNs)
+	for i := 0; i < int(geo.TotalPages())*12; i++ {
+		lpn := hotBase + uint64(rng.Intn(coldLPNs))
+		if _, err := f.Write(lpn, page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().StaticWLMoves == 0 {
+		t.Fatal("static wear leveling never ran despite heavy skewed churn")
+	}
+	// Cold data must survive migration intact.
+	for i := 0; i < coldLPNs; i++ {
+		data, _, err := f.Read(uint64(i), 0)
+		if err != nil {
+			t.Fatalf("cold lpn %d: %v", i, err)
+		}
+		if data[0] != page(f, byte(i))[0] {
+			t.Fatalf("cold lpn %d corrupted by static WL", i)
+		}
+	}
+}
+
+func TestStaticWLDisabledByDefault(t *testing.T) {
+	f := newFTL()
+	g := f.Array().Geometry()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < int(g.TotalPages()); i++ {
+		if _, err := f.Write(uint64(rng.Intn(64)), page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().StaticWLMoves != 0 {
+		t.Fatal("static WL ran with zero delta")
+	}
+}

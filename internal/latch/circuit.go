@@ -1,0 +1,173 @@
+package latch
+
+import "fmt"
+
+// Sensor supplies single-read-operation outcomes to a circuit. wl selects
+// which of the cells sharing the bitline is sensed (0 for the cell holding
+// the first operand; location-free sequences also sense wl 1). The returned
+// value is the voltage at node SO before any inverter: true means the cell's
+// threshold voltage exceeded the reference.
+//
+// The ideal implementation is CellSensor. The reliability model wraps a
+// Sensor to inject threshold-voltage shift and read noise.
+type Sensor interface {
+	Sense(wl int, v Vref) bool
+}
+
+// CellSensor is an ideal Sensor over a fixed set of cell states.
+type CellSensor []State
+
+// Sense implements Sensor with ideal threshold comparisons.
+func (c CellSensor) Sense(wl int, v Vref) bool {
+	if wl < 0 || wl >= len(c) {
+		panic(fmt.Sprintf("latch: sense of wordline %d with %d cells", wl, len(c)))
+	}
+	return SenseHigh(c[wl], v)
+}
+
+// Circuit is the per-bitline latching circuit: sense node SO, the L1 latch
+// (A, C) and the L2 latch (B, OUT). Zero value is meaningless; sequences
+// always begin with an initialization step.
+type Circuit struct {
+	SO, A, C, B, Out bool
+	sensor           Sensor
+}
+
+// NewCircuit returns a circuit wired to the given sensor.
+func NewCircuit(s Sensor) *Circuit {
+	return &Circuit{sensor: s}
+}
+
+// StepKind identifies a control action in a sequence.
+type StepKind uint8
+
+const (
+	// StepInit is the normal initialization (paper Fig. 2):
+	// C=0, A=1, B=1, OUT=0.
+	StepInit StepKind = iota
+	// StepInitInv is the inverted initialization used for NAND/NOR/XOR/NOT
+	// (paper Fig. 7): A=0, C=1, B=1, OUT=0.
+	StepInitInv
+	// StepReinitL1 re-initializes only L1 to the normal polarity (A=1, C=0),
+	// leaving L2 untouched; the location-free OR/XOR sequences use it
+	// between the two operand reads.
+	StepReinitL1
+	// StepReinitL1Inv re-initializes only L1 to the inverted polarity
+	// (A=0, C=1).
+	StepReinitL1Inv
+	// StepSense applies a reference voltage to a wordline and captures the
+	// comparison at SO. This is the only step with real latency (one SRO,
+	// 25 µs on the modeled MLC flash).
+	StepSense
+	// StepM1 pulls C low where SO is high: C &= NOT SO; A = NOT C.
+	StepM1
+	// StepM2 pulls A low where SO is high: A &= NOT SO; C = NOT A.
+	StepM2
+	// StepM3 transfers L1 into L2: B &= NOT A; OUT = NOT B.
+	StepM3
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepInit:
+		return "INIT"
+	case StepInitInv:
+		return "INIT-INV"
+	case StepReinitL1:
+		return "REINIT-L1"
+	case StepReinitL1Inv:
+		return "REINIT-L1-INV"
+	case StepSense:
+		return "SENSE"
+	case StepM1:
+		return "M1"
+	case StepM2:
+		return "M2"
+	case StepM3:
+		return "M3"
+	}
+	return fmt.Sprintf("StepKind(%d)", uint8(k))
+}
+
+// Step is one control action. V, WL and Inverted are meaningful only for
+// StepSense. Inverted routes the sensed value through the extra inverter
+// (transistor M7 instead of M6) that location-free ParaBit adds between SO
+// and the latch input (paper Fig. 8); basic ParaBit never sets it.
+type Step struct {
+	Kind     StepKind
+	V        Vref
+	WL       int
+	Inverted bool
+}
+
+func (s Step) String() string {
+	if s.Kind == StepSense {
+		inv := ""
+		if s.Inverted {
+			inv = " inverted"
+		}
+		return fmt.Sprintf("SENSE wl%d @%v%s", s.WL, s.V, inv)
+	}
+	return s.Kind.String()
+}
+
+// Apply executes a single step.
+func (c *Circuit) Apply(s Step) {
+	switch s.Kind {
+	case StepInit:
+		c.C, c.A = false, true
+		c.B, c.Out = true, false
+	case StepInitInv:
+		c.A, c.C = false, true
+		c.B, c.Out = true, false
+	case StepReinitL1:
+		c.A, c.C = true, false
+	case StepReinitL1Inv:
+		c.A, c.C = false, true
+	case StepSense:
+		v := c.sensor.Sense(s.WL, s.V)
+		if s.Inverted {
+			v = !v
+		}
+		c.SO = v
+	case StepM1:
+		c.C = c.C && !c.SO
+		c.A = !c.C
+	case StepM2:
+		c.A = c.A && !c.SO
+		c.C = !c.A
+	case StepM3:
+		c.B = c.B && !c.A
+		c.Out = !c.B
+	default:
+		panic(fmt.Sprintf("latch: unknown step kind %d", uint8(s.Kind)))
+	}
+}
+
+// Run executes every step in order and returns the final OUT value.
+func (c *Circuit) Run(seq Sequence) bool {
+	for _, s := range seq.Steps {
+		c.Apply(s)
+	}
+	return c.Out
+}
+
+// Snapshot captures the circuit's observable nodes after a step.
+type Snapshot struct {
+	Step Step
+	SO   bool
+	A    bool
+	C    bool
+	B    bool
+	Out  bool
+}
+
+// Trace executes the sequence, recording a snapshot after each step.
+func (c *Circuit) Trace(seq Sequence) []Snapshot {
+	out := make([]Snapshot, len(seq.Steps))
+	for i, s := range seq.Steps {
+		c.Apply(s)
+		out[i] = Snapshot{Step: s, SO: c.SO, A: c.A, C: c.C, B: c.B, Out: c.Out}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package latch
+
+import "testing"
+
+func TestTLCGrayCodingMatchesPaper(t *testing.T) {
+	// §4.4.1: "TLC encodes its eight states (from E, S1 to S7) as 111,
+	// 110, 100, 101, 001, 000, 010, and 011".
+	want := []string{"111", "110", "100", "101", "001", "000", "010", "011"}
+	for s := TE; s < numTLCStates; s++ {
+		got := ""
+		for _, p := range []TLCPage{TLCLSB, TLCCSB, TLCMSB} {
+			if s.Bit(p) {
+				got += "1"
+			} else {
+				got += "0"
+			}
+		}
+		if got != want[s] {
+			t.Errorf("%v coded %s, want %s", s, got, want[s])
+		}
+	}
+}
+
+func TestTLCAdjacentStatesDifferByOneBit(t *testing.T) {
+	// Gray property: one bit flip between neighbours (read-disturb
+	// containment, why real TLC uses this family of codes).
+	for s := TE; s < numTLCStates-1; s++ {
+		diff := 0
+		for _, p := range []TLCPage{TLCLSB, TLCCSB, TLCMSB} {
+			if s.Bit(p) != (s + 1).Bit(p) {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("%v -> %v differ in %d bits", s, s+1, diff)
+		}
+	}
+}
+
+func TestTLCFromBitsRoundTrip(t *testing.T) {
+	for s := TE; s < numTLCStates; s++ {
+		got := TLCFromBits(s.Bit(TLCLSB), s.Bit(TLCCSB), s.Bit(TLCMSB))
+		if got != s {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestTLCSenseMonotone(t *testing.T) {
+	// Once a state's threshold exceeds the reference, every higher state
+	// does too: the sense outcome flips false->true exactly once.
+	for v := TVRead0; v <= TVRead7; v++ {
+		prev := false
+		for s := TE; s < numTLCStates; s++ {
+			cur := TLCSenseHigh(s, v)
+			if prev && !cur {
+				t.Errorf("sense at %v not monotone across states", v)
+			}
+			prev = cur
+		}
+	}
+	// TVREAD0 is below everything.
+	for s := TE; s < numTLCStates; s++ {
+		if !TLCSenseHigh(s, TVRead0) {
+			t.Errorf("state %v below TVREAD0", s)
+		}
+	}
+}
+
+func TestTLCPageReads(t *testing.T) {
+	for _, p := range []TLCPage{TLCLSB, TLCCSB, TLCMSB} {
+		for s := TE; s < numTLCStates; s++ {
+			if got := TLCReadBit(p, s); got != s.Bit(p) {
+				t.Errorf("read %v of %v = %v, want %v", p, s, got, s.Bit(p))
+			}
+		}
+	}
+}
+
+func TestTLCReadSenseCounts(t *testing.T) {
+	// The 1-2-4 gray split: LSB 1 sense, CSB 2, MSB 4 — total 7, the
+	// seven reference voltages.
+	want := map[TLCPage]int{TLCLSB: 1, TLCCSB: 2, TLCMSB: 4}
+	total := 0
+	for p, n := range want {
+		got := TLCReadSequence(p).SROs()
+		if got != n {
+			t.Errorf("%v read uses %d senses, want %d", p, got, n)
+		}
+		total += got
+	}
+	if total != 7 {
+		t.Errorf("total senses %d, want 7", total)
+	}
+}
+
+func TestTLCOp3AllStates(t *testing.T) {
+	for _, op := range []TLCOp3{TLCAnd3, TLCOr3, TLCNand3, TLCNor3} {
+		for s := TE; s < numTLCStates; s++ {
+			want := op.Eval(s.Bit(TLCLSB), s.Bit(TLCCSB), s.Bit(TLCMSB))
+			if got := TLCRunOp(op, s); got != want {
+				t.Errorf("%v on %v = %v, want %v", op, s, got, want)
+			}
+		}
+	}
+}
+
+func TestTLCAnd3IsOneSense(t *testing.T) {
+	// The paper's §4.4.1 example: AND of all three bits is a single
+	// sense at VREAD1 (state E detection).
+	if got := TLCForOp(TLCAnd3).SROs(); got != 1 {
+		t.Errorf("AND3 uses %d senses, want 1", got)
+	}
+	if got := TLCForOp(TLCOr3).SROs(); got != 2 {
+		t.Errorf("OR3 uses %d senses, want 2", got)
+	}
+}
+
+func TestTLCSensorPanicsOnBadWordline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TLCCellSensor{TE}.Sense(2, Vref(TVRead1))
+}
+
+func TestTLCStrings(t *testing.T) {
+	if TE.String() != "E" || TS5.String() != "S5" {
+		t.Error("state strings")
+	}
+	if TLCCSB.String() != "CSB" {
+		t.Error("page strings")
+	}
+	if TLCAnd3.String() != "AND3" || TLCNor3.String() != "NOR3" {
+		t.Error("op strings")
+	}
+	if TVRead3.String() != "TVREAD3" {
+		t.Error("vref strings")
+	}
+}

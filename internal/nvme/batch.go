@@ -1,0 +1,174 @@
+package nvme
+
+import (
+	"fmt"
+
+	"parabit/internal/latch"
+)
+
+// EncodeFormula lowers a validated formula to the NVMe command stream the
+// host driver would submit: per batch, page-sized sub-operation pairs with
+// the pointer chaining of §4.3.1/Fig. 11. The stream is ordered: for each
+// term, sub-operation by sub-operation, first operand then second.
+func EncodeFormula(f Formula, pageSize int) ([]Command, error) {
+	if err := f.Validate(pageSize); err != nil {
+		return nil, err
+	}
+	var cmds []Command
+	for ti, term := range f.Terms {
+		extra := OpNone
+		if ti < len(f.Combine) {
+			extra = FromOp(f.Combine[ti])
+		}
+		subs := term.M.Pages(pageSize)
+		if n := term.N.Pages(pageSize); n > subs {
+			subs = n
+		}
+		for si := 0; si < subs; si++ {
+			mLBA := term.M.LBA + uint64(si)
+			nLBA := term.N.LBA + uint64(si)
+			first := Command{
+				LBA:          mLBA,
+				OperandTag:   0,
+				IntraOp:      FromOp(term.Op),
+				BatchOrder:   uint8(ti),
+				Pointer:      nLBA, // binds the two operands of the pair
+				PointerValid: true,
+			}
+			second := Command{
+				LBA:        nLBA,
+				OperandTag: 1,
+				ExtraOp:    extra,
+				BatchOrder: uint8(ti),
+			}
+			// Chain to the next sub-operation's first operand.
+			if si+1 < subs {
+				second.Pointer = term.M.LBA + uint64(si+1)
+				second.PointerValid = true
+			}
+			// Sub-page operands carry sector offset/length; only a
+			// single-page operand can be sub-page.
+			if subs == 1 && (term.M.Offset != 0 || term.M.Length < pageSize) {
+				sector := SectorFor(pageSize)
+				first.SectorOffset = uint8(term.M.Offset / sector)
+				first.SectorCount = uint8(term.M.Length / sector)
+				second.SectorOffset = uint8(term.N.Offset / sector)
+				second.SectorCount = uint8(term.N.Length / sector)
+			}
+			cmds = append(cmds, first, second)
+		}
+	}
+	return cmds, nil
+}
+
+// SubOp is one device-side sub-operation: a bound pair of page-granularity
+// operand reads (two "CMD"s of Fig. 11).
+type SubOp struct {
+	M, N         uint64 // logical page addresses of the operands
+	SectorOffset int    // byte offset (from sector fields), 0 = page start
+	Length       int    // byte length; pageSize when SectorCount was 0
+}
+
+// Batch is the device-side structure the CMD Parse module builds for one
+// bitwise term (Fig. 11): its sub-operations, the intra-batch operation,
+// and the extra-batch operation linking it to the following batch.
+type Batch struct {
+	Order   int
+	Op      latch.Op
+	Extra   latch.Op // combine with next batch's result
+	HasNext bool     // whether Extra is meaningful
+	Subs    []SubOp
+}
+
+// ParseBatches is the device-side CMD Parse module: it reconstructs the
+// batch list from the submitted command stream, validating the pairing
+// and pointer chaining invariants.
+func ParseBatches(cmds []Command, pageSize int) ([]Batch, error) {
+	if len(cmds) == 0 {
+		return nil, fmt.Errorf("%w: empty command stream", ErrBadCommand)
+	}
+	if len(cmds)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd command count %d", ErrBadCommand, len(cmds))
+	}
+	byOrder := map[int]*Batch{}
+	var orders []int
+	for i := 0; i < len(cmds); i += 2 {
+		first, second := cmds[i], cmds[i+1]
+		if first.OperandTag != 0 || second.OperandTag != 1 {
+			return nil, fmt.Errorf("%w: commands %d,%d have tags %d,%d",
+				ErrBadCommand, i, i+1, first.OperandTag, second.OperandTag)
+		}
+		if !first.PointerValid || first.Pointer != second.LBA {
+			return nil, fmt.Errorf("%w: command %d does not bind its pair (ptr %d vs LBA %d)",
+				ErrBadCommand, i, first.Pointer, second.LBA)
+		}
+		if first.BatchOrder != second.BatchOrder {
+			return nil, fmt.Errorf("%w: pair %d spans batches %d and %d",
+				ErrBadCommand, i, first.BatchOrder, second.BatchOrder)
+		}
+		order := int(first.BatchOrder)
+		b, ok := byOrder[order]
+		if !ok {
+			op, err := first.IntraOp.Op()
+			if err != nil {
+				return nil, fmt.Errorf("%w: batch %d intra op: %v", ErrBadCommand, order, err)
+			}
+			b = &Batch{Order: order, Op: op}
+			if extraOp, err := second.ExtraOp.Op(); err == nil {
+				b.Extra = extraOp
+			}
+			byOrder[order] = b
+			orders = append(orders, order)
+		}
+		sub := SubOp{M: first.LBA, N: second.LBA, Length: pageSize}
+		if first.SectorCount != 0 {
+			sector := SectorFor(pageSize)
+			sub.SectorOffset = int(first.SectorOffset) * sector
+			sub.Length = int(first.SectorCount) * sector
+		}
+		// Verify the sub-operation chain: the previous pair's second
+		// command must point at this pair's first operand.
+		if len(b.Subs) > 0 {
+			prevSecond := cmds[i-1]
+			if !prevSecond.PointerValid || prevSecond.Pointer != first.LBA {
+				return nil, fmt.Errorf("%w: batch %d sub-op %d not chained",
+					ErrBadCommand, order, len(b.Subs))
+			}
+		}
+		b.Subs = append(b.Subs, sub)
+	}
+	// Batches execute in order; later batches consume earlier results, so
+	// orders must be dense from zero.
+	out := make([]Batch, 0, len(orders))
+	for want := 0; want < len(orders); want++ {
+		b, ok := byOrder[want]
+		if !ok {
+			return nil, fmt.Errorf("%w: batch order %d missing", ErrBadCommand, want)
+		}
+		b.HasNext = want < len(orders)-1
+		out = append(out, *b)
+	}
+	return out, nil
+}
+
+// RoundTrip is a convenience used by tests and the SSD front end: encode a
+// formula to wire commands (including the DWord pack/unpack) and parse
+// them back into batches, exactly as host firmware and device firmware
+// would.
+func RoundTrip(f Formula, pageSize int) ([]Batch, error) {
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Exercise the wire encoding: pack to DWords and decode again.
+	wire := make([]Command, len(cmds))
+	for i, c := range cmds {
+		wire[i] = Decode(c.LBA, c.Encode())
+		// OpNone cannot cross the 3-bit wire field; restore it from the
+		// formula's shape the way real firmware would (final batch).
+		if wire[i].OperandTag == 1 && c.ExtraOp == OpNone {
+			wire[i].ExtraOp = OpNone
+		}
+	}
+	return ParseBatches(wire, pageSize)
+}

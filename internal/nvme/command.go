@@ -1,0 +1,227 @@
+// Package nvme implements the host-side command encoding ParaBit layers on
+// NVMe (paper §4.3.1, Fig. 10): bitwise-operation semantics tucked into the
+// reserved bytes of ordinary NVMe read commands, and the device-side parse
+// that reconstructs batches from them.
+//
+// A bitwise expression like (M0 ? N0) ! (M1 ? N1) — where ? is the
+// intra-batch operation and ! the extra-batch operation combining batch
+// results — is conveyed as one command pair per batch:
+//
+//   - the first operand's command carries operand tag 0, the intra-batch
+//     operation type (i-t), the batch order, and — in the reserved DWords
+//     2 and 3 — the logical address of the second operand;
+//   - the second operand's command carries operand tag 1, the extra-batch
+//     operation type (e-t), and, when the operand is split into
+//     sub-operations, the logical address of the next sub-operation's
+//     first operand in DWords 2 and 3.
+//
+// Operands larger than a flash page are split into page-sized
+// sub-operations chained through that pointer; operands smaller than a
+// page carry a sector-granularity offset and length in DWord 13's
+// remaining reserved byte.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"parabit/internal/latch"
+)
+
+// SectorSize is the addressing granularity of sub-page operands on
+// standard 8 KB pages (the "granularity of sector" in §4.3.1).
+const SectorSize = 512
+
+// SectorFor returns the sector granularity for a page size: 512 bytes
+// when the page divides evenly into 8-bit-addressable 512-byte sectors,
+// otherwise pageSize/16 so the DWord 13 offset/count fields (8 bits each)
+// still cover the page. Small test geometries use sub-512-byte pages.
+func SectorFor(pageSize int) int {
+	if pageSize >= SectorSize && pageSize%SectorSize == 0 {
+		return SectorSize
+	}
+	s := pageSize / 16
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// OpCode is the 3-bit bitwise-operation type stored in the i-t and e-t
+// fields. Values match latch.Op plus a "none" marker for unused e-t.
+type OpCode uint8
+
+// OpNone marks an absent extra-batch operation (the last batch).
+const OpNone OpCode = 7 + 1 // one past the last latch op
+
+// FromOp converts a latch operation to its wire code.
+func FromOp(op latch.Op) OpCode { return OpCode(op) }
+
+// Op converts a wire code back to a latch operation.
+func (c OpCode) Op() (latch.Op, error) {
+	if c >= OpNone {
+		return 0, fmt.Errorf("nvme: opcode %d is not an operation", c)
+	}
+	return latch.Op(c), nil
+}
+
+// Command is one NVMe read command with ParaBit's vendor fields decoded.
+// DWord fields are kept explicit so the wire round-trip is testable
+// against the bit layout in Fig. 10.
+type Command struct {
+	// LBA is the logical block (flash-page) address of this operand page.
+	LBA uint64
+	// OperandTag is 0 for a batch's first operand, 1 for the second
+	// (first reserved bit of DWord 13).
+	OperandTag uint8
+	// IntraOp is the intra-batch operation (3 bits of DWord 13, valid on
+	// tag-0 commands).
+	IntraOp OpCode
+	// ExtraOp is the extra-batch operation combining this batch's result
+	// with the next batch (3 bits of DWord 13, valid on tag-1 commands).
+	ExtraOp OpCode
+	// BatchOrder sequences batches of one formula (DWord 13 bits).
+	BatchOrder uint8
+	// Pointer is DWords 2 and 3: on a tag-0 command, the LBA of the
+	// second operand; on a tag-1 command, the LBA of the next
+	// sub-operation's first operand (PointerValid distinguishes zero).
+	Pointer      uint64
+	PointerValid bool
+	// SectorOffset and SectorCount describe sub-page operands in sectors;
+	// SectorCount 0 means the whole page.
+	SectorOffset uint8
+	SectorCount  uint8
+}
+
+// Wire layout constants for DWord 13 (all within the 4 reserved bytes).
+const (
+	tagBit        = 0     // bit 0: operand tag
+	intraShift    = 1     // bits 1-3: i-t
+	extraShift    = 4     // bits 4-6: e-t
+	orderShift    = 8     // bits 8-15: batch order
+	ptrValidBit   = 7     // bit 7: DWord2/3 pointer valid
+	secOffShift   = 16    // bits 16-23: sector offset
+	secCountShift = 24    // bits 24-31: sector count
+	opMask        = 0b111 // 3-bit operation fields
+)
+
+// DWords is the raw reserved-field encoding: DWord 2, DWord 3 and
+// DWord 13 of the NVMe read command.
+type DWords struct {
+	DW2, DW3, DW13 uint32
+}
+
+// Encode packs the ParaBit fields into the reserved DWords.
+func (c Command) Encode() DWords {
+	var d DWords
+	d.DW2 = uint32(c.Pointer)
+	d.DW3 = uint32(c.Pointer >> 32)
+	d.DW13 = uint32(c.OperandTag&1) |
+		uint32(c.IntraOp&opMask)<<intraShift |
+		uint32(c.ExtraOp&opMask)<<extraShift |
+		uint32(c.BatchOrder)<<orderShift |
+		uint32(c.SectorOffset)<<secOffShift |
+		uint32(c.SectorCount)<<secCountShift
+	if c.PointerValid {
+		d.DW13 |= 1 << ptrValidBit
+	}
+	return d
+}
+
+// opFromWire reads a 3-bit field that, with the paper's "8 types" packing,
+// cannot represent OpNone explicitly; absence is signaled by context (a
+// tag-1 command of the final batch clears PointerValid and the field is
+// ignored). Decode restores OpNone for those.
+func opFromWire(v uint32) OpCode { return OpCode(v & opMask) }
+
+// Decode unpacks reserved DWords into a command with the given LBA.
+func Decode(lba uint64, d DWords) Command {
+	c := Command{
+		LBA:          lba,
+		OperandTag:   uint8(d.DW13 & 1),
+		IntraOp:      opFromWire(d.DW13 >> intraShift),
+		ExtraOp:      opFromWire(d.DW13 >> extraShift),
+		BatchOrder:   uint8(d.DW13 >> orderShift),
+		Pointer:      uint64(d.DW2) | uint64(d.DW3)<<32,
+		PointerValid: d.DW13&(1<<ptrValidBit) != 0,
+		SectorOffset: uint8(d.DW13 >> secOffShift),
+		SectorCount:  uint8(d.DW13 >> secCountShift),
+	}
+	return c
+}
+
+// Validation errors.
+var (
+	ErrBadFormula = errors.New("nvme: malformed bitwise formula")
+	ErrBadCommand = errors.New("nvme: malformed parabit command")
+)
+
+// Operand names a logical byte range participating in a bitwise formula.
+// Length and offset must be sector-aligned; operands longer than a page
+// are split into page-sized sub-operations during encoding.
+type Operand struct {
+	LBA    uint64 // first logical page
+	Offset int    // byte offset within the first page (sector aligned)
+	Length int    // byte length (sector aligned)
+}
+
+// Validate checks alignment.
+func (o Operand) Validate(pageSize int) error {
+	if o.Length <= 0 {
+		return fmt.Errorf("%w: operand length %d", ErrBadCommand, o.Length)
+	}
+	sector := SectorFor(pageSize)
+	if o.Offset%sector != 0 || o.Length%sector != 0 {
+		return fmt.Errorf("%w: operand %+v not aligned to %d-byte sectors", ErrBadCommand, o, sector)
+	}
+	if o.Offset < 0 || o.Offset >= pageSize {
+		return fmt.Errorf("%w: operand offset %d outside page", ErrBadCommand, o.Offset)
+	}
+	return nil
+}
+
+// Pages returns how many flash pages the operand spans.
+func (o Operand) Pages(pageSize int) int {
+	return (o.Offset + o.Length + pageSize - 1) / pageSize
+}
+
+// Term is one batch of a formula: two operands and the operation between
+// them (the paper's "(M ? N)").
+type Term struct {
+	M, N Operand
+	Op   latch.Op
+}
+
+// Formula is a chain of terms combined left-to-right by extra-batch
+// operations: term[0] !0 term[1] !1 term[2] ... The paper's batch list is
+// built from exactly this shape.
+type Formula struct {
+	Terms []Term
+	// Combine[i] merges the running result with Terms[i+1]'s result;
+	// len(Combine) == len(Terms)-1.
+	Combine []latch.Op
+}
+
+// Validate checks the formula shape and operand alignment.
+func (f Formula) Validate(pageSize int) error {
+	if len(f.Terms) == 0 {
+		return fmt.Errorf("%w: no terms", ErrBadFormula)
+	}
+	if len(f.Combine) != len(f.Terms)-1 {
+		return fmt.Errorf("%w: %d terms need %d combine ops, have %d",
+			ErrBadFormula, len(f.Terms), len(f.Terms)-1, len(f.Combine))
+	}
+	for i, t := range f.Terms {
+		if err := t.M.Validate(pageSize); err != nil {
+			return fmt.Errorf("term %d operand M: %w", i, err)
+		}
+		if err := t.N.Validate(pageSize); err != nil {
+			return fmt.Errorf("term %d operand N: %w", i, err)
+		}
+		if t.M.Length != t.N.Length {
+			return fmt.Errorf("%w: term %d operand lengths %d vs %d",
+				ErrBadFormula, i, t.M.Length, t.N.Length)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package nvme
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"parabit/internal/latch"
+)
+
+const pageSize = 8192
+
+func fullPage(lba uint64) Operand { return Operand{LBA: lba, Length: pageSize} }
+
+func TestDWordRoundTrip(t *testing.T) {
+	f := func(lba, ptr uint64, tag bool, intra, extra, order, so, sc uint8) bool {
+		c := Command{
+			LBA:          lba,
+			OperandTag:   b2u(tag),
+			IntraOp:      OpCode(intra % 8),
+			ExtraOp:      OpCode(extra % 8),
+			BatchOrder:   order,
+			Pointer:      ptr,
+			PointerValid: ptr%2 == 0,
+			SectorOffset: so,
+			SectorCount:  sc,
+		}
+		got := Decode(c.LBA, c.Encode())
+		return got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestEncodeSingleTerm(t *testing.T) {
+	f := Formula{Terms: []Term{{M: fullPage(10), N: fullPage(20), Op: latch.OpAnd}}}
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 2 {
+		t.Fatalf("%d commands, want 2", len(cmds))
+	}
+	if cmds[0].LBA != 10 || cmds[0].OperandTag != 0 || cmds[0].Pointer != 20 || !cmds[0].PointerValid {
+		t.Fatalf("first command %+v", cmds[0])
+	}
+	if op, _ := cmds[0].IntraOp.Op(); op != latch.OpAnd {
+		t.Fatalf("intra op %v", cmds[0].IntraOp)
+	}
+	if cmds[1].LBA != 20 || cmds[1].OperandTag != 1 || cmds[1].PointerValid {
+		t.Fatalf("second command %+v", cmds[1])
+	}
+}
+
+func TestEncodeMultiPageOperandChains(t *testing.T) {
+	// Paper Fig. 11: operand size twice the flash page -> two
+	// sub-operations, four device commands, chained by pointers.
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 100, Length: 2 * pageSize},
+		N:  Operand{LBA: 200, Length: 2 * pageSize},
+		Op: latch.OpXor,
+	}}}
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 4 {
+		t.Fatalf("%d commands, want 4", len(cmds))
+	}
+	// CMD1 (second command of sub-op 0) points at CMD2 (first of sub-op 1).
+	if !cmds[1].PointerValid || cmds[1].Pointer != 101 {
+		t.Fatalf("sub-op chain pointer = %+v", cmds[1])
+	}
+	// Final second command ends the chain.
+	if cmds[3].PointerValid {
+		t.Fatal("last sub-op should not chain onward")
+	}
+}
+
+func TestEncodeSubPageOperand(t *testing.T) {
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 1, Offset: 1024, Length: 2048},
+		N:  Operand{LBA: 2, Offset: 512, Length: 2048},
+		Op: latch.OpOr,
+	}}}
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmds[0].SectorOffset != 2 || cmds[0].SectorCount != 4 {
+		t.Fatalf("first operand sectors %d+%d, want 2+4", cmds[0].SectorOffset, cmds[0].SectorCount)
+	}
+	if cmds[1].SectorOffset != 1 || cmds[1].SectorCount != 4 {
+		t.Fatalf("second operand sectors %d+%d, want 1+4", cmds[1].SectorOffset, cmds[1].SectorCount)
+	}
+}
+
+func TestParseSingleBatch(t *testing.T) {
+	f := Formula{Terms: []Term{{M: fullPage(5), N: fullPage(6), Op: latch.OpNor}}}
+	batches, err := RoundTrip(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("%d batches", len(batches))
+	}
+	b := batches[0]
+	if b.Op != latch.OpNor || b.HasNext || len(b.Subs) != 1 {
+		t.Fatalf("batch %+v", b)
+	}
+	if b.Subs[0].M != 5 || b.Subs[0].N != 6 || b.Subs[0].Length != pageSize {
+		t.Fatalf("sub %+v", b.Subs[0])
+	}
+}
+
+func TestParseFormulaThreeBatches(t *testing.T) {
+	// (A AND B) XOR (C AND D) OR (E AND F): the §4.3.1 running example
+	// shape — three batches, two extra-batch ops.
+	f := Formula{
+		Terms: []Term{
+			{M: fullPage(0), N: fullPage(1), Op: latch.OpAnd},
+			{M: fullPage(2), N: fullPage(3), Op: latch.OpAnd},
+			{M: fullPage(4), N: fullPage(5), Op: latch.OpAnd},
+		},
+		Combine: []latch.Op{latch.OpXor, latch.OpOr},
+	}
+	batches, err := RoundTrip(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("%d batches", len(batches))
+	}
+	if !batches[0].HasNext || batches[0].Extra != latch.OpXor {
+		t.Fatalf("batch 0 extra %+v", batches[0])
+	}
+	if !batches[1].HasNext || batches[1].Extra != latch.OpOr {
+		t.Fatalf("batch 1 extra %+v", batches[1])
+	}
+	if batches[2].HasNext {
+		t.Fatal("final batch claims a successor")
+	}
+}
+
+func TestParseFig11Example(t *testing.T) {
+	// "three bitwise operations with four operands and the size of each
+	// operand is twice of flash page size ... eight device commands" —
+	// the paper's Fig. 11 uses chained batches where each batch's result
+	// feeds the next; modeled here as 2 terms over 4 operands plus the
+	// sub-op split giving 8 commands.
+	f := Formula{
+		Terms: []Term{
+			{M: Operand{LBA: 0, Length: 2 * pageSize}, N: Operand{LBA: 2, Length: 2 * pageSize}, Op: latch.OpAnd},
+			{M: Operand{LBA: 4, Length: 2 * pageSize}, N: Operand{LBA: 6, Length: 2 * pageSize}, Op: latch.OpAnd},
+		},
+		Combine: []latch.Op{latch.OpOr},
+	}
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 8 {
+		t.Fatalf("%d device commands, want 8", len(cmds))
+	}
+	batches, err := ParseBatches(cmds, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || len(batches[0].Subs) != 2 || len(batches[1].Subs) != 2 {
+		t.Fatalf("batch structure %+v", batches)
+	}
+}
+
+func TestParseRejectsBrokenPairing(t *testing.T) {
+	f := Formula{Terms: []Term{{M: fullPage(0), N: fullPage(1), Op: latch.OpAnd}}}
+	cmds, _ := EncodeFormula(f, pageSize)
+
+	broken := append([]Command(nil), cmds...)
+	broken[0].Pointer = 99 // no longer binds its pair
+	if _, err := ParseBatches(broken, pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("unbound pair: err = %v", err)
+	}
+
+	broken = append([]Command(nil), cmds...)
+	broken[1].OperandTag = 0
+	if _, err := ParseBatches(broken, pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("bad tags: err = %v", err)
+	}
+
+	if _, err := ParseBatches(cmds[:1], pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("odd count: err = %v", err)
+	}
+	if _, err := ParseBatches(nil, pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("empty: err = %v", err)
+	}
+}
+
+func TestParseRejectsBrokenChain(t *testing.T) {
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 0, Length: 2 * pageSize},
+		N:  Operand{LBA: 10, Length: 2 * pageSize},
+		Op: latch.OpAnd,
+	}}}
+	cmds, _ := EncodeFormula(f, pageSize)
+	cmds[1].PointerValid = false // break the sub-op chain
+	if _, err := ParseBatches(cmds, pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("broken chain: err = %v", err)
+	}
+}
+
+func TestParseRejectsMissingBatchOrder(t *testing.T) {
+	f := Formula{Terms: []Term{{M: fullPage(0), N: fullPage(1), Op: latch.OpAnd}}}
+	cmds, _ := EncodeFormula(f, pageSize)
+	cmds[0].BatchOrder = 1 // batch 0 missing
+	cmds[1].BatchOrder = 1
+	if _, err := ParseBatches(cmds, pageSize); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("missing order: err = %v", err)
+	}
+}
+
+func TestFormulaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+	}{
+		{"empty", Formula{}},
+		{"combine count", Formula{
+			Terms:   []Term{{M: fullPage(0), N: fullPage(1), Op: latch.OpAnd}},
+			Combine: []latch.Op{latch.OpOr},
+		}},
+		{"length mismatch", Formula{
+			Terms: []Term{{M: Operand{LBA: 0, Length: pageSize}, N: Operand{LBA: 1, Length: 2 * pageSize}, Op: latch.OpAnd}},
+		}},
+		{"unaligned", Formula{
+			Terms: []Term{{M: Operand{LBA: 0, Offset: 100, Length: pageSize}, N: fullPage(1), Op: latch.OpAnd}},
+		}},
+		{"zero length", Formula{
+			Terms: []Term{{M: Operand{LBA: 0}, N: Operand{LBA: 1}, Op: latch.OpAnd}},
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.f.Validate(pageSize); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestOperandPages(t *testing.T) {
+	if got := fullPage(0).Pages(pageSize); got != 1 {
+		t.Fatalf("full page spans %d", got)
+	}
+	o := Operand{LBA: 0, Offset: 512, Length: pageSize}
+	if got := o.Pages(pageSize); got != 2 {
+		t.Fatalf("offset page spans %d, want 2", got)
+	}
+	o = Operand{LBA: 0, Length: 3 * pageSize}
+	if got := o.Pages(pageSize); got != 3 {
+		t.Fatalf("3-page operand spans %d", got)
+	}
+}
+
+func TestOpCodeRoundTrip(t *testing.T) {
+	for _, op := range latch.Ops {
+		code := FromOp(op)
+		back, err := code.Op()
+		if err != nil || back != op {
+			t.Errorf("op %v: code %d -> %v, %v", op, code, back, err)
+		}
+	}
+	if _, err := OpNone.Op(); err == nil {
+		t.Error("OpNone decoded as an operation")
+	}
+}
+
+// Property: any formula of full-page terms survives encode+parse with its
+// structure intact.
+func TestFormulaRoundTripProperty(t *testing.T) {
+	f := func(termOps []uint8, combineSeed uint8) bool {
+		if len(termOps) == 0 || len(termOps) > 8 {
+			return true
+		}
+		var formula Formula
+		for i, raw := range termOps {
+			formula.Terms = append(formula.Terms, Term{
+				M:  fullPage(uint64(i * 10)),
+				N:  fullPage(uint64(i*10 + 1)),
+				Op: latch.BinaryOps[int(raw)%len(latch.BinaryOps)],
+			})
+		}
+		for i := 0; i < len(termOps)-1; i++ {
+			formula.Combine = append(formula.Combine,
+				latch.BinaryOps[(int(combineSeed)+i)%len(latch.BinaryOps)])
+		}
+		batches, err := RoundTrip(formula, pageSize)
+		if err != nil || len(batches) != len(formula.Terms) {
+			return false
+		}
+		for i, b := range batches {
+			if b.Op != formula.Terms[i].Op || b.Order != i {
+				return false
+			}
+			if i < len(formula.Combine) && (!b.HasNext || b.Extra != formula.Combine[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

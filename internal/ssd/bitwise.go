@@ -1,0 +1,487 @@
+package ssd
+
+import (
+	"fmt"
+
+	"parabit/internal/flash"
+	"parabit/internal/ftl"
+	"parabit/internal/latch"
+	"parabit/internal/nvme"
+	"parabit/internal/sim"
+)
+
+// BitwiseResult is the outcome of an in-SSD bitwise operation: the result
+// page in the controller buffer, when it became available, and when it
+// finished crossing the host link (if requested).
+type BitwiseResult struct {
+	Data []byte
+	// ResultLPN is where the result was persisted when the caller asked
+	// for a stored result (chained operations); 0 when not stored.
+	ResultLPN uint64
+	Stored    bool
+	Done      sim.Time // result in controller buffer
+	HostDone  sim.Time // result delivered to host (0 if not shipped)
+}
+
+// operandLoc resolves an operand's physical placement.
+func (d *Device) operandLoc(lpn uint64) (flash.PageAddr, error) {
+	addr, ok := d.ftl.Lookup(lpn)
+	if !ok {
+		return flash.PageAddr{}, fmt.Errorf("ssd: operand %d: %w", lpn, ftl.ErrUnmapped)
+	}
+	return addr, nil
+}
+
+// coLocated reports whether two operands share a wordline as LSB/MSB.
+func coLocated(a, b flash.PageAddr) bool {
+	return a.WordlineAddr == b.WordlineAddr && a.Kind != b.Kind
+}
+
+// lsbAligned reports whether two operands are LSB pages on one plane.
+func lsbAligned(a, b flash.PageAddr) bool {
+	return a.PlaneAddr == b.PlaneAddr &&
+		a.Kind == flash.LSBPage && b.Kind == flash.LSBPage &&
+		a.WordlineAddr != b.WordlineAddr
+}
+
+// reallocate implements the Operands ReAllocation module (§4.3.2): read
+// both operands into the controller buffer (descrambling as needed) and
+// program them, unscrambled, into the LSB and MSB pages of one fresh
+// wordline. Returns the wordline, the data, and the completion time.
+func (d *Device) reallocate(lpnM, lpnN uint64, at sim.Time) (flash.WordlineAddr, []byte, []byte, sim.Time, error) {
+	dataM, doneM, err := d.readOperand(lpnM, at)
+	if err != nil {
+		return flash.WordlineAddr{}, nil, nil, 0, err
+	}
+	dataN, doneN, err := d.readOperand(lpnN, at)
+	if err != nil {
+		return flash.WordlineAddr{}, nil, nil, 0, err
+	}
+	ready := sim.Max(doneM, doneN)
+	newM, err := d.allocInternal()
+	if err != nil {
+		return flash.WordlineAddr{}, nil, nil, 0, err
+	}
+	newN, err := d.allocInternal()
+	if err != nil {
+		return flash.WordlineAddr{}, nil, nil, 0, err
+	}
+	wl, done, err := d.ftl.WritePairedRelocation(newM, newN, dataM, dataN, ready)
+	if err != nil {
+		return flash.WordlineAddr{}, nil, nil, 0, err
+	}
+	d.plain[newM] = true
+	d.plain[newN] = true
+	d.stats.Reallocations++
+	d.stats.ReallocPages += 2
+	return wl, dataM, dataN, done, nil
+}
+
+// Bitwise executes one two-operand operation under the given scheme. The
+// first operand plays the paper's M (LSB or MSB depending on layout), the
+// second N. The result stays in the controller buffer.
+func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.Time) (BitwiseResult, error) {
+	addrM, err := d.operandLoc(lpnM)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	addrN, err := d.operandLoc(lpnN)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	switch scheme {
+	case SchemePreAlloc:
+		if coLocated(addrM, addrN) {
+			return d.senseCoLocated(op, addrM, addrN, at)
+		}
+		// Pre-allocation missed (operands arrived unpaired): fall back to
+		// reallocation, as the controller must.
+		d.stats.Fallbacks++
+		return d.senseAfterRealloc(op, lpnM, lpnN, at)
+	case SchemeReAlloc:
+		return d.senseAfterRealloc(op, lpnM, lpnN, at)
+	case SchemeLocFree:
+		if lsbAligned(addrM, addrN) {
+			res, err := d.array.BitwiseSenseLocFreeLSB(op, addrM.WordlineAddr, addrN.WordlineAddr, at)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.stats.BitwiseOps++
+			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+		}
+		if addrM.Kind == flash.MSBPage && addrN.Kind == flash.LSBPage &&
+			addrM.PlaneAddr == addrN.PlaneAddr {
+			res, err := d.array.BitwiseSenseLocFree(op, addrM.WordlineAddr, addrN.WordlineAddr, at)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.stats.BitwiseOps++
+			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+		}
+		d.stats.Fallbacks++
+		return d.senseAfterRealloc(op, lpnM, lpnN, at)
+	}
+	return BitwiseResult{}, fmt.Errorf("ssd: unknown scheme %v", scheme)
+}
+
+// senseCoLocated runs the basic ParaBit sense on a shared wordline. The
+// operand stored in the LSB page is the operation's first input.
+func (d *Device) senseCoLocated(op latch.Op, a, b flash.PageAddr, at sim.Time) (BitwiseResult, error) {
+	res, err := d.array.BitwiseSense(op, a.WordlineAddr, at)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	d.stats.BitwiseOps++
+	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+}
+
+// senseAfterRealloc reallocates then senses.
+func (d *Device) senseAfterRealloc(op latch.Op, lpnM, lpnN uint64, at sim.Time) (BitwiseResult, error) {
+	wl, _, _, done, err := d.reallocate(lpnM, lpnN, at)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	res, err := d.array.BitwiseSense(op, wl, done)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	d.stats.BitwiseOps++
+	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+}
+
+// senseAfterReallocBuffered is the chained-step variant: the first
+// operand's data already sits in the controller buffer (a previous step's
+// result), so reallocation reads only the flash-resident second operand
+// (or nothing, when that too is buffered) before the paired program and
+// sense. readLPN < 0 means bufN supplies the second operand.
+func (d *Device) senseAfterReallocBuffered(op latch.Op, bufM []byte, readyM sim.Time,
+	readLPN int64, bufN []byte, readyN sim.Time, at sim.Time) (BitwiseResult, error) {
+	dataN, ready := bufN, sim.Max(readyM, readyN)
+	if readLPN >= 0 {
+		var doneN sim.Time
+		var err error
+		dataN, doneN, err = d.readOperand(uint64(readLPN), at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		ready = sim.Max(readyM, doneN)
+	}
+	newM, err := d.allocInternal()
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	newN, err := d.allocInternal()
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	wl, done, err := d.ftl.WritePairedRelocation(newM, newN, bufM, dataN, ready)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	d.plain[newM] = true
+	d.plain[newN] = true
+	d.stats.Reallocations++
+	d.stats.ReallocPages += 2
+	res, err := d.array.BitwiseSense(op, wl, done)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	d.stats.BitwiseOps++
+	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+}
+
+// storeResult persists a controller-buffer result page into the internal
+// pool (unscrambled), so it can serve as an operand for a chained
+// operation. Returns the LPN and program completion time.
+func (d *Device) storeResult(data []byte, at sim.Time) (uint64, sim.Time, error) {
+	lpn, err := d.allocInternal()
+	if err != nil {
+		return 0, 0, err
+	}
+	done, err := d.ftl.WriteRelocation(lpn, data, at)
+	if err != nil {
+		return 0, 0, err
+	}
+	d.plain[lpn] = true
+	return lpn, done, nil
+}
+
+// Reduce folds k operand pages with one associative operation (AND, OR
+// or XOR): the paper's chained use (bitmap index reduction, multi-channel
+// segmentation, multi-image encryption).
+//
+//   - SchemePreAlloc assumes consecutive operand pairs are co-located
+//     (the layout WriteOperandPair produces): pairs sense directly and in
+//     parallel, then pair results combine with serialized reallocation
+//     steps — the paper's "ParaBit" execution, which halves reallocations
+//     versus ReAlloc.
+//   - SchemeReAlloc reallocates at every step.
+//   - SchemeLocFree senses without reallocating. When all operands are
+//     aligned LSB pages on one plane (the WriteOperandLSBGroup layout),
+//     the whole reduction is a single chained operation per §4.2: AND/OR
+//     accumulate in the latches at one extra sense per operand, the XOR
+//     family pays a buffer round-trip per step. Misaligned operands fall
+//     back to pairwise execution with plane-aligned result parking.
+func (d *Device) Reduce(op latch.Op, lpns []uint64, scheme Scheme, at sim.Time) (BitwiseResult, error) {
+	if len(lpns) < 2 {
+		return BitwiseResult{}, ErrNeedOperands
+	}
+	switch op {
+	case latch.OpAnd, latch.OpOr, latch.OpXor:
+	default:
+		return BitwiseResult{}, fmt.Errorf("ssd: reduce needs an associative op, got %v", op)
+	}
+	switch scheme {
+	case SchemePreAlloc:
+		return d.reducePreAlloc(op, lpns, at)
+	case SchemeReAlloc:
+		return d.reduceSerial(op, lpns, at)
+	case SchemeLocFree:
+		return d.reduceLocFree(op, lpns, at)
+	}
+	return BitwiseResult{}, fmt.Errorf("ssd: unknown scheme %v", scheme)
+}
+
+// reduceLocFree reduces via chained location-free sensing. If all
+// operands sit in LSB pages of one plane, one chained operation does the
+// whole fold; otherwise same-plane runs chain and the partial results are
+// parked aligned with the next run.
+func (d *Device) reduceLocFree(op latch.Op, lpns []uint64, at sim.Time) (BitwiseResult, error) {
+	// Resolve layouts; any non-LSB operand forces the pairwise fallback.
+	wls := make([]flash.WordlineAddr, len(lpns))
+	allLSB := true
+	for i, lpn := range lpns {
+		addr, err := d.operandLoc(lpn)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		if addr.Kind != flash.LSBPage {
+			allLSB = false
+			break
+		}
+		wls[i] = addr.WordlineAddr
+	}
+	if !allLSB {
+		d.stats.Fallbacks++
+		return d.reduceSerial(op, lpns, at)
+	}
+	// Split into same-plane runs, chain each, then park run results
+	// aligned and chain again until one remains.
+	type run struct {
+		wls   []flash.WordlineAddr
+		ready sim.Time
+	}
+	var runs []run
+	cur := run{ready: at}
+	for i, wl := range wls {
+		if i > 0 && wl.PlaneAddr != cur.wls[0].PlaneAddr {
+			runs = append(runs, cur)
+			cur = run{ready: at}
+		}
+		cur.wls = append(cur.wls, wl)
+	}
+	runs = append(runs, cur)
+
+	var acc BitwiseResult
+	havePartial := false
+	for ri, r := range runs {
+		ready := r.ready
+		chainWLs := r.wls
+		if havePartial {
+			// Park the running result on this run's plane so it joins
+			// the chain.
+			lpn, err := d.allocInternal()
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			wl, done, err := d.ftl.WriteLSBOnPlane(r.wls[0].PlaneAddr, lpn, acc.Data, sim.Max(acc.Done, ready), false)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.plain[lpn] = true
+			chainWLs = append([]flash.WordlineAddr{wl}, chainWLs...)
+			ready = done
+		}
+		if len(chainWLs) == 1 {
+			// Only possible for the first run (afterwards the parked
+			// partial joins every chain): load the lone operand as the
+			// initial accumulator.
+			if ri != 0 {
+				return BitwiseResult{}, fmt.Errorf("ssd: internal: short chain at run %d", ri)
+			}
+			data, done, err := d.Read(lpns[0], ready)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			acc = BitwiseResult{Data: data, Done: done}
+			havePartial = true
+			continue
+		}
+		res, err := d.array.BitwiseChainLSB(op, chainWLs, ready)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		d.stats.BitwiseOps++
+		acc = BitwiseResult{Data: res.Data, Done: res.Ready}
+		havePartial = true
+	}
+	return acc, nil
+}
+
+// reducePreAlloc senses pre-paired operands in parallel, then serially
+// combines pair results (each combine is a realloc + sense) — the
+// execution the paper's "ParaBit" scheme uses, which halves reallocations
+// versus ParaBit-ReAlloc (§5.3.2's 3179 ms vs 6137 ms bitmap split).
+func (d *Device) reducePreAlloc(op latch.Op, lpns []uint64, at sim.Time) (BitwiseResult, error) {
+	if len(lpns) == 2 {
+		return d.Bitwise(op, lpns[0], lpns[1], SchemePreAlloc, at)
+	}
+	type partial struct {
+		data []byte
+		done sim.Time
+	}
+	var parts []partial
+	// Phase 1: co-located pairs sense; results land in the controller
+	// buffer (planes provide the parallelism, the buffer holds partials).
+	i := 0
+	for ; i+1 < len(lpns); i += 2 {
+		r, err := d.Bitwise(op, lpns[i], lpns[i+1], SchemePreAlloc, at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		parts = append(parts, partial{data: r.Data, done: r.Done})
+	}
+	if i < len(lpns) { // odd operand left over joins the combine phase
+		data, done, err := d.Read(lpns[i], at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		parts = append(parts, partial{data: data, done: done})
+	}
+	// Phase 2: serial combination of buffered partials, each a
+	// program-pair-then-sense reallocation step.
+	acc := parts[0]
+	var last BitwiseResult
+	for _, p := range parts[1:] {
+		r, err := d.senseAfterReallocBuffered(op, acc.data, acc.done, -1, p.data, p.done, at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		last = r
+		acc = partial{data: r.Data, done: r.Done}
+	}
+	return last, nil
+}
+
+// reduceSerial folds left-to-right with a reallocation at every step —
+// the ParaBit-ReAlloc execution. The first step reads both operands from
+// flash; after that the accumulator lives in the controller buffer, so
+// each step reads only the next operand before the paired program,
+// matching the paper's per-step cost (§5.3.2).
+func (d *Device) reduceSerial(op latch.Op, lpns []uint64, at sim.Time) (BitwiseResult, error) {
+	acc, err := d.Bitwise(op, lpns[0], lpns[1], SchemeReAlloc, at)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	for _, next := range lpns[2:] {
+		acc, err = d.senseAfterReallocBuffered(op, acc.Data, acc.Done, int64(next), nil, 0, acc.Done)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+	}
+	return acc, nil
+}
+
+// ShipToHost moves a result page to the host over the host link.
+func (d *Device) ShipToHost(r *BitwiseResult) {
+	r.HostDone = d.host.Transfer(int64(len(r.Data)), r.Done)
+	d.stats.ResultBytes += int64(len(r.Data))
+}
+
+// FormulaResult is the outcome of ExecuteFormula.
+type FormulaResult struct {
+	// Pages holds the final result, one entry per sub-operation page.
+	Pages [][]byte
+	// Done is when the last result page reached the controller buffer.
+	Done sim.Time
+	// HostDone is when the last result byte reached the host.
+	HostDone sim.Time
+}
+
+// ExecuteFormula runs a parsed bitwise formula end to end: each term's
+// sub-operations execute under the scheme, term results combine with the
+// extra-batch operations (always via reallocation, per Fig. 12), and the
+// final pages ship to the host.
+func (d *Device) ExecuteFormula(f nvme.Formula, scheme Scheme, at sim.Time) (FormulaResult, error) {
+	batches, err := nvme.RoundTrip(f, d.PageSize())
+	if err != nil {
+		return FormulaResult{}, err
+	}
+	// Execute term batches; all sub-operations are independent and issue
+	// at the start time (planes provide the parallelism).
+	type pageResult struct {
+		lpn  uint64
+		data []byte
+		done sim.Time
+	}
+	results := make([][]pageResult, len(batches))
+	for bi, b := range batches {
+		results[bi] = make([]pageResult, len(b.Subs))
+		for si, sub := range b.Subs {
+			r, err := d.Bitwise(b.Op, sub.M, sub.N, scheme, at)
+			if err != nil {
+				return FormulaResult{}, fmt.Errorf("batch %d sub %d: %w", bi, si, err)
+			}
+			pr := pageResult{data: r.Data, done: r.Done}
+			if len(batches) > 1 {
+				lpn, done, err := d.storeResult(r.Data, r.Done)
+				if err != nil {
+					return FormulaResult{}, err
+				}
+				pr.lpn, pr.done = lpn, done
+			}
+			results[bi][si] = pr
+		}
+	}
+	// Combine batch results left-to-right with the extra-batch ops.
+	acc := results[0]
+	for bi := 1; bi < len(batches); bi++ {
+		combineOp := batches[bi-1].Extra
+		next := results[bi]
+		if len(next) != len(acc) {
+			return FormulaResult{}, fmt.Errorf("ssd: batch %d has %d sub-ops, accumulator has %d",
+				bi, len(next), len(acc))
+		}
+		merged := make([]pageResult, len(acc))
+		for si := range acc {
+			start := sim.Max(acc[si].done, next[si].done)
+			r, err := d.Bitwise(combineOp, acc[si].lpn, next[si].lpn, SchemeReAlloc, start)
+			if err != nil {
+				return FormulaResult{}, fmt.Errorf("combine %d sub %d: %w", bi, si, err)
+			}
+			pr := pageResult{data: r.Data, done: r.Done}
+			if bi < len(batches)-1 {
+				lpn, done, err := d.storeResult(r.Data, r.Done)
+				if err != nil {
+					return FormulaResult{}, err
+				}
+				pr.lpn, pr.done = lpn, done
+			}
+			merged[si] = pr
+		}
+		acc = merged
+	}
+	out := FormulaResult{Pages: make([][]byte, len(acc))}
+	for si, pr := range acc {
+		out.Pages[si] = pr.data
+		if pr.done > out.Done {
+			out.Done = pr.done
+		}
+		hostDone := d.host.Transfer(int64(len(pr.data)), pr.done)
+		d.stats.ResultBytes += int64(len(pr.data))
+		if hostDone > out.HostDone {
+			out.HostDone = hostDone
+		}
+	}
+	return out, nil
+}

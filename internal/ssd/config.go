@@ -1,0 +1,117 @@
+// Package ssd assembles the ParaBit SSD: the flash array, the FTL, the
+// host link, the data scrambler, and the controller modules of the
+// paper's Fig. 9 — command parsing (via internal/nvme), operand
+// reallocation, and parallel read. It exposes the three evaluated
+// schemes:
+//
+//   - ParaBit (pre-allocation): operands were written co-located into the
+//     LSB and MSB pages of shared wordlines, so the first operation of a
+//     reduction senses directly; intermediate results still reallocate.
+//   - ParaBit-ReAlloc: operands live wherever the FTL put them; every
+//     operation first reallocates its two operands into shared wordlines.
+//   - ParaBit-LocFree: operands live in LSB pages of aligned wordlines on
+//     one plane; operations sense both wordlines through the (slightly
+//     extended) latching circuit and never reallocate.
+package ssd
+
+import (
+	"fmt"
+
+	"parabit/internal/flash"
+	"parabit/internal/ftl"
+	"parabit/internal/interconnect"
+)
+
+// Scheme selects how the device executes bitwise operations.
+type Scheme uint8
+
+const (
+	// SchemePreAlloc is the paper's "ParaBit": operands pre-allocated to
+	// shared MLC cells.
+	SchemePreAlloc Scheme = iota
+	// SchemeReAlloc is "ParaBit-ReAlloc": reallocate before every
+	// operation.
+	SchemeReAlloc
+	// SchemeLocFree is "ParaBit-LocFree": location-free sensing over
+	// aligned LSB pages, requiring the added inverter hardware.
+	SchemeLocFree
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemePreAlloc:
+		return "ParaBit"
+	case SchemeReAlloc:
+		return "ParaBit-ReAlloc"
+	case SchemeLocFree:
+		return "ParaBit-LocFree"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// Schemes lists all three for experiment sweeps.
+var Schemes = []Scheme{SchemePreAlloc, SchemeReAlloc, SchemeLocFree}
+
+// Config parameterizes the device.
+type Config struct {
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	FTL      ftl.Config
+	// HostLinkGBps is the effective SSD-to-host bandwidth; the paper's
+	// measured PCIe Gen3 x4 value is the default.
+	HostLinkGBps float64
+	// Scramble enables the data scrambler on normal host writes
+	// (§4.3.2). Operand and reallocation writes always bypass it.
+	Scramble bool
+	// ECCSectorBytes, when nonzero, installs a SEC-DED codec over
+	// sectors of this size on the baseline read path; combined with a
+	// noise model it gives §5.8's configuration (raw errors corrected on
+	// ordinary reads, uncorrected on ParaBit results).
+	ECCSectorBytes int
+}
+
+// DefaultConfig returns the paper's evaluated 512 GB SSD.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:     flash.Default(),
+		Timing:       flash.DefaultTiming(),
+		FTL:          ftl.DefaultConfig(),
+		HostLinkGBps: 3.19,
+		Scramble:     true,
+	}
+}
+
+// SmallConfig returns a functionally identical but tiny device for tests
+// and examples.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geometry = flash.Small()
+	return cfg
+}
+
+// SmallTLCConfig returns a tiny TLC device for the §4.4.1 extension:
+// three pages per wordline with TLC timing.
+func SmallTLCConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geometry = flash.SmallTLC()
+	cfg.Timing = flash.TLCTiming()
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.HostLinkGBps <= 0 {
+		return fmt.Errorf("ssd: host link bandwidth %v GB/s", c.HostLinkGBps)
+	}
+	return nil
+}
+
+func (c Config) hostLink() *interconnect.Link {
+	return interconnect.NewLink("ssd-host", c.HostLinkGBps, 0)
+}

@@ -1,0 +1,330 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+
+	"parabit/internal/ecc"
+	"parabit/internal/flash"
+	"parabit/internal/ftl"
+	"parabit/internal/interconnect"
+	"parabit/internal/latch"
+	"parabit/internal/sim"
+)
+
+// Device errors.
+var (
+	// ErrNotCoLocated reports a pre-allocation-scheme operation whose
+	// operands do not share a wordline.
+	ErrNotCoLocated = errors.New("ssd: operands not co-located")
+	// ErrNotAligned reports a location-free operation whose operands are
+	// not aligned LSB pages on one plane.
+	ErrNotAligned = errors.New("ssd: operands not plane-aligned LSB pages")
+	// ErrNeedOperands reports a reduction with fewer than two operands.
+	ErrNeedOperands = errors.New("ssd: reduction needs at least two operands")
+	// ErrNoSpace reports internal LPN exhaustion for reallocation targets.
+	ErrNoSpace = errors.New("ssd: no internal pages for reallocation")
+)
+
+// Device is the simulated ParaBit SSD.
+type Device struct {
+	cfg   Config
+	array *flash.Array
+	ftl   *ftl.FTL
+	host  *interconnect.Link
+	// plain tracks LPNs stored without scrambling (operand pages and
+	// reallocation targets).
+	plain map[uint64]bool
+	// Internal LPNs for reallocated operands and intermediate results
+	// grow downward from the top of the logical space.
+	nextInternal uint64
+	lowInternal  uint64
+	stats        OpStats
+}
+
+// OpStats counts controller-level ParaBit activity.
+type OpStats struct {
+	BitwiseOps     int64 // two-operand operations executed
+	Reallocations  int64 // operand reallocations performed
+	ReallocPages   int64 // pages written by reallocation
+	Fallbacks      int64 // scheme preconditions unmet, realloc fallback
+	ResultBytes    int64 // result bytes returned to the host
+	DescrambledOps int64 // operand reads that needed descrambling
+}
+
+// New builds a device from the configuration.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	array := flash.NewArray(cfg.Geometry, cfg.Timing)
+	if cfg.ECCSectorBytes > 0 {
+		codec, err := ecc.NewCodec(cfg.Geometry.PageSize, cfg.ECCSectorBytes)
+		if err != nil {
+			return nil, err
+		}
+		array.SetECC(codec)
+	}
+	f := ftl.New(array, cfg.FTL)
+	logical := uint64(f.LogicalPages())
+	// The top eighth of the logical space is the controller's private
+	// pool for reallocated operands and intermediate results.
+	low := logical - logical/8
+	return &Device{
+		cfg:          cfg,
+		array:        array,
+		ftl:          f,
+		host:         cfg.hostLink(),
+		plain:        make(map[uint64]bool),
+		nextInternal: logical - 1,
+		lowInternal:  low,
+	}, nil
+}
+
+// MustNew is New for configurations known valid at compile time.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Array exposes the flash array (for noise models and statistics).
+func (d *Device) Array() *flash.Array { return d.array }
+
+// FTL exposes the translation layer (for endurance accounting).
+func (d *Device) FTL() *ftl.FTL { return d.ftl }
+
+// HostLink exposes the SSD-to-host link.
+func (d *Device) HostLink() *interconnect.Link { return d.host }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns controller-level counters.
+func (d *Device) Stats() OpStats { return d.stats }
+
+// PageSize returns the flash page size.
+func (d *Device) PageSize() int { return d.cfg.Geometry.PageSize }
+
+// UserPages returns the number of logical pages available to the host
+// (excluding the controller's internal pool).
+func (d *Device) UserPages() uint64 { return d.lowInternal }
+
+// allocInternal hands out a controller-private LPN.
+func (d *Device) allocInternal() (uint64, error) {
+	if d.nextInternal < d.lowInternal {
+		return 0, ErrNoSpace
+	}
+	lpn := d.nextInternal
+	d.nextInternal--
+	return lpn, nil
+}
+
+// releaseInternalBelow trims stale internal pages. Reallocated operand
+// pages become garbage as soon as their operation completes; experiments
+// running many operations call this between phases.
+func (d *Device) ReclaimInternal() {
+	for lpn := d.nextInternal + 1; lpn < uint64(d.ftl.LogicalPages()); lpn++ {
+		d.ftl.Trim(lpn)
+		delete(d.plain, lpn)
+	}
+	d.nextInternal = uint64(d.ftl.LogicalPages()) - 1
+}
+
+func (d *Device) checkUserLPN(lpn uint64) error {
+	if lpn >= d.lowInternal {
+		return fmt.Errorf("ssd: lpn %d in controller-reserved range [%d,%d)",
+			lpn, d.lowInternal, d.ftl.LogicalPages())
+	}
+	return nil
+}
+
+// Write stores host data at a logical page, scrambling it if the device
+// is configured to (normal data path).
+func (d *Device) Write(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	if err := d.checkUserLPN(lpn); err != nil {
+		return 0, err
+	}
+	buf := append([]byte(nil), data...)
+	if d.cfg.Scramble {
+		scrambleKeystream(lpn, buf)
+		delete(d.plain, lpn)
+	} else {
+		d.plain[lpn] = true
+	}
+	return d.ftl.Write(lpn, buf, at)
+}
+
+// WriteOperand stores a bitwise operand page: never scrambled (§4.3.2),
+// normal striped placement.
+func (d *Device) WriteOperand(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	if err := d.checkUserLPN(lpn); err != nil {
+		return 0, err
+	}
+	d.plain[lpn] = true
+	return d.ftl.Write(lpn, data, at)
+}
+
+// WriteOperandPair stores two operand pages co-located in one wordline
+// (LSB page first operand, MSB page second), the pre-allocation layout
+// basic ParaBit computes on. Unscrambled.
+func (d *Device) WriteOperandPair(lpnL, lpnM uint64, dataL, dataM []byte, at sim.Time) (sim.Time, error) {
+	if err := d.checkUserLPN(lpnL); err != nil {
+		return 0, err
+	}
+	if err := d.checkUserLPN(lpnM); err != nil {
+		return 0, err
+	}
+	_, done, err := d.ftl.WritePaired(lpnL, lpnM, dataL, dataM, at)
+	if err != nil {
+		return 0, err
+	}
+	d.plain[lpnL] = true
+	d.plain[lpnM] = true
+	return done, nil
+}
+
+// WriteOperandLSBAligned stores two operand pages in LSB pages of aligned
+// wordlines on one plane — the location-free layout (§5.5). Unscrambled.
+func (d *Device) WriteOperandLSBAligned(lpnM, lpnN uint64, dataM, dataN []byte, at sim.Time) (sim.Time, error) {
+	if err := d.checkUserLPN(lpnM); err != nil {
+		return 0, err
+	}
+	if err := d.checkUserLPN(lpnN); err != nil {
+		return 0, err
+	}
+	_, _, done, err := d.ftl.WriteLSBPair(lpnM, lpnN, dataM, dataN, at)
+	if err != nil {
+		return 0, err
+	}
+	d.plain[lpnM] = true
+	d.plain[lpnN] = true
+	return done, nil
+}
+
+// WriteOperandLSBGroup stores k operand pages in LSB pages of a single
+// plane, the layout a chained location-free reduction consumes in one
+// operation. Unscrambled.
+func (d *Device) WriteOperandLSBGroup(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
+	for _, lpn := range lpns {
+		if err := d.checkUserLPN(lpn); err != nil {
+			return 0, err
+		}
+	}
+	_, done, err := d.ftl.WriteLSBGroup(lpns, data, at)
+	if err != nil {
+		return 0, err
+	}
+	for _, lpn := range lpns {
+		d.plain[lpn] = true
+	}
+	return done, nil
+}
+
+// WriteOperandOnPlane stores an operand page in an LSB slot of the plane
+// with the given linear index (modulo the plane count). Column-oriented
+// clients use it to keep the i'th page of every column on one plane, so
+// cross-column reductions run location-free.
+func (d *Device) WriteOperandOnPlane(planeIdx int, lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	if err := d.checkUserLPN(lpn); err != nil {
+		return 0, err
+	}
+	geo := d.cfg.Geometry
+	plane := geo.PlaneAt(((planeIdx % geo.Planes()) + geo.Planes()) % geo.Planes())
+	_, done, err := d.ftl.WriteLSBOnPlane(plane, lpn, data, at, true)
+	if err != nil {
+		return 0, err
+	}
+	d.plain[lpn] = true
+	return done, nil
+}
+
+// WriteOperandTriple stores three operand pages co-located in one TLC
+// wordline (LSB, CSB, TOP) — the §4.4.1 layout whose three-operand
+// operations are a single short sense. Unscrambled. TLC devices only.
+func (d *Device) WriteOperandTriple(lpns [3]uint64, data [3][]byte, at sim.Time) (sim.Time, error) {
+	for _, lpn := range lpns {
+		if err := d.checkUserLPN(lpn); err != nil {
+			return 0, err
+		}
+	}
+	_, done, err := d.ftl.WriteTriple(lpns, data, at)
+	if err != nil {
+		return 0, err
+	}
+	for _, lpn := range lpns {
+		d.plain[lpn] = true
+	}
+	return done, nil
+}
+
+// BitwiseTriple executes a three-operand operation over a co-located TLC
+// triple. All three logical pages must share a wordline.
+func (d *Device) BitwiseTriple(op latch.TLCOp3, lpns [3]uint64, at sim.Time) (BitwiseResult, error) {
+	var wl flash.WordlineAddr
+	for i, lpn := range lpns {
+		addr, ok := d.ftl.Lookup(lpn)
+		if !ok {
+			return BitwiseResult{}, fmt.Errorf("ssd: operand %d: %w", lpn, ftl.ErrUnmapped)
+		}
+		if i == 0 {
+			wl = addr.WordlineAddr
+		} else if addr.WordlineAddr != wl {
+			return BitwiseResult{}, fmt.Errorf("%w: triple operands span wordlines", ErrNotCoLocated)
+		}
+	}
+	res, err := d.array.BitwiseSenseTLC(op, wl, at)
+	if err != nil {
+		return BitwiseResult{}, err
+	}
+	d.stats.BitwiseOps++
+	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+}
+
+// Read returns the (descrambled) content of a logical page, without host
+// transfer: the controller-side view.
+func (d *Device) Read(lpn uint64, at sim.Time) ([]byte, sim.Time, error) {
+	data, done, err := d.ftl.Read(lpn, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.cfg.Scramble && !d.plain[lpn] {
+		scrambleKeystream(lpn, data)
+	}
+	return data, done, nil
+}
+
+// ReadToHost reads a page and ships it over the host link.
+func (d *Device) ReadToHost(lpn uint64, at sim.Time) ([]byte, sim.Time, error) {
+	data, ready, err := d.Read(lpn, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	done := d.host.Transfer(int64(len(data)), ready)
+	return data, done, nil
+}
+
+// readOperand reads an operand page for reallocation, descrambling if the
+// page was stored scrambled (the firmware path §4.3.2 describes).
+func (d *Device) readOperand(lpn uint64, at sim.Time) ([]byte, sim.Time, error) {
+	data, done, err := d.ftl.Read(lpn, at)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.cfg.Scramble && !d.plain[lpn] {
+		scrambleKeystream(lpn, data)
+		d.stats.DescrambledOps++
+	}
+	return data, done, nil
+}
+
+// DrainTime reports when all in-flight flash work completes.
+func (d *Device) DrainTime() sim.Time { return d.array.DrainTime() }
+
+// ResetTiming idles every modeled resource without touching data.
+func (d *Device) ResetTiming() {
+	d.array.ResetTiming()
+	d.host.Reset()
+}

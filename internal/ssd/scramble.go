@@ -1,0 +1,30 @@
+package ssd
+
+// The data scrambler. Real SSDs whiten data before programming to avoid
+// worst-case cell patterns; §4.3.2 notes this complicates ParaBit, whose
+// latching-circuit operations see raw cell contents. The firmware
+// therefore disables scrambling when operands are allocated or
+// reallocated and re-applies it when results are restored to normal
+// storage. This file models a per-page keystream scrambler so the device
+// can demonstrate exactly that behaviour (and tests can show the garbage
+// ParaBit would compute on scrambled operands).
+
+// scrambleKeystream XORs data in place with a keystream derived from the
+// logical page number. XOR is an involution, so the same call descrambles.
+func scrambleKeystream(lpn uint64, data []byte) {
+	// SplitMix64-style stream seeded by the LPN; one 64-bit word per
+	// 8 bytes keeps it cheap and reproducible.
+	state := lpn*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for i := 0; i < len(data); i += 8 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < len(data); j++ {
+			data[i+j] ^= byte(z >> (8 * j))
+		}
+	}
+}

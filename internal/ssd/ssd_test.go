@@ -1,0 +1,495 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parabit/internal/bitvec"
+	"parabit/internal/latch"
+	"parabit/internal/nvme"
+	"parabit/internal/sim"
+)
+
+func newDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randPage(d *Device, seed int64) []byte {
+	b := make([]byte, d.PageSize())
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func golden(op latch.Op, m, n []byte) []byte {
+	vm, vn := bitvec.FromBytes(m), bitvec.FromBytes(n)
+	var out *bitvec.Vector
+	switch op {
+	case latch.OpAnd:
+		out = bitvec.And(vn, vm)
+	case latch.OpOr:
+		out = bitvec.Or(vn, vm)
+	case latch.OpXor:
+		out = bitvec.Xor(vn, vm)
+	case latch.OpNand:
+		out = bitvec.Nand(vn, vm)
+	case latch.OpNor:
+		out = bitvec.Nor(vn, vm)
+	case latch.OpXnor:
+		out = bitvec.Xnor(vn, vm)
+	case latch.OpNotLSB:
+		out = bitvec.Not(vm)
+	case latch.OpNotMSB:
+		out = bitvec.Not(vn)
+	default:
+		panic("bad op")
+	}
+	return out.Bytes()
+}
+
+func TestWriteReadScrambled(t *testing.T) {
+	d := newDevice(t)
+	data := randPage(d, 1)
+	if _, err := d.Write(3, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Controller-level read returns descrambled data.
+	got, _, err := d.Read(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("descrambled read differs from written data")
+	}
+	// The flash itself must hold scrambled (different) bytes.
+	addr, _ := d.FTL().Lookup(3)
+	raw, _, _ := d.Array().Read(addr, 0)
+	if bytes.Equal(raw, data) {
+		t.Fatal("flash holds plaintext despite scrambling enabled")
+	}
+}
+
+func TestOperandWritesAreUnscrambled(t *testing.T) {
+	d := newDevice(t)
+	data := randPage(d, 2)
+	if _, err := d.WriteOperand(4, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := d.FTL().Lookup(4)
+	raw, _, _ := d.Array().Read(addr, 0)
+	if !bytes.Equal(raw, data) {
+		t.Fatal("operand page was scrambled")
+	}
+}
+
+func TestBitwisePreAllocAllOps(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 3), randPage(d, 4)
+	if _, err := d.WriteOperandPair(0, 1, m, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range latch.Ops {
+		r, err := d.Bitwise(op, 0, 1, SchemePreAlloc, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if !bytes.Equal(r.Data, golden(op, m, n)) {
+			t.Fatalf("%v result wrong", op)
+		}
+	}
+	if d.Stats().Fallbacks != 0 {
+		t.Fatalf("pre-allocated operands caused %d fallbacks", d.Stats().Fallbacks)
+	}
+}
+
+func TestBitwisePreAllocTiming(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 5), randPage(d, 6)
+	d.WriteOperandPair(0, 1, m, n, 0)
+	d.ResetTiming()
+	r, err := d.Bitwise(latch.OpXor, 0, 1, SchemePreAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.2: XOR without reallocation takes 100 µs of sensing.
+	if r.Done != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("XOR done at %v, want 100µs", r.Done)
+	}
+	d.ResetTiming()
+	r, _ = d.Bitwise(latch.OpAnd, 0, 1, SchemePreAlloc, 0)
+	if r.Done != sim.Time(25*sim.Microsecond) {
+		t.Fatalf("AND done at %v, want 25µs", r.Done)
+	}
+}
+
+func TestBitwiseReAllocAllOps(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 7), randPage(d, 8)
+	// Operands written independently (not co-located), scrambled even.
+	if _, err := d.Write(0, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(1, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range latch.Ops {
+		r, err := d.Bitwise(op, 0, 1, SchemeReAlloc, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if !bytes.Equal(r.Data, golden(op, m, n)) {
+			t.Fatalf("%v result wrong (scrambled operands must be descrambled in realloc)", op)
+		}
+	}
+	s := d.Stats()
+	if s.Reallocations != int64(len(latch.Ops)) {
+		t.Fatalf("reallocations = %d, want %d", s.Reallocations, len(latch.Ops))
+	}
+	if s.DescrambledOps == 0 {
+		t.Fatal("no descrambles recorded for scrambled operands")
+	}
+}
+
+func TestBitwiseReAllocTiming(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 9), randPage(d, 10)
+	d.WriteOperand(0, m, 0)
+	d.WriteOperand(1, n, 0)
+	d.ResetTiming()
+	r, err := d.Bitwise(latch.OpNotMSB, 0, 1, SchemeReAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReAlloc NOT-MSB ≈ operand reads + paired program + 2-SRO sense.
+	// Reads overlap across planes (~25-50µs), programs serialize
+	// (2x640µs) plus transfers, sense 50µs: expect ~1.4ms, and
+	// definitely > 1.28ms of programming.
+	if r.Done < sim.Time(1280*sim.Microsecond) || r.Done > sim.Time(1600*sim.Microsecond) {
+		t.Fatalf("ReAlloc NOT-MSB done at %v, want ≈1.4ms", r.Done)
+	}
+}
+
+func TestBitwiseLocFree(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 11), randPage(d, 12)
+	if _, err := d.WriteOperandLSBAligned(0, 1, m, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range latch.BinaryOps {
+		r, err := d.Bitwise(op, 0, 1, SchemeLocFree, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if !bytes.Equal(r.Data, golden(op, m, n)) {
+			t.Fatalf("%v locfree result wrong", op)
+		}
+	}
+	if d.Stats().Fallbacks != 0 {
+		t.Fatalf("aligned operands caused %d fallbacks", d.Stats().Fallbacks)
+	}
+	if d.Stats().Reallocations != 0 {
+		t.Fatal("locfree performed reallocations")
+	}
+}
+
+func TestLocFreeTiming(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 13), randPage(d, 14)
+	d.WriteOperandLSBAligned(0, 1, m, n, 0)
+	d.ResetTiming()
+	r, _ := d.Bitwise(latch.OpAnd, 0, 1, SchemeLocFree, 0)
+	if r.Done != sim.Time(50*sim.Microsecond) {
+		t.Fatalf("locfree AND done at %v, want 50µs (2 SROs)", r.Done)
+	}
+}
+
+func TestLocFreeFallbackWhenMisaligned(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 15), randPage(d, 16)
+	// Striped single writes land on different planes.
+	d.WriteOperand(0, m, 0)
+	d.WriteOperand(1, n, 0)
+	r, err := d.Bitwise(latch.OpAnd, 0, 1, SchemeLocFree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, golden(latch.OpAnd, m, n)) {
+		t.Fatal("fallback result wrong")
+	}
+	if d.Stats().Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", d.Stats().Fallbacks)
+	}
+}
+
+func TestPreAllocFallbackWhenUnpaired(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 17), randPage(d, 18)
+	d.WriteOperand(0, m, 0)
+	d.WriteOperand(1, n, 0)
+	r, err := d.Bitwise(latch.OpOr, 0, 1, SchemePreAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, golden(latch.OpOr, m, n)) {
+		t.Fatal("fallback result wrong")
+	}
+	if d.Stats().Fallbacks != 1 || d.Stats().Reallocations != 1 {
+		t.Fatalf("stats %+v", d.Stats())
+	}
+}
+
+func TestReduceCorrectAllSchemes(t *testing.T) {
+	const k = 6
+	for _, scheme := range Schemes {
+		d := newDevice(t)
+		operands := make([][]byte, k)
+		lpns := make([]uint64, k)
+		for i := range operands {
+			operands[i] = randPage(d, int64(100+i))
+			lpns[i] = uint64(i)
+		}
+		// Lay out per scheme.
+		switch scheme {
+		case SchemePreAlloc:
+			for i := 0; i+1 < k; i += 2 {
+				if _, err := d.WriteOperandPair(lpns[i], lpns[i+1], operands[i], operands[i+1], 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case SchemeLocFree:
+			for i := 0; i+1 < k; i += 2 {
+				if _, err := d.WriteOperandLSBAligned(lpns[i], lpns[i+1], operands[i], operands[i+1], 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			for i := range lpns {
+				if _, err := d.WriteOperand(lpns[i], operands[i], 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r, err := d.Reduce(latch.OpAnd, lpns, scheme, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		want := operands[0]
+		for _, o := range operands[1:] {
+			want = golden(latch.OpAnd, want, o)
+		}
+		if !bytes.Equal(r.Data, want) {
+			t.Fatalf("%v: reduction wrong", scheme)
+		}
+	}
+}
+
+func TestReduceSchemeCostOrdering(t *testing.T) {
+	// The §5.3.2 ordering on a k-ary AND reduction:
+	// LocFree < PreAlloc < ReAlloc in completion time, and
+	// reallocation counts 0 / (k/2-1) / (k-1).
+	const k = 8
+	times := map[Scheme]sim.Time{}
+	reallocs := map[Scheme]int64{}
+	for _, scheme := range Schemes {
+		d := newDevice(t)
+		lpns := make([]uint64, k)
+		for i := range lpns {
+			lpns[i] = uint64(i)
+		}
+		pages := make([][]byte, k)
+		for i := range pages {
+			pages[i] = randPage(d, int64(200+i))
+		}
+		switch scheme {
+		case SchemePreAlloc:
+			for i := 0; i+1 < k; i += 2 {
+				d.WriteOperandPair(lpns[i], lpns[i+1], pages[i], pages[i+1], 0)
+			}
+		case SchemeLocFree:
+			for i := 0; i+1 < k; i += 2 {
+				d.WriteOperandLSBAligned(lpns[i], lpns[i+1], pages[i], pages[i+1], 0)
+			}
+		default:
+			for i := range lpns {
+				d.WriteOperand(lpns[i], pages[i], 0)
+			}
+		}
+		d.ResetTiming()
+		r, err := d.Reduce(latch.OpAnd, lpns, scheme, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		times[scheme] = r.Done
+		reallocs[scheme] = d.Stats().Reallocations
+	}
+	if !(times[SchemeLocFree] < times[SchemePreAlloc] && times[SchemePreAlloc] < times[SchemeReAlloc]) {
+		t.Fatalf("time ordering violated: locfree=%v prealloc=%v realloc=%v",
+			times[SchemeLocFree], times[SchemePreAlloc], times[SchemeReAlloc])
+	}
+	if reallocs[SchemeLocFree] != 0 {
+		t.Fatalf("locfree reallocs = %d", reallocs[SchemeLocFree])
+	}
+	if reallocs[SchemeReAlloc] != k-1 {
+		t.Fatalf("realloc reallocs = %d, want %d", reallocs[SchemeReAlloc], k-1)
+	}
+	if reallocs[SchemePreAlloc] != k/2-1 {
+		t.Fatalf("prealloc reallocs = %d, want %d", reallocs[SchemePreAlloc], k/2-1)
+	}
+}
+
+func TestReduceNeedsTwoOperands(t *testing.T) {
+	d := newDevice(t)
+	if _, err := d.Reduce(latch.OpAnd, []uint64{1}, SchemeReAlloc, 0); !errors.Is(err, ErrNeedOperands) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecuteFormula(t *testing.T) {
+	// (A AND B) XOR (C AND D): two terms, one combine.
+	d := newDevice(t)
+	pages := make([][]byte, 4)
+	for i := range pages {
+		pages[i] = randPage(d, int64(300+i))
+	}
+	d.WriteOperandPair(0, 1, pages[0], pages[1], 0)
+	d.WriteOperandPair(2, 3, pages[2], pages[3], 0)
+	f := nvme.Formula{
+		Terms: []nvme.Term{
+			{M: nvme.Operand{LBA: 0, Length: d.PageSize()}, N: nvme.Operand{LBA: 1, Length: d.PageSize()}, Op: latch.OpAnd},
+			{M: nvme.Operand{LBA: 2, Length: d.PageSize()}, N: nvme.Operand{LBA: 3, Length: d.PageSize()}, Op: latch.OpAnd},
+		},
+		Combine: []latch.Op{latch.OpXor},
+	}
+	res, err := d.ExecuteFormula(f, SchemePreAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) != 1 {
+		t.Fatalf("result pages = %d", len(res.Pages))
+	}
+	want := golden(latch.OpXor, golden(latch.OpAnd, pages[0], pages[1]), golden(latch.OpAnd, pages[2], pages[3]))
+	if !bytes.Equal(res.Pages[0], want) {
+		t.Fatal("formula result wrong")
+	}
+	if res.HostDone <= res.Done {
+		t.Fatal("host transfer not accounted")
+	}
+}
+
+func TestExecuteFormulaMultiPage(t *testing.T) {
+	// One term with 2-page operands -> two sub-operations -> two result
+	// pages, exercised across two planes in parallel.
+	d := newDevice(t)
+	ps := d.PageSize()
+	m0, m1 := randPage(d, 400), randPage(d, 401)
+	n0, n1 := randPage(d, 402), randPage(d, 403)
+	d.WriteOperandPair(10, 12, m0, n0, 0)
+	d.WriteOperandPair(11, 13, m1, n1, 0)
+	f := nvme.Formula{Terms: []nvme.Term{{
+		M:  nvme.Operand{LBA: 10, Length: 2 * ps},
+		N:  nvme.Operand{LBA: 12, Length: 2 * ps},
+		Op: latch.OpXor,
+	}}}
+	res, err := d.ExecuteFormula(f, SchemePreAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) != 2 {
+		t.Fatalf("result pages = %d, want 2", len(res.Pages))
+	}
+	if !bytes.Equal(res.Pages[0], golden(latch.OpXor, m0, n0)) ||
+		!bytes.Equal(res.Pages[1], golden(latch.OpXor, m1, n1)) {
+		t.Fatal("multi-page formula wrong")
+	}
+}
+
+func TestShipToHost(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 20), randPage(d, 21)
+	d.WriteOperandPair(0, 1, m, n, 0)
+	r, _ := d.Bitwise(latch.OpAnd, 0, 1, SchemePreAlloc, 0)
+	d.ShipToHost(&r)
+	if r.HostDone <= r.Done {
+		t.Fatal("host transfer time missing")
+	}
+	if d.Stats().ResultBytes != int64(d.PageSize()) {
+		t.Fatalf("result bytes = %d", d.Stats().ResultBytes)
+	}
+}
+
+func TestInternalPoolReclaim(t *testing.T) {
+	d := newDevice(t)
+	m, n := randPage(d, 22), randPage(d, 23)
+	d.WriteOperand(0, m, 0)
+	d.WriteOperand(1, n, 0)
+	before := d.nextInternal
+	if _, err := d.Bitwise(latch.OpAnd, 0, 1, SchemeReAlloc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.nextInternal == before {
+		t.Fatal("realloc did not consume internal pages")
+	}
+	d.ReclaimInternal()
+	if d.nextInternal != uint64(d.FTL().LogicalPages())-1 {
+		t.Fatal("reclaim did not reset the pool")
+	}
+}
+
+func TestUserCannotTouchInternalRange(t *testing.T) {
+	d := newDevice(t)
+	data := randPage(d, 24)
+	if _, err := d.Write(d.UserPages(), data, 0); err == nil {
+		t.Fatal("write into controller-reserved range accepted")
+	}
+}
+
+func TestUnmappedOperandRejected(t *testing.T) {
+	d := newDevice(t)
+	if _, err := d.Bitwise(latch.OpAnd, 50, 51, SchemeReAlloc, 0); err == nil {
+		t.Fatal("bitwise on unmapped operands accepted")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if SchemePreAlloc.String() != "ParaBit" ||
+		SchemeReAlloc.String() != "ParaBit-ReAlloc" ||
+		SchemeLocFree.String() != "ParaBit-LocFree" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestParallelWaveAcrossPlanes(t *testing.T) {
+	// Pairs spread over all planes must compute in one wave: total time
+	// ≈ single-op latency, not N x single-op.
+	d := newDevice(t)
+	g := d.Config().Geometry
+	numPairs := g.Planes()
+	lpn := uint64(0)
+	for i := 0; i < numPairs; i++ {
+		m, n := randPage(d, int64(i*2)), randPage(d, int64(i*2+1))
+		if _, err := d.WriteOperandPair(lpn, lpn+1, m, n, 0); err != nil {
+			t.Fatal(err)
+		}
+		lpn += 2
+	}
+	d.ResetTiming()
+	var latest sim.Time
+	for i := 0; i < numPairs; i++ {
+		r, err := d.Bitwise(latch.OpAnd, uint64(i*2), uint64(i*2+1), SchemePreAlloc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Done > latest {
+			latest = r.Done
+		}
+	}
+	if latest != sim.Time(25*sim.Microsecond) {
+		t.Fatalf("wave of %d ANDs completed at %v, want 25µs (full parallelism)", numPairs, latest)
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parabit/internal/bitvec"
+)
+
+// BitmapSpec parameterizes the bitmap-index case study (§5.3.2): count
+// the users active on every day of the past Months months.
+type BitmapSpec struct {
+	Users  int64
+	Months int
+	// DaysPerMonth fixes the column count (30 in the paper's 33.99 GB
+	// at 12 months over 800 M users).
+	DaysPerMonth int
+}
+
+// PaperBitmap returns the paper-scale configuration: 800 million users,
+// m months (1-12 in Fig. 14b).
+func PaperBitmap(months int) BitmapSpec {
+	return BitmapSpec{Users: 800_000_000, Months: months, DaysPerMonth: 30}
+}
+
+// Days returns the number of day columns (reduction operands).
+func (s BitmapSpec) Days() int { return s.Months * s.DaysPerMonth }
+
+// ColumnBytes returns one day column's size: one bit per user.
+func (s BitmapSpec) ColumnBytes() int64 { return (s.Users + 7) / 8 }
+
+// InputBytes returns the whole working set (33.99 GB at 12 months).
+func (s BitmapSpec) InputBytes() int64 { return int64(s.Days()) * s.ColumnBytes() }
+
+// OutputBytes returns the result column (800 M bits = 100 MB).
+func (s BitmapSpec) OutputBytes() int64 { return s.ColumnBytes() }
+
+// ANDBits returns total single-bit AND operations ((days-1) per user).
+func (s BitmapSpec) ANDBits() int64 { return int64(s.Days()-1) * s.Users }
+
+// BitmapData is a functional instance: day columns plus the golden
+// always-active vector and its population count.
+type BitmapData struct {
+	Spec    BitmapSpec
+	Columns []*bitvec.Vector
+	Golden  *bitvec.Vector
+	// ActiveCount is the answer the application wants: how many users
+	// were active every day.
+	ActiveCount int
+}
+
+// GenerateBitmap builds a synthetic activity matrix. Per-user activity
+// probability is drawn once per user and applied per day, giving a
+// heavy-tailed "power user" population so the every-day intersection is
+// small but non-empty, like real engagement data.
+func GenerateBitmap(spec BitmapSpec, seed int64) (*BitmapData, error) {
+	if spec.Users <= 0 || spec.Months <= 0 || spec.DaysPerMonth <= 0 {
+		return nil, fmt.Errorf("workload: bad bitmap spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	users := int(spec.Users)
+	days := spec.Days()
+	d := &BitmapData{Spec: spec, Columns: make([]*bitvec.Vector, days)}
+	for c := range d.Columns {
+		d.Columns[c] = bitvec.New(users)
+	}
+	for u := 0; u < users; u++ {
+		// Mostly casual users, some daily-active.
+		pActive := rng.Float64()
+		if rng.Float64() < 0.1 {
+			pActive = 0.95 + 0.05*rng.Float64()
+		}
+		for c := 0; c < days; c++ {
+			if rng.Float64() < pActive {
+				d.Columns[c].Set(u, true)
+			}
+		}
+	}
+	d.Golden = d.Columns[0].Clone()
+	for _, col := range d.Columns[1:] {
+		bitvec.AndInto(d.Golden, d.Golden, col)
+	}
+	d.ActiveCount = d.Golden.PopCount()
+	return d, nil
+}

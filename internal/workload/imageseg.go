@@ -1,0 +1,135 @@
+// Package workload implements the paper's three case-study workloads
+// (§5.3): YUV-class image segmentation, bitmap index reduction, and
+// XOR image encryption. Each workload has two faces:
+//
+//   - a Spec with the paper-scale parameters and the derived data
+//     volumes and operation structure, consumed by the analytic
+//     experiment drivers; and
+//   - a functional generator that produces synthetic operand data plus
+//     the golden result at any scale, consumed by the examples and the
+//     end-to-end tests that run real data through the simulated SSD.
+//
+// Synthetic data substitutes for the paper's proprietary image sets; the
+// evaluation depends only on data volumes and operation counts, which
+// the specs reproduce exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parabit/internal/bitvec"
+)
+
+// SegmentationSpec parameterizes the image-segmentation case study
+// (§3 and §5.3.1): color recognition over YUV class bit-planes.
+type SegmentationSpec struct {
+	NumImages int
+	Width     int
+	Height    int
+	// Levels is the per-channel YUV discretization (256 in §5.3.1).
+	Levels int
+	// Colors is the number of recognized colors; each contributes one
+	// class bit per channel per pixel (4 in the paper, giving the 4-bit
+	// channel encoding and the 0.72 MB/image footprint).
+	Colors int
+}
+
+// PaperSegmentation returns the paper-scale configuration for a given
+// image count (10,000-200,000 in Fig. 4/14a).
+func PaperSegmentation(numImages int) SegmentationSpec {
+	return SegmentationSpec{NumImages: numImages, Width: 800, Height: 600, Levels: 256, Colors: 4}
+}
+
+// Pixels returns total pixels across images.
+func (s SegmentationSpec) Pixels() int64 {
+	return int64(s.NumImages) * int64(s.Width) * int64(s.Height)
+}
+
+// ChannelPlaneBytes returns the size of one channel's class bit-plane:
+// Colors bits per pixel.
+func (s SegmentationSpec) ChannelPlaneBytes() int64 {
+	return s.Pixels() * int64(s.Colors) / 8
+}
+
+// InputBytes returns the preprocessed working set: three channel planes
+// (the paper's 0.72 MB per image, 140 GB at 200,000 images).
+func (s SegmentationSpec) InputBytes() int64 { return 3 * s.ChannelPlaneBytes() }
+
+// OutputBytes returns the recognition result size: one class plane
+// (a third of the input, as §5.3.1 notes).
+func (s SegmentationSpec) OutputBytes() int64 { return s.ChannelPlaneBytes() }
+
+// OperandColumns returns the reduction shape: K operand columns of
+// ColumnBytes each, combined with AND (Y AND U AND V per pixel-color).
+func (s SegmentationSpec) OperandColumns() (k int, columnBytes int64) {
+	return 3, s.ChannelPlaneBytes()
+}
+
+// ANDBits returns the total single-bit AND operations the recognition
+// performs (two per pixel per color) — the PIM/ISC compute volume.
+func (s SegmentationSpec) ANDBits() int64 {
+	return 2 * s.Pixels() * int64(s.Colors)
+}
+
+// ColorClass is a per-channel value range for one recognized color, in
+// the spirit of the paper's orange example (Y_Class/U_Class/V_Class).
+type ColorClass struct {
+	YLo, YHi int // inclusive level range on Y
+	ULo, UHi int
+	VLo, VHi int
+}
+
+// SegmentationData is a functional instance: channel class planes and
+// the golden recognition result.
+type SegmentationData struct {
+	Spec SegmentationSpec
+	// Planes are the three operand columns (Y, U, V): bit i*Colors+c of
+	// a plane says whether pixel i's channel value falls in color c's
+	// class.
+	Planes [3]*bitvec.Vector
+	// Golden is Planes[0] AND Planes[1] AND Planes[2].
+	Golden *bitvec.Vector
+}
+
+// GenerateSegmentation builds a synthetic segmentation instance: random
+// pixel values classified against Colors random-but-wide class ranges so
+// the result is a non-trivial mix of hits and misses.
+func GenerateSegmentation(spec SegmentationSpec, seed int64) (*SegmentationData, error) {
+	if spec.NumImages <= 0 || spec.Width <= 0 || spec.Height <= 0 ||
+		spec.Levels <= 1 || spec.Colors <= 0 || spec.Colors > 8 {
+		return nil, fmt.Errorf("workload: bad segmentation spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	classes := make([]ColorClass, spec.Colors)
+	for c := range classes {
+		span := spec.Levels / 2
+		classes[c] = ColorClass{
+			YLo: rng.Intn(spec.Levels - span), ULo: rng.Intn(spec.Levels - span), VLo: rng.Intn(spec.Levels - span),
+		}
+		classes[c].YHi = classes[c].YLo + span
+		classes[c].UHi = classes[c].ULo + span
+		classes[c].VHi = classes[c].VLo + span
+	}
+	pixels := int(spec.Pixels())
+	bits := pixels * spec.Colors
+	d := &SegmentationData{Spec: spec}
+	for p := range d.Planes {
+		d.Planes[p] = bitvec.New(bits)
+	}
+	d.Golden = bitvec.New(bits)
+	for i := 0; i < pixels; i++ {
+		y, u, v := rng.Intn(spec.Levels), rng.Intn(spec.Levels), rng.Intn(spec.Levels)
+		for c, cl := range classes {
+			bit := i*spec.Colors + c
+			yIn := y >= cl.YLo && y <= cl.YHi
+			uIn := u >= cl.ULo && u <= cl.UHi
+			vIn := v >= cl.VLo && v <= cl.VHi
+			d.Planes[0].Set(bit, yIn)
+			d.Planes[1].Set(bit, uIn)
+			d.Planes[2].Set(bit, vIn)
+			d.Golden.Set(bit, yIn && uIn && vIn)
+		}
+	}
+	return d, nil
+}

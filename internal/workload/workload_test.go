@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"parabit/internal/bitvec"
+)
+
+func TestSegmentationPaperVolumes(t *testing.T) {
+	// §3: 200,000 images at 0.72 MB each = 140 GB (sic: 0.72e6 x 2e5 =
+	// 144e9, the paper rounds to "140GB"); output a third of that.
+	s := PaperSegmentation(200_000)
+	perImage := float64(s.InputBytes()) / float64(s.NumImages)
+	if perImage != 720_000 {
+		t.Errorf("per-image bytes = %.0f, want 720000 (0.72 MB)", perImage)
+	}
+	if got := float64(s.InputBytes()) / 1e9; math.Abs(got-144) > 0.1 {
+		t.Errorf("input = %.1f GB, want 144 (paper's '140GB')", got)
+	}
+	if s.OutputBytes()*3 != s.InputBytes() {
+		t.Error("output is not a third of input")
+	}
+	k, col := s.OperandColumns()
+	if k != 3 || col*3 != s.InputBytes() {
+		t.Errorf("columns: k=%d col=%d", k, col)
+	}
+	// Two ANDs per pixel per color.
+	if s.ANDBits() != 2*s.Pixels()*4 {
+		t.Errorf("AND bits = %d", s.ANDBits())
+	}
+}
+
+func TestSegmentationFunctionalGolden(t *testing.T) {
+	spec := SegmentationSpec{NumImages: 2, Width: 16, Height: 8, Levels: 64, Colors: 4}
+	d, err := GenerateSegmentation(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden equals the bulk AND of the three planes.
+	want := bitvec.And(bitvec.And(d.Planes[0], d.Planes[1]), d.Planes[2])
+	if !d.Golden.Equal(want) {
+		t.Fatal("golden disagrees with bulk AND of the planes")
+	}
+	// Non-degenerate: some hits, some misses.
+	if d.Golden.PopCount() == 0 || d.Golden.PopCount() == d.Golden.Len() {
+		t.Fatalf("degenerate recognition result: %d/%d", d.Golden.PopCount(), d.Golden.Len())
+	}
+}
+
+func TestSegmentationRejectsBadSpec(t *testing.T) {
+	if _, err := GenerateSegmentation(SegmentationSpec{}, 1); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+	if _, err := GenerateSegmentation(SegmentationSpec{NumImages: 1, Width: 4, Height: 4, Levels: 8, Colors: 9}, 1); err == nil {
+		t.Fatal("9 colors accepted (bit packing caps at 8)")
+	}
+}
+
+func TestBitmapPaperVolumes(t *testing.T) {
+	// §5.3.2: 800 M users, 12 months -> 360 columns of 100 MB = 33.99 GB
+	// (paper says "33.99GB"; 360 x 1e8 = 3.6e10 = 36 GB decimal — the
+	// paper's figure matches 360 x 800e6/8 / 2^30 GiB ≈ 33.5, so we
+	// check the byte count directly).
+	s := PaperBitmap(12)
+	if s.Days() != 360 {
+		t.Errorf("days = %d", s.Days())
+	}
+	if s.ColumnBytes() != 100_000_000 {
+		t.Errorf("column = %d bytes, want 1e8", s.ColumnBytes())
+	}
+	if got := float64(s.InputBytes()) / (1 << 30); math.Abs(got-33.5) > 0.2 {
+		t.Errorf("input = %.2f GiB, want ≈33.5 (paper: 33.99 GB)", got)
+	}
+	if s.OutputBytes() != s.ColumnBytes() {
+		t.Error("output should be one column")
+	}
+}
+
+func TestBitmapFunctionalGolden(t *testing.T) {
+	spec := BitmapSpec{Users: 500, Months: 2, DaysPerMonth: 5}
+	d, err := GenerateBitmap(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Columns) != 10 {
+		t.Fatalf("%d columns", len(d.Columns))
+	}
+	want := d.Columns[0].Clone()
+	for _, c := range d.Columns[1:] {
+		bitvec.AndInto(want, want, c)
+	}
+	if !d.Golden.Equal(want) || d.ActiveCount != want.PopCount() {
+		t.Fatal("golden/count wrong")
+	}
+	// The power-user model should leave a small non-empty core.
+	if d.ActiveCount == 0 || d.ActiveCount > 250 {
+		t.Fatalf("always-active count = %d of 500, want small non-zero", d.ActiveCount)
+	}
+}
+
+func TestBitmapRejectsBadSpec(t *testing.T) {
+	if _, err := GenerateBitmap(BitmapSpec{}, 1); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+}
+
+func TestEncryptionPaperVolumes(t *testing.T) {
+	// §5.3.3: 100,000 images at 800x600x3 channels x 8 bits = 1.44 MB
+	// each, "140GB" total.
+	s := PaperEncryption(100_000)
+	if s.ImageBytes() != 1_440_000 {
+		t.Errorf("image = %d bytes, want 1.44e6", s.ImageBytes())
+	}
+	if got := float64(s.InputBytes()) / 1e9; math.Abs(got-144) > 0.1 {
+		t.Errorf("input = %.1f GB", got)
+	}
+}
+
+func TestEncryptionFunctionalGolden(t *testing.T) {
+	spec := EncryptionSpec{NumImages: 3, Width: 8, Height: 4, BitsPerChannel: 8, Channels: 3}
+	d, err := GenerateEncryption(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range d.Images {
+		// Decrypting recovers the original.
+		if !bitvec.Xor(d.Ciphers[i], d.Key).Equal(img) {
+			t.Fatalf("image %d: cipher XOR key != original", i)
+		}
+		// Cipher differs from plaintext (overwhelmingly likely).
+		if d.Ciphers[i].Equal(img) {
+			t.Fatalf("image %d: cipher equals plaintext", i)
+		}
+	}
+}
+
+func TestEncryptionRejectsBadSpec(t *testing.T) {
+	if _, err := GenerateEncryption(EncryptionSpec{}, 1); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := GenerateBitmap(BitmapSpec{Users: 100, Months: 1, DaysPerMonth: 3}, 7)
+	b, _ := GenerateBitmap(BitmapSpec{Users: 100, Months: 1, DaysPerMonth: 3}, 7)
+	if !a.Golden.Equal(b.Golden) {
+		t.Fatal("same seed, different bitmap data")
+	}
+	c, _ := GenerateBitmap(BitmapSpec{Users: 100, Months: 1, DaysPerMonth: 3}, 8)
+	if a.Golden.Equal(c.Golden) && a.Columns[0].Equal(c.Columns[0]) {
+		t.Fatal("different seeds produced identical data")
+	}
+}

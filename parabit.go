@@ -1,0 +1,328 @@
+// Package parabit is a full-system reproduction of "ParaBit: Processing
+// Parallel Bitwise Operations in NAND Flash Memory based SSDs" (Gao et
+// al., MICRO '21): in-flash bulk bitwise computation performed by
+// re-sequencing the MLC sense-amplifier latching circuit during reads.
+//
+// The package offers three layers:
+//
+//   - Device: a functional, cycle-accounted simulated SSD. Write operand
+//     data with the ParaBit-friendly layouts (co-located pairs, aligned
+//     LSB groups), then execute bitwise operations, reductions and whole
+//     formulas under any of the paper's three schemes. Every result is
+//     bit-exact and carries the modeled latency.
+//   - Analytic planning: PlanReduce and the case-study planners compute
+//     paper-scale execution times (hundreds of GB) from the same cost
+//     model the functional device implements.
+//   - Experiments: RunExperiment regenerates any table or figure of the
+//     paper's evaluation as a formatted text table.
+//
+// The quickstart in examples/quickstart shows the minimal end-to-end use.
+package parabit
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parabit/internal/flash"
+	"parabit/internal/latch"
+	"parabit/internal/reliability"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
+)
+
+// Op is a bitwise operation ParaBit can execute in flash.
+type Op uint8
+
+// The seven operations of the paper's Table 1. NotFirst and NotSecond are
+// the two halves of the NOT row: they invert the first or second operand
+// respectively (the LSB- and MSB-resident bit in the co-located layout).
+const (
+	And Op = iota
+	Or
+	Xnor
+	Nand
+	Nor
+	Xor
+	NotFirst
+	NotSecond
+)
+
+// Ops lists every operation.
+var Ops = []Op{And, Or, Xnor, Nand, Nor, Xor, NotFirst, NotSecond}
+
+func (o Op) String() string { return o.latch().String() }
+
+func (o Op) latch() latch.Op {
+	if o > NotSecond {
+		panic(fmt.Sprintf("parabit: invalid op %d", uint8(o)))
+	}
+	return latch.Op(o)
+}
+
+// Eval computes the operation on two bits (the golden semantics).
+func (o Op) Eval(first, second bool) bool { return o.latch().Eval(first, second) }
+
+// Scheme selects the execution strategy (paper §5.2).
+type Scheme uint8
+
+const (
+	// PreAllocated is the paper's "ParaBit": operands were written
+	// co-located into shared MLC cells, so operations sense directly.
+	PreAllocated Scheme = iota
+	// Reallocated is "ParaBit-ReAlloc": operands are gathered into
+	// shared cells immediately before each operation.
+	Reallocated
+	// LocationFree is "ParaBit-LocFree": operands in aligned LSB pages
+	// are sensed through the extended latching circuit, no data movement.
+	LocationFree
+)
+
+// Schemes lists all three.
+var Schemes = []Scheme{PreAllocated, Reallocated, LocationFree}
+
+func (s Scheme) String() string { return s.ssd().String() }
+
+func (s Scheme) ssd() ssd.Scheme {
+	if s > LocationFree {
+		panic(fmt.Sprintf("parabit: invalid scheme %d", uint8(s)))
+	}
+	return ssd.Scheme(s)
+}
+
+// Result is the outcome of an in-flash operation: the bit-exact result
+// data and the modeled device latency from issue to result-in-buffer.
+type Result struct {
+	Data    []byte
+	Latency time.Duration
+	// HostLatency additionally covers shipping the result to the host;
+	// zero unless the call ships results.
+	HostLatency time.Duration
+}
+
+// Device is the public simulated ParaBit SSD.
+type Device struct {
+	dev *ssd.Device
+	// now is the issue cursor: operations issue at this virtual time and
+	// advance it, so sequential API calls observe sequential latencies
+	// while batch calls share an issue instant.
+	now sim.Time
+}
+
+// Option configures a Device.
+type Option func(*config)
+
+type config struct {
+	cfg     ssd.Config
+	noise   *reliability.Model
+	wantECC bool
+}
+
+// WithPaperGeometry selects the paper's 512 GB, 1024-plane SSD (§5.1).
+// This is the default.
+func WithPaperGeometry() Option {
+	return func(c *config) { c.cfg.Geometry = flash.Default() }
+}
+
+// WithSmallGeometry selects an 8 MB functional-test geometry: same
+// behaviour, tiny footprint. Recommended for examples and tests that
+// write real data.
+func WithSmallGeometry() Option {
+	return func(c *config) { c.cfg.Geometry = flash.Small() }
+}
+
+// WithScrambling enables or disables the data scrambler on the normal
+// write path (operand writes always bypass it; §4.3.2).
+func WithScrambling(on bool) Option {
+	return func(c *config) { c.cfg.Scramble = on }
+}
+
+// WithErrorModel installs the paper-calibrated read-noise model (§5.8):
+// ParaBit results on cycled blocks acquire raw bit errors that grow with
+// P/E count and sensing count. seed makes runs reproducible.
+func WithErrorModel(seed int64) Option {
+	return func(c *config) { c.noise = reliability.NewModel(seed) }
+}
+
+// WithECC installs a SEC-DED codec over 512-byte sectors (or the page
+// size, when pages are smaller) on the baseline read path and makes
+// ordinary reads experience the raw errors of the noise model — which
+// the codec then corrects. ParaBit results still bypass correction
+// (§4.4.3): the asymmetry the paper's reliability study measures.
+// Requires WithErrorModel for the errors to exist.
+func WithECC() Option {
+	return func(c *config) { c.wantECC = true }
+}
+
+// NewDevice builds a simulated ParaBit SSD.
+func NewDevice(opts ...Option) (*Device, error) {
+	c := config{cfg: ssd.DefaultConfig()}
+	c.cfg.Geometry = flash.Small() // default to the cheap geometry
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.wantECC {
+		sector := 512
+		if c.cfg.Geometry.PageSize < sector {
+			sector = c.cfg.Geometry.PageSize
+		}
+		c.cfg.ECCSectorBytes = sector
+	}
+	dev, err := ssd.New(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.noise != nil {
+		dev.Array().SetCorruptor(c.noise)
+	}
+	if c.wantECC {
+		if err := dev.Array().SetNoisyBaseline(true); err != nil {
+			return nil, err
+		}
+	}
+	return &Device{dev: dev}, nil
+}
+
+// PageSize returns the flash page size in bytes; operand buffers must be
+// exactly one page.
+func (d *Device) PageSize() int { return d.dev.PageSize() }
+
+// UserPages returns the logical pages addressable by the host.
+func (d *Device) UserPages() uint64 { return d.dev.UserPages() }
+
+// Write stores a page of ordinary (scrambled) data.
+func (d *Device) Write(lpn uint64, data []byte) error {
+	done, err := d.dev.Write(lpn, data, d.now)
+	if err != nil {
+		return err
+	}
+	d.now = done
+	return nil
+}
+
+// WriteOperand stores a bitwise operand page (unscrambled, normal
+// placement). Usable by Reallocated-scheme operations.
+func (d *Device) WriteOperand(lpn uint64, data []byte) error {
+	done, err := d.dev.WriteOperand(lpn, data, d.now)
+	if err != nil {
+		return err
+	}
+	d.now = done
+	return nil
+}
+
+// WriteOperandPair stores two operand pages co-located in one wordline —
+// the PreAllocated layout. first lands in the LSB page, second in MSB.
+func (d *Device) WriteOperandPair(first, second uint64, firstData, secondData []byte) error {
+	done, err := d.dev.WriteOperandPair(first, second, firstData, secondData, d.now)
+	if err != nil {
+		return err
+	}
+	d.now = done
+	return nil
+}
+
+// WriteOperandGroup stores operand pages in aligned LSB slots of one
+// plane — the LocationFree layout, required for chained reductions.
+func (d *Device) WriteOperandGroup(lpns []uint64, data [][]byte) error {
+	done, err := d.dev.WriteOperandLSBGroup(lpns, data, d.now)
+	if err != nil {
+		return err
+	}
+	d.now = done
+	return nil
+}
+
+// Read returns a logical page's content (descrambled).
+func (d *Device) Read(lpn uint64) ([]byte, error) {
+	data, done, err := d.dev.Read(lpn, d.now)
+	if err != nil {
+		return nil, err
+	}
+	d.now = done
+	return data, nil
+}
+
+// Bitwise executes one two-operand operation in flash under the scheme
+// and returns the result with its modeled latency.
+func (d *Device) Bitwise(op Op, first, second uint64, scheme Scheme) (Result, error) {
+	start := d.now
+	r, err := d.dev.Bitwise(op.latch(), first, second, scheme.ssd(), start)
+	if err != nil {
+		return Result{}, err
+	}
+	d.now = r.Done
+	return Result{Data: r.Data, Latency: r.Done.Sub(start).Std()}, nil
+}
+
+// Reduce folds operand pages with an associative operation (And, Or or
+// Xor), using the scheme's chained execution (§4.2, §5.3).
+func (d *Device) Reduce(op Op, lpns []uint64, scheme Scheme) (Result, error) {
+	switch op {
+	case And, Or, Xor:
+	default:
+		return Result{}, errors.New("parabit: Reduce requires And, Or or Xor")
+	}
+	start := d.now
+	r, err := d.dev.Reduce(op.latch(), lpns, scheme.ssd(), start)
+	if err != nil {
+		return Result{}, err
+	}
+	d.now = r.Done
+	return Result{Data: r.Data, Latency: r.Done.Sub(start).Std()}, nil
+}
+
+// BitwiseToHost executes Bitwise and ships the result over the host
+// link, filling HostLatency.
+func (d *Device) BitwiseToHost(op Op, first, second uint64, scheme Scheme) (Result, error) {
+	start := d.now
+	r, err := d.dev.Bitwise(op.latch(), first, second, scheme.ssd(), start)
+	if err != nil {
+		return Result{}, err
+	}
+	d.dev.ShipToHost(&r)
+	d.now = r.HostDone
+	return Result{
+		Data:        r.Data,
+		Latency:     r.Done.Sub(start).Std(),
+		HostLatency: r.HostDone.Sub(start).Std(),
+	}, nil
+}
+
+// Reclaim trims the controller's internal reallocation pool. Call
+// between large batches of Reallocated-scheme operations.
+func (d *Device) Reclaim() { d.dev.ReclaimInternal() }
+
+// Stats reports device activity counters.
+type Stats struct {
+	BitwiseOps    int64
+	Reallocations int64
+	Fallbacks     int64
+	SROs          int64
+	Programs      int64
+	Erases        int64
+	InjectedFlips int64
+	// WriteAmplification is (host+internal writes)/host writes.
+	WriteAmplification float64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	op := d.dev.Stats()
+	fl := d.dev.Array().Stats()
+	ft := d.dev.FTL().Stats()
+	return Stats{
+		BitwiseOps:         op.BitwiseOps,
+		Reallocations:      op.Reallocations,
+		Fallbacks:          op.Fallbacks,
+		SROs:               fl.SROs,
+		Programs:           fl.Programs,
+		Erases:             fl.Erases,
+		InjectedFlips:      fl.InjectedFlips,
+		WriteAmplification: ft.WriteAmplification(),
+	}
+}
+
+// Elapsed returns the device's virtual clock: total modeled time consumed
+// by the operations issued so far.
+func (d *Device) Elapsed() time.Duration { return sim.Duration(d.now).Std() }

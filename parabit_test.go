@@ -1,0 +1,350 @@
+package parabit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestDevice(t *testing.T, opts ...Option) *Device {
+	t.Helper()
+	d, err := NewDevice(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func pageOf(d *Device, seed int64) []byte {
+	b := make([]byte, d.PageSize())
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestPublicBitwiseAllOpsAllSchemes(t *testing.T) {
+	for _, scheme := range Schemes {
+		d := newTestDevice(t)
+		x, y := pageOf(d, 1), pageOf(d, 2)
+		switch scheme {
+		case PreAllocated:
+			if err := d.WriteOperandPair(0, 1, x, y); err != nil {
+				t.Fatal(err)
+			}
+		case LocationFree:
+			if err := d.WriteOperandGroup([]uint64{0, 1}, [][]byte{x, y}); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := d.WriteOperand(0, x); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WriteOperand(1, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, op := range Ops {
+			r, err := d.Bitwise(op, 0, 1, scheme)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", scheme, op, err)
+			}
+			for i := range r.Data {
+				for b := 0; b < 8; b++ {
+					first := x[i]&(1<<b) != 0
+					second := y[i]&(1<<b) != 0
+					if (r.Data[i]&(1<<b) != 0) != op.Eval(first, second) {
+						t.Fatalf("%v/%v: bit %d.%d wrong", scheme, op, i, b)
+					}
+				}
+			}
+			if r.Latency <= 0 {
+				t.Fatalf("%v/%v: zero latency", scheme, op)
+			}
+		}
+	}
+}
+
+func TestPublicLatenciesMatchPaper(t *testing.T) {
+	d := newTestDevice(t)
+	x, y := pageOf(d, 3), pageOf(d, 4)
+	if err := d.WriteOperandPair(0, 1, x, y); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Bitwise(Xor, 0, 1, PreAllocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency != 100*time.Microsecond {
+		t.Errorf("XOR latency = %v, want 100µs", r.Latency)
+	}
+	r, _ = d.Bitwise(And, 0, 1, PreAllocated)
+	if r.Latency != 25*time.Microsecond {
+		t.Errorf("AND latency = %v, want 25µs", r.Latency)
+	}
+	if OpLatency(Xor) != 100*time.Microsecond || OpLatency(And) != 25*time.Microsecond {
+		t.Error("OpLatency wrong")
+	}
+	if OpLatencyLocFree(And) != 50*time.Microsecond {
+		t.Errorf("locfree AND latency = %v", OpLatencyLocFree(And))
+	}
+}
+
+func TestPublicReduce(t *testing.T) {
+	d := newTestDevice(t)
+	const k = 5
+	lpns := make([]uint64, k)
+	data := make([][]byte, k)
+	for i := range lpns {
+		lpns[i] = uint64(i)
+		data[i] = pageOf(d, int64(10+i))
+	}
+	if err := d.WriteOperandGroup(lpns, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Reduce(And, lpns, LocationFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data[0]...)
+	for _, page := range data[1:] {
+		for i := range want {
+			want[i] &= page[i]
+		}
+	}
+	if !bytes.Equal(r.Data, want) {
+		t.Fatal("reduction wrong")
+	}
+	if _, err := d.Reduce(Nand, lpns, LocationFree); err == nil {
+		t.Fatal("non-associative reduce accepted")
+	}
+}
+
+func TestPublicFormula(t *testing.T) {
+	d := newTestDevice(t)
+	pages := make([][]byte, 4)
+	for i := range pages {
+		pages[i] = pageOf(d, int64(20+i))
+	}
+	d.WriteOperandPair(0, 1, pages[0], pages[1])
+	d.WriteOperandPair(2, 3, pages[2], pages[3])
+	f := Formula{
+		Terms: []Term{
+			{First: Operand{LPN: 0}, Second: Operand{LPN: 1}, Op: And},
+			{First: Operand{LPN: 2}, Second: Operand{LPN: 3}, Op: Or},
+		},
+		Combine: []Op{Xor},
+	}
+	res, err := d.Execute(f, PreAllocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) != 1 {
+		t.Fatalf("pages = %d", len(res.Pages))
+	}
+	want := make([]byte, d.PageSize())
+	for i := range want {
+		want[i] = (pages[0][i] & pages[1][i]) ^ (pages[2][i] | pages[3][i])
+	}
+	if !bytes.Equal(res.Pages[0], want) {
+		t.Fatal("formula result wrong")
+	}
+	if res.HostLatency <= res.Latency {
+		t.Fatal("host latency missing")
+	}
+}
+
+func TestPublicWriteReadRoundTrip(t *testing.T) {
+	d := newTestDevice(t)
+	data := pageOf(d, 30)
+	if err := d.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted")
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	d := newTestDevice(t)
+	x, y := pageOf(d, 40), pageOf(d, 41)
+	d.WriteOperand(0, x)
+	d.WriteOperand(1, y)
+	if _, err := d.Bitwise(And, 0, 1, Reallocated); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.BitwiseOps != 1 || s.Reallocations != 1 || s.Programs < 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.WriteAmplification <= 1 {
+		t.Fatalf("WA = %v, expected > 1 after realloc", s.WriteAmplification)
+	}
+	if d.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	d.Reclaim()
+}
+
+func TestPublicErrorModel(t *testing.T) {
+	// With the error model installed and a cycled device, ParaBit results
+	// can carry bit flips; a fresh device's results are clean.
+	d := newTestDevice(t, WithErrorModel(1))
+	x, y := pageOf(d, 50), pageOf(d, 51)
+	d.WriteOperandPair(0, 1, x, y)
+	r, err := d.Bitwise(Xor, 0, 1, PreAllocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh blocks: zero P/E, so no injected errors.
+	for i := range r.Data {
+		if r.Data[i] != x[i]^y[i] {
+			t.Fatal("fresh-device result corrupted")
+		}
+	}
+	if d.Stats().InjectedFlips != 0 {
+		t.Fatal("flips injected at zero P/E")
+	}
+}
+
+func TestPublicBitwiseToHost(t *testing.T) {
+	d := newTestDevice(t)
+	x, y := pageOf(d, 60), pageOf(d, 61)
+	d.WriteOperandPair(0, 1, x, y)
+	r, err := d.BitwiseToHost(Or, 0, 1, PreAllocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HostLatency <= r.Latency {
+		t.Fatal("host latency not larger than device latency")
+	}
+}
+
+func TestPlanReducePublic(t *testing.T) {
+	p := PlanReduce(Reallocated, And, 360, 100_000_000)
+	if p.ComputeSeconds < 5.5 || p.ComputeSeconds > 7 {
+		t.Errorf("bitmap ReAlloc plan = %.2fs, want ≈6.1", p.ComputeSeconds)
+	}
+	if p.Reallocations != 359 {
+		t.Errorf("reallocations = %d", p.Reallocations)
+	}
+}
+
+func TestRunExperimentPublic(t *testing.T) {
+	out, err := RunExperiment("fig13a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "XOR") || !strings.Contains(out, "100.0µs") {
+		t.Fatalf("fig13a output:\n%s", out)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	ids := Experiments()
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments", len(ids))
+	}
+}
+
+func TestBadOpAndSchemePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid op accepted")
+		}
+	}()
+	_ = Op(99).String()
+}
+
+func TestPublicECCAsymmetry(t *testing.T) {
+	// With ECC + an aggressive noise model on a cycled device, baseline
+	// reads come back clean while ParaBit results carry errors — §4.4.3
+	// made observable through the public API.
+	d := newTestDevice(t, WithErrorModel(7), WithECC())
+	// Age a block by cycling the whole device's first blocks via churn:
+	// write/overwrite the same LPNs enough to trigger GC erases.
+	data := pageOf(d, 70)
+	// Over a device-capacity of overwrites so GC erases blocks.
+	for i := 0; i < 40000; i++ {
+		if err := d.Write(uint64(i%16), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Baseline read: corrected, identical to the last write.
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("baseline read corrupted despite ECC")
+	}
+	s := d.Stats()
+	if s.Erases == 0 {
+		t.Fatal("churn did not cycle any blocks")
+	}
+}
+
+func TestStudiesPublicAPI(t *testing.T) {
+	seg, err := SegmentationStudy(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) != 5 {
+		t.Fatalf("%d breakdowns", len(seg))
+	}
+	// Order: PIM, ISC, ReAlloc, ParaBit, LocFree; ParaBit moves no
+	// operands and wins against PIM.
+	if seg[0].Scheme != "PIM" || seg[3].Scheme != "ParaBit" {
+		t.Fatalf("order: %v, %v", seg[0].Scheme, seg[3].Scheme)
+	}
+	if seg[3].OperandMoveSeconds != 0 {
+		t.Fatal("ParaBit moved operands")
+	}
+	if seg[3].PipelinedSeconds >= seg[0].TotalSeconds {
+		t.Fatal("ParaBit not faster than PIM")
+	}
+	if _, err := SegmentationStudy(0); err == nil {
+		t.Fatal("zero images accepted")
+	}
+	bm, err := BitmapStudy(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm[2].ReallocatedGB <= 0 {
+		t.Fatal("bitmap ReAlloc volume missing")
+	}
+	if _, err := BitmapStudy(-1); err == nil {
+		t.Fatal("negative months accepted")
+	}
+	enc, err := EncryptionStudy(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[2].TotalSeconds != enc[3].TotalSeconds {
+		t.Fatal("encryption ParaBit != ReAlloc")
+	}
+	if _, err := EncryptionStudy(0); err == nil {
+		t.Fatal("zero images accepted")
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	out, err := RunExperimentCSV("endurance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 workloads
+		t.Fatalf("%d CSV lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "workload,") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if _, err := RunExperimentCSV("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

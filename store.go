@@ -1,0 +1,188 @@
+package parabit
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// ColumnStore is a bitmap-index-style store built on a ParaBit device:
+// named bit columns of a fixed width, with bulk AND/OR/XOR queries that
+// execute inside the SSD. It is the downstream-facing shape of the
+// paper's bitmap-index case study (§5.3.2): columns are laid out so that
+// page i of every column lives on the same plane, and a query over any
+// set of columns runs as per-plane location-free chained reductions —
+// no operand ever crosses the host link; only result pages do.
+type ColumnStore struct {
+	dev *Device
+	// bits is the column width; pages is its page count.
+	bits  int
+	pages int
+	// columns maps a name to its pages' LPNs (pages[i] on plane i%P).
+	columns map[string][]uint64
+	nextLPN uint64
+}
+
+// Store errors.
+var (
+	// ErrColumnExists reports a Put with a name already present.
+	ErrColumnExists = errors.New("parabit: column already exists")
+	// ErrNoColumn reports a query naming an absent column.
+	ErrNoColumn = errors.New("parabit: no such column")
+	// ErrColumnWidth reports column data of the wrong length.
+	ErrColumnWidth = errors.New("parabit: column data has wrong width")
+	// ErrQueryShape reports a query over fewer than two columns.
+	ErrQueryShape = errors.New("parabit: query needs at least two columns")
+)
+
+// NewColumnStore builds a store of columns with the given width in bits
+// (rounded up to whole pages internally; queries report exactly `bits`).
+func NewColumnStore(dev *Device, bitWidth int) (*ColumnStore, error) {
+	if bitWidth <= 0 {
+		return nil, fmt.Errorf("parabit: column width %d", bitWidth)
+	}
+	pageBits := dev.PageSize() * 8
+	return &ColumnStore{
+		dev:     dev,
+		bits:    bitWidth,
+		pages:   (bitWidth + pageBits - 1) / pageBits,
+		columns: make(map[string][]uint64),
+	}, nil
+}
+
+// Bits returns the column width.
+func (cs *ColumnStore) Bits() int { return cs.bits }
+
+// Columns returns the stored column names, sorted.
+func (cs *ColumnStore) Columns() []string {
+	out := make([]string, 0, len(cs.columns))
+	for name := range cs.columns {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put stores a new column. data is the packed little-endian bit vector;
+// it must hold exactly Bits() bits (rounded up to whole bytes).
+func (cs *ColumnStore) Put(name string, data []byte) error {
+	if _, ok := cs.columns[name]; ok {
+		return fmt.Errorf("%w: %q", ErrColumnExists, name)
+	}
+	wantBytes := (cs.bits + 7) / 8
+	if len(data) != wantBytes {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrColumnWidth, len(data), wantBytes)
+	}
+	ps := cs.dev.PageSize()
+	lpns := make([]uint64, cs.pages)
+	for p := 0; p < cs.pages; p++ {
+		page := make([]byte, ps)
+		start := p * ps
+		if start < len(data) {
+			copy(page, data[start:])
+		}
+		lpn := cs.allocLPN()
+		// Page p of every column shares plane p: cross-column chains
+		// stay location-free.
+		if _, err := cs.dev.dev.WriteOperandOnPlane(p, lpn, page, cs.dev.now); err != nil {
+			return err
+		}
+		lpns[p] = lpn
+	}
+	cs.dev.now = cs.dev.dev.DrainTime()
+	cs.columns[name] = lpns
+	return nil
+}
+
+func (cs *ColumnStore) allocLPN() uint64 {
+	lpn := cs.nextLPN
+	cs.nextLPN++
+	return lpn
+}
+
+// Delete removes a column, trimming its pages.
+func (cs *ColumnStore) Delete(name string) error {
+	lpns, ok := cs.columns[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoColumn, name)
+	}
+	for _, lpn := range lpns {
+		cs.dev.dev.FTL().Trim(lpn)
+	}
+	delete(cs.columns, name)
+	return nil
+}
+
+// QueryResult is the outcome of a column query.
+type QueryResult struct {
+	// Data is the packed result column (Bits() bits).
+	Data []byte
+	// Count is the number of set bits in the result.
+	Count int
+	// Latency is the modeled in-SSD time for the whole query, including
+	// shipping result pages to the host.
+	Latency time.Duration
+}
+
+// And intersects the named columns in-flash (e.g. "users active on every
+// listed day").
+func (cs *ColumnStore) And(names ...string) (QueryResult, error) { return cs.query(And, names) }
+
+// Or unions the named columns in-flash.
+func (cs *ColumnStore) Or(names ...string) (QueryResult, error) { return cs.query(Or, names) }
+
+// Xor computes the symmetric difference chain of the named columns
+// in-flash (e.g. change detection between snapshots).
+func (cs *ColumnStore) Xor(names ...string) (QueryResult, error) { return cs.query(Xor, names) }
+
+func (cs *ColumnStore) query(op Op, names []string) (QueryResult, error) {
+	if len(names) < 2 {
+		return QueryResult{}, ErrQueryShape
+	}
+	cols := make([][]uint64, len(names))
+	for i, name := range names {
+		lpns, ok := cs.columns[name]
+		if !ok {
+			return QueryResult{}, fmt.Errorf("%w: %q", ErrNoColumn, name)
+		}
+		cols[i] = lpns
+	}
+	start := cs.dev.now
+	ps := cs.dev.PageSize()
+	out := make([]byte, cs.pages*ps)
+	// Page position p across all columns reduces on its own plane; the
+	// positions are independent and issue at the same instant, so the
+	// device's plane parallelism applies across them.
+	var latest = start
+	for p := 0; p < cs.pages; p++ {
+		lpns := make([]uint64, len(cols))
+		for i := range cols {
+			lpns[i] = cols[i][p]
+		}
+		r, err := cs.dev.dev.Reduce(op.latch(), lpns, LocationFree.ssd(), start)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		copy(out[p*ps:], r.Data)
+		hostDone := cs.dev.dev.HostLink().Transfer(int64(ps), r.Done)
+		if hostDone > latest {
+			latest = hostDone
+		}
+	}
+	cs.dev.now = latest
+	// Trim to the declared width and count.
+	res := QueryResult{
+		Data:    out[:(cs.bits+7)/8],
+		Latency: time.Duration(latest - start),
+	}
+	// Mask tail bits beyond the width before counting.
+	if rem := cs.bits % 8; rem != 0 {
+		res.Data[len(res.Data)-1] &= byte(1<<rem) - 1
+	}
+	for _, b := range res.Data {
+		res.Count += bits.OnesCount8(b)
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package parabit
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newStore(t *testing.T, bits int) (*Device, *ColumnStore) {
+	t.Helper()
+	d := newTestDevice(t)
+	cs, err := NewColumnStore(d, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cs
+}
+
+func randBits(seed int64, bits int) []byte {
+	b := make([]byte, (bits+7)/8)
+	rand.New(rand.NewSource(seed)).Read(b)
+	if rem := bits % 8; rem != 0 {
+		b[len(b)-1] &= byte(1<<rem) - 1
+	}
+	return b
+}
+
+func TestStorePutAndQuery(t *testing.T) {
+	d, cs := newStore(t, 3000)
+	_ = d
+	a := randBits(1, 3000)
+	b := randBits(2, 3000)
+	c := randBits(3, 3000)
+	for name, data := range map[string][]byte{"a": a, "b": b, "c": c} {
+		if err := cs.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := func(f func(x, y byte) byte, cols ...[]byte) []byte {
+		out := append([]byte(nil), cols[0]...)
+		for _, col := range cols[1:] {
+			for i := range out {
+				out[i] = f(out[i], col[i])
+			}
+		}
+		return out
+	}
+	r, err := cs.And("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Data, want(func(x, y byte) byte { return x & y }, a, b, c)) {
+		t.Fatal("AND query wrong")
+	}
+	if r.Latency <= 0 {
+		t.Fatal("no modeled latency")
+	}
+	r, _ = cs.Or("a", "b")
+	if !bytes.Equal(r.Data, want(func(x, y byte) byte { return x | y }, a, b)) {
+		t.Fatal("OR query wrong")
+	}
+	r, _ = cs.Xor("a", "c")
+	if !bytes.Equal(r.Data, want(func(x, y byte) byte { return x ^ y }, a, c)) {
+		t.Fatal("XOR query wrong")
+	}
+}
+
+func TestStoreQueriesAreLocationFree(t *testing.T) {
+	d, cs := newStore(t, 2000)
+	for i := 0; i < 6; i++ {
+		if err := cs.Put(string(rune('a'+i)), randBits(int64(10+i), 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.And("a", "b", "c", "d", "e", "f"); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Reallocations != 0 || s.Fallbacks != 0 {
+		t.Fatalf("store query reallocated: %+v", s)
+	}
+}
+
+func TestStoreCount(t *testing.T) {
+	_, cs := newStore(t, 100)
+	a := make([]byte, 13)
+	b := make([]byte, 13)
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			a[i/8] |= 1 << (i % 8)
+		}
+		if i%3 == 0 {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	cs.Put("even", a)
+	cs.Put("div3", b)
+	r, err := cs.And("even", "div3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiples of 6 in [0,100): 0,6,...,96 -> 17.
+	if r.Count != 17 {
+		t.Fatalf("count = %d, want 17", r.Count)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	d, cs := newStore(t, 1000)
+	if err := cs.Put("a", make([]byte, 10)); !errors.Is(err, ErrColumnWidth) {
+		t.Fatalf("wrong width: %v", err)
+	}
+	if err := cs.Put("a", randBits(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Put("a", randBits(2, 1000)); !errors.Is(err, ErrColumnExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := cs.And("a"); !errors.Is(err, ErrQueryShape) {
+		t.Fatalf("single column: %v", err)
+	}
+	if _, err := cs.And("a", "ghost"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("missing column: %v", err)
+	}
+	if _, err := NewColumnStore(d, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	_, cs := newStore(t, 500)
+	cs.Put("a", randBits(1, 500))
+	cs.Put("b", randBits(2, 500))
+	if err := cs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Delete("a"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if got := cs.Columns(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("columns = %v", got)
+	}
+}
+
+func TestStoreMultiPageColumns(t *testing.T) {
+	// Columns wider than one page: each page position must reduce
+	// independently and correctly.
+	d := newTestDevice(t)
+	ps := d.PageSize()
+	bits := ps * 8 * 3 // three pages per column
+	cs2, err := NewColumnStore(d, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randBits(5, bits)
+	b := randBits(6, bits)
+	cs2.Put("a", a)
+	cs2.Put("b", b)
+	r, err := cs2.And("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Data {
+		if r.Data[i] != a[i]&b[i] {
+			t.Fatalf("byte %d wrong", i)
+		}
+	}
+	if d.Stats().Fallbacks != 0 {
+		t.Fatal("multi-page query fell back to realloc")
+	}
+}

@@ -1,0 +1,74 @@
+package parabit
+
+import (
+	"fmt"
+
+	"parabit/internal/experiments"
+)
+
+// StudyBreakdown is one scheme's execution-time split for a case study:
+// the structured form of the paper's Fig. 14 stacked bars, for
+// programmatic use (the text tables come from RunExperiment).
+type StudyBreakdown struct {
+	// Scheme names the execution: "PIM", "ISC", "ParaBit",
+	// "ParaBit-ReAlloc" or "ParaBit-LocFree".
+	Scheme string
+	// OperandMoveSeconds is SSD-to-memory operand movement (baselines).
+	OperandMoveSeconds float64
+	// BitwiseSeconds is compute time (DRAM, FPGA or in-flash).
+	BitwiseSeconds float64
+	// ResultMoveSeconds is result shipping to the host (ParaBit schemes).
+	ResultMoveSeconds float64
+	// TotalSeconds runs phases back to back; PipelinedSeconds overlaps
+	// compute with result movement (the paper's "+Res-Move").
+	TotalSeconds     float64
+	PipelinedSeconds float64
+	// ReallocatedGB is the logical operand volume reallocated (§5.4's
+	// endurance input).
+	ReallocatedGB float64
+}
+
+func toBreakdowns(rows []experiments.Breakdown) []StudyBreakdown {
+	out := make([]StudyBreakdown, len(rows))
+	for i, b := range rows {
+		out[i] = StudyBreakdown{
+			Scheme:             b.Scheme,
+			OperandMoveSeconds: b.OpeMove,
+			BitwiseSeconds:     b.Bitwise,
+			ResultMoveSeconds:  b.ResMove,
+			TotalSeconds:       b.Total,
+			PipelinedSeconds:   b.TotalPipe,
+			ReallocatedGB:      b.ReallocGB,
+		}
+	}
+	return out
+}
+
+// SegmentationStudy plans the §5.3.1 image-segmentation case study at
+// paper scale for the given image count (the paper sweeps 10,000 to
+// 200,000), returning one breakdown per scheme in the order PIM, ISC,
+// ParaBit-ReAlloc, ParaBit, ParaBit-LocFree.
+func SegmentationStudy(images int) ([]StudyBreakdown, error) {
+	if images <= 0 {
+		return nil, fmt.Errorf("parabit: image count %d", images)
+	}
+	return toBreakdowns(experiments.SegmentationStudy(experiments.DefaultEnv(), images)), nil
+}
+
+// BitmapStudy plans the §5.3.2 bitmap-index case study for m months of
+// daily activity over 800 million users (the paper sweeps m = 1 to 12).
+func BitmapStudy(months int) ([]StudyBreakdown, error) {
+	if months <= 0 {
+		return nil, fmt.Errorf("parabit: month count %d", months)
+	}
+	return toBreakdowns(experiments.BitmapStudy(experiments.DefaultEnv(), months)), nil
+}
+
+// EncryptionStudy plans the §5.3.3 image-encryption case study for the
+// given image count (the paper sweeps 5,000 to 100,000).
+func EncryptionStudy(images int) ([]StudyBreakdown, error) {
+	if images <= 0 {
+		return nil, fmt.Errorf("parabit: image count %d", images)
+	}
+	return toBreakdowns(experiments.EncryptionStudy(experiments.DefaultEnv(), images)), nil
+}
