@@ -5,21 +5,36 @@
 //	parabit-bench -list             list available experiments
 //	parabit-bench -run fig13a      regenerate one experiment
 //	parabit-bench -run all         regenerate everything
+//	parabit-bench -hammer 16       drive one device from 16 concurrent clients
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
+	"time"
 
 	"parabit"
+	"parabit/internal/sched"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment id to run, or \"all\"")
 	format := flag.String("format", "table", "output format: table or csv")
+	hammer := flag.Int("hammer", 0, "drive one device from N concurrent clients and report scheduler stats")
+	hammerOps := flag.Int("hammer-ops", 200, "operations per hammer client")
 	flag.Parse()
+
+	if *hammer > 0 {
+		if err := runHammer(*hammer, *hammerOps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	render := parabit.RunExperiment
 	if *format == "csv" {
@@ -48,4 +63,94 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runHammer drives one device from n concurrent clients with a mixed
+// write/read/bitwise/reduce workload and reports how the command
+// scheduler batched it: queue depths, dispatch rounds, and how much the
+// simulated plane parallelism overlapped command service.
+func runHammer(n, ops int) error {
+	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	if err != nil {
+		return err
+	}
+	const shared = 8
+	for i := 0; i < shared; i += 2 {
+		a, b := make([]byte, dev.PageSize()), make([]byte, dev.PageSize())
+		rand.New(rand.NewSource(int64(i))).Read(a)
+		rand.New(rand.NewSource(int64(i + 1))).Read(b)
+		if err := dev.WriteOperandPair(uint64(i), uint64(i+1), a, b); err != nil {
+			return err
+		}
+	}
+	assoc := []parabit.Op{parabit.And, parabit.Or, parabit.Xor}
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := uint64(100 + 50*w)
+			page := make([]byte, dev.PageSize())
+			// Issue in bursts of outstanding commands, like an NVMe queue
+			// with depth > 1, then reap the burst.
+			for i := 0; i < ops; {
+				burst := 1 + rng.Intn(8)
+				if burst > ops-i {
+					burst = ops - i
+				}
+				pending := make([]*parabit.Pending, 0, burst)
+				for j := 0; j < burst; j++ {
+					switch rng.Intn(4) {
+					case 0:
+						rng.Read(page)
+						pending = append(pending, dev.WriteAsync(base+uint64(rng.Intn(16)), page))
+					case 1:
+						pair := uint64(2 * rng.Intn(shared/2))
+						pending = append(pending, dev.BitwiseAsync(assoc[rng.Intn(len(assoc))],
+							pair, pair+1, parabit.PreAllocated))
+					case 2:
+						pending = append(pending, dev.ReduceAsync(assoc[rng.Intn(len(assoc))],
+							[]uint64{0, 1, 2}, parabit.Reallocated))
+					case 3:
+						rng.Read(page)
+						pending = append(pending, dev.WriteOperandAsync(base+uint64(rng.Intn(16)), page))
+					}
+				}
+				i += burst
+				for _, p := range pending {
+					if _, err := p.Wait(); err != nil {
+						errCh <- fmt.Errorf("client %d: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	dev.Flush()
+	wall := time.Since(wallStart)
+	st := dev.Stats()
+	ss := dev.SchedulerStats()
+	fmt.Printf("hammer: %d clients x %d ops in %v wall\n", n, ops, wall.Round(time.Millisecond))
+	fmt.Printf("  virtual elapsed    %v\n", dev.Elapsed())
+	fmt.Printf("  commands           %d in %d batches (max batch %d)\n", st.Commands, st.Batches, st.MaxBatch)
+	fmt.Printf("  plane overlap      %.2fx (summed service / makespan)\n", st.Utilization)
+	fmt.Printf("  bitwise ops        %d (%d fallbacks, %d reallocations)\n",
+		st.BitwiseOps, st.Fallbacks, st.Reallocations)
+	fmt.Printf("  write amplification %.3f\n", st.WriteAmplification)
+	fmt.Println("  per-queue: kind submitted maxdepth busy")
+	for k, q := range ss.Queues {
+		if q.Submitted == 0 {
+			continue
+		}
+		fmt.Printf("    %-14s %9d %8d %v\n", sched.Kind(k).String(), q.Submitted, q.MaxDepth, q.Busy.Std())
+	}
+	return nil
 }

@@ -1,0 +1,234 @@
+package parabit
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDeviceConcurrentClients hammers one public Device from many
+// goroutines with mixed writes, reads, bitwise ops and reductions — the
+// scheduler's concurrency contract, meant to run under -race. Every
+// result is checked bit-exact and the FTL bookkeeping is verified after.
+func TestDeviceConcurrentClients(t *testing.T) {
+	d := newTestDevice(t)
+	const (
+		workers = 10
+		ops     = 40
+		shared  = 6
+	)
+	// Shared read-only operands, laid out pre-allocated in pairs so the
+	// PreAllocated scheme also exercises without fallbacks.
+	sharedData := make([][]byte, shared)
+	for i := 0; i < shared; i += 2 {
+		sharedData[i] = pageOf(d, int64(50+i))
+		sharedData[i+1] = pageOf(d, int64(51+i))
+		if err := d.WriteOperandPair(uint64(i), uint64(i+1), sharedData[i], sharedData[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenOp := func(op Op, a, b []byte) []byte {
+		out := make([]byte, len(a))
+		for i := range out {
+			switch op {
+			case And:
+				out[i] = a[i] & b[i]
+			case Or:
+				out[i] = a[i] | b[i]
+			case Xor:
+				out[i] = a[i] ^ b[i]
+			}
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			base := uint64(500 + 50*w)
+			last := make(map[uint64][]byte)
+			assoc := []Op{And, Or, Xor}
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(5) {
+				case 0, 1:
+					lpn := base + uint64(rng.Intn(10))
+					data := pageOf(d, int64(w*1000+i))
+					if err := d.Write(lpn, data); err != nil {
+						errs <- fmt.Errorf("worker %d write: %w", w, err)
+						return
+					}
+					last[lpn] = data
+				case 2:
+					for lpn, want := range last {
+						got, err := d.Read(lpn)
+						if err != nil {
+							errs <- fmt.Errorf("worker %d read: %w", w, err)
+							return
+						}
+						if !bytes.Equal(got, want) {
+							errs <- fmt.Errorf("worker %d lpn %d: wrong data read back", w, lpn)
+							return
+						}
+						break
+					}
+				case 3:
+					op := assoc[rng.Intn(len(assoc))]
+					pair := 2 * rng.Intn(shared/2)
+					r, err := d.Bitwise(op, uint64(pair), uint64(pair+1), PreAllocated)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d bitwise: %w", w, err)
+						return
+					}
+					if !bytes.Equal(r.Data, goldenOp(op, sharedData[pair], sharedData[pair+1])) {
+						errs <- fmt.Errorf("worker %d bitwise %v(%d): wrong result", w, op, pair)
+						return
+					}
+				case 4:
+					op := assoc[rng.Intn(len(assoc))]
+					a, b, c := rng.Intn(shared), rng.Intn(shared), rng.Intn(shared)
+					r, err := d.Reduce(op, []uint64{uint64(a), uint64(b), uint64(c)}, Reallocated)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d reduce: %w", w, err)
+						return
+					}
+					want := goldenOp(op, goldenOp(op, sharedData[a], sharedData[b]), sharedData[c])
+					if !bytes.Equal(r.Data, want) {
+						errs <- fmt.Errorf("worker %d reduce %v: wrong result", w, op)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	d.Flush()
+	st := d.Stats()
+	if st.Commands == 0 || st.Batches == 0 {
+		t.Fatalf("scheduler saw no work: %+v", st)
+	}
+	if err := d.dev.FTL().CheckInvariants(); err != nil {
+		t.Errorf("FTL invariants violated: %v", err)
+	}
+	// Every pre-paired bitwise op should have sensed directly.
+	if st.Fallbacks != 0 {
+		t.Errorf("pre-allocated operands caused %d fallbacks", st.Fallbacks)
+	}
+}
+
+// TestAsyncBurstBatches submits a burst of commands through the public
+// async API before reaping any of them; the scheduler must dispatch the
+// whole burst as one batch so the per-plane operations overlap.
+func TestAsyncBurstBatches(t *testing.T) {
+	d := newTestDevice(t)
+	const pairs = 4
+	data := make([][]byte, 2*pairs)
+	for i := 0; i < 2*pairs; i += 2 {
+		data[i] = pageOf(d, int64(10+i))
+		data[i+1] = pageOf(d, int64(11+i))
+		if err := d.WriteOperandPair(uint64(i), uint64(i+1), data[i], data[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	pending := make([]*Pending, pairs)
+	for p := 0; p < pairs; p++ {
+		pending[p] = d.BitwiseAsync(And, uint64(2*p), uint64(2*p+1), PreAllocated)
+	}
+	for p, pd := range pending {
+		r, err := pd.Wait()
+		if err != nil {
+			t.Fatalf("pair %d: %v", p, err)
+		}
+		for i := range r.Data {
+			if r.Data[i] != data[2*p][i]&data[2*p+1][i] {
+				t.Fatalf("pair %d: wrong AND result at byte %d", p, i)
+			}
+		}
+	}
+	if ss := d.SchedulerStats(); ss.MaxBatch < pairs {
+		t.Errorf("burst of %d dispatched with max batch %d; want a single batch", pairs, ss.MaxBatch)
+	}
+}
+
+// TestColumnStoreConcurrentClients runs concurrent Puts and queries
+// against one store; queries batch their per-plane reductions and must
+// return exact results throughout.
+func TestColumnStoreConcurrentClients(t *testing.T) {
+	d := newTestDevice(t)
+	const width = 4096
+	cs, err := NewColumnStore(d, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colBytes := width / 8
+	mkCol := func(seed int64) []byte {
+		b := make([]byte, colBytes)
+		rand.New(rand.NewSource(seed)).Read(b)
+		return b
+	}
+	// Seed columns so queries always have operands.
+	base := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("seed%d", i)
+		base[name] = mkCol(int64(i))
+		if err := cs.Put(name, base[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				// Writer: adds private columns.
+				for i := 0; i < 4; i++ {
+					name := fmt.Sprintf("w%d-%d", w, i)
+					if err := cs.Put(name, mkCol(int64(100*w+i))); err != nil {
+						errs <- fmt.Errorf("put %s: %w", name, err)
+						return
+					}
+				}
+				return
+			}
+			// Reader: intersects two seed columns, checks exact bits.
+			want := make([]byte, colBytes)
+			for i := range want {
+				want[i] = base["seed0"][i] & base["seed1"][i]
+			}
+			for i := 0; i < 4; i++ {
+				r, err := cs.And("seed0", "seed1")
+				if err != nil {
+					errs <- fmt.Errorf("query: %w", err)
+					return
+				}
+				if !bytes.Equal(r.Data, want) {
+					errs <- fmt.Errorf("worker %d query %d: wrong intersection", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := len(cs.Columns()); got != 4+4*4 {
+		t.Fatalf("store holds %d columns, want %d", got, 4+4*4)
+	}
+	if err := d.dev.FTL().CheckInvariants(); err != nil {
+		t.Errorf("FTL invariants violated: %v", err)
+	}
+}

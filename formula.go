@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"parabit/internal/nvme"
+	"parabit/internal/sched"
 )
 
 // Operand names a byte range of logical pages participating in a formula.
@@ -65,15 +66,17 @@ type FormulaResult struct {
 // Execute runs the formula on the device under the scheme. Results ship
 // to the host.
 func (d *Device) Execute(f Formula, scheme Scheme) (FormulaResult, error) {
-	start := d.now
-	res, err := d.dev.ExecuteFormula(f.wire(d.PageSize()), scheme.ssd(), start)
-	if err != nil {
-		return FormulaResult{}, err
+	r := d.sched.Submit(sched.Command{
+		Kind:    sched.KindFormula,
+		Formula: f.wire(d.PageSize()),
+		Scheme:  scheme.ssd(),
+	}).Wait()
+	if r.Err != nil {
+		return FormulaResult{}, r.Err
 	}
-	d.now = res.HostDone
 	return FormulaResult{
-		Pages:       res.Pages,
-		Latency:     res.Done.Sub(start).Std(),
-		HostLatency: res.HostDone.Sub(start).Std(),
+		Pages:       r.Pages,
+		Latency:     r.Done.Sub(r.Start).Std(),
+		HostLatency: r.HostDone.Sub(r.Start).Std(),
 	}, nil
 }

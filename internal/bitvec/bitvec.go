@@ -180,17 +180,28 @@ func XorInto(dst, a, b *Vector) {
 	dst.maskTail()
 }
 
-// Slice returns a copy of bits [from, to).
+// Slice returns a copy of bits [from, to). It copies whole 64-bit words,
+// stitching each output word from the two source words it straddles when
+// the offset is not word-aligned.
 func (v *Vector) Slice(from, to int) *Vector {
 	if from < 0 || to > v.n || from > to {
 		panic(fmt.Sprintf("bitvec: bad slice [%d,%d) of %d", from, to, v.n))
 	}
 	out := New(to - from)
-	for i := from; i < to; i++ {
-		if v.Get(i) {
-			out.Set(i-from, true)
-		}
+	w, off := from/64, uint(from%64)
+	if off == 0 {
+		copy(out.words, v.words[w:])
+		out.maskTail()
+		return out
 	}
+	for i := range out.words {
+		word := v.words[w+i] >> off
+		if w+i+1 < len(v.words) {
+			word |= v.words[w+i+1] << (64 - off)
+		}
+		out.words[i] = word
+	}
+	out.maskTail()
 	return out
 }
 

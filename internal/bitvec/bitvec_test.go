@@ -260,3 +260,67 @@ func BenchmarkAnd8KBPage(b *testing.B) {
 		AndInto(dst, a, c)
 	}
 }
+
+// sliceNaive is the reference bit-at-a-time implementation the word-wise
+// Slice replaced; the equivalence test pins the rewrite to it.
+func sliceNaive(v *Vector, from, to int) *Vector {
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		if v.Get(i) {
+			out.Set(i-from, true)
+		}
+	}
+	return out
+}
+
+func TestSliceMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lengths := []int{0, 1, 7, 63, 64, 65, 127, 128, 129, 1000}
+	for _, n := range lengths {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		// Edge offsets/lengths: word boundaries, off-by-ones, empty, full.
+		marks := []int{0, 1, 31, 63, 64, 65, n / 2, n - 64, n - 1, n}
+		for _, from := range marks {
+			if from < 0 || from > n {
+				continue
+			}
+			for _, to := range marks {
+				if to < from || to > n {
+					continue
+				}
+				got := v.Slice(from, to)
+				want := sliceNaive(v, from, to)
+				if !got.Equal(want) {
+					t.Fatalf("Slice(%d,%d) of len %d:\n got %s\nwant %s", from, to, n, got, want)
+				}
+			}
+		}
+		// Random spans for good measure.
+		for k := 0; k < 50 && n > 0; k++ {
+			from := rng.Intn(n + 1)
+			to := from + rng.Intn(n-from+1)
+			got := v.Slice(from, to)
+			want := sliceNaive(v, from, to)
+			if !got.Equal(want) {
+				t.Fatalf("Slice(%d,%d) of len %d:\n got %s\nwant %s", from, to, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSliceIsACopy(t *testing.T) {
+	v := New(128)
+	v.Set(5, true)
+	s := v.Slice(0, 64)
+	s.Set(6, true)
+	if v.Get(6) {
+		t.Fatal("mutating a slice leaked into the source vector")
+	}
+	v.Set(7, true)
+	if s.Get(7) {
+		t.Fatal("mutating the source leaked into a prior slice")
+	}
+}

@@ -303,6 +303,25 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 	pa.free = append(pa.free[:wornIdx], pa.free[wornIdx+1:]...)
 	now := at
 	dst := 0 // next page slot (linear) in the worn block
+	// abort restores the plane lists after a mid-migration failure: the
+	// worn block is sealed only if it absorbed any programs (it is still
+	// erased otherwise and can rejoin the free pool), and the cold block
+	// leaves pa.full once it holds no valid data — a failure must not
+	// leave a drained cold block sealed alongside the half-sealed worn
+	// block.
+	abort := func() {
+		if dst > 0 {
+			pa.full = append(pa.full, worn)
+		} else {
+			pa.free = append(pa.free, worn)
+		}
+		if pa.valid[cold] == 0 {
+			if _, err := f.array.Erase(pa.addr, cold, now); err == nil {
+				pa.full = append(pa.full[:coldIdx], pa.full[coldIdx+1:]...)
+				pa.free = append(pa.free, cold)
+			}
+		}
+	}
 	writeSlot := func(lpn uint64, data []byte) bool {
 		kind := flash.PageKind(dst % f.geo.CellBits)
 		wl := dst / f.geo.CellBits
@@ -328,33 +347,54 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 			}
 			lpn, ok := f.p2l[f.geo.PPN(addr)]
 			if !ok {
-				// Keep program order in the destination: pad the slot.
-				if dst%f.geo.CellBits != 0 || pa.valid[cold] > 0 {
-					if !writeSlotPad(f, pa, worn, &dst, &now) {
-						pa.full = append(pa.full, worn)
-						return
-					}
-				}
+				// Invalid source pages migrate nowhere; the destination
+				// cursor stays put and the block compacts.
 				continue
+			}
+			// Pad only to keep the page kind aligned: an LSB-resident
+			// page must land in an LSB slot (and so on), both to respect
+			// LSB-before-MSB program order for the data and to keep
+			// ParaBit's aligned-LSB operand layouts intact across the
+			// migration. Because the source walks slots in linear order,
+			// dst never overtakes the source cursor, so the worn block
+			// always has room.
+			for dst%f.geo.CellBits != int(kind) {
+				if !writeSlotPad(f, pa, worn, &dst, &now) {
+					abort()
+					return
+				}
 			}
 			data, readDone, err := f.array.Read(addr, now)
 			if err != nil {
-				pa.full = append(pa.full, worn)
+				abort()
 				return
 			}
 			now = readDone
 			if !writeSlot(lpn, data) {
-				pa.full = append(pa.full, worn)
+				abort()
 				return
 			}
 			f.stats.ExtraPagesWritten++
 		}
 	}
-	// The worn block now holds the cold data (sealed); the young cold
-	// block is erased into the free pool.
-	pa.full[coldIdx] = worn
+	// The worn block now holds the cold data (sealed, unless the cold
+	// block turned out to hold none and the worn block is still erased);
+	// the young cold block is erased into the free pool. If the erase
+	// fails the cold block stays sealed — it is all garbage now, so GC
+	// will retry.
+	if dst == 0 {
+		pa.free = append(pa.free, worn)
+		if _, err := f.array.Erase(pa.addr, cold, now); err == nil {
+			pa.full = append(pa.full[:coldIdx], pa.full[coldIdx+1:]...)
+			pa.free = append(pa.free, cold)
+		}
+		return
+	}
 	if _, err := f.array.Erase(pa.addr, cold, now); err == nil {
+		pa.full[coldIdx] = worn
 		pa.free = append(pa.free, cold)
+	} else {
+		pa.full = append(pa.full, worn)
 	}
 	f.stats.StaticWLMoves++
 }
@@ -477,12 +517,45 @@ func (f *FTL) writeTo(pa *planeAlloc, lpn uint64, data []byte, at sim.Time, allo
 	return done, nil
 }
 
+// writeStriped programs one page at the round-robin cursor's plane,
+// retrying the remaining planes when the first choice is wedged (no free
+// or active block even after GC). A single full plane must not fail the
+// whole device while its siblings still have room; only when every plane
+// rejects the allocation is the device genuinely full.
+func (f *FTL) writeStriped(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	// Release the old copy once, up front, so GC on any candidate plane
+	// can already collect it.
+	f.invalidate(lpn)
+	var firstErr error
+	for i, n := 0, len(f.order); i < n; i++ {
+		idx := f.cursor
+		pa := f.planes[f.order[idx]]
+		f.cursor = (idx + 1) % n
+		done, err := f.writeTo(pa, lpn, data, at, true)
+		if err == nil {
+			return done, nil
+		}
+		if !errors.Is(err, ErrDeviceFull) {
+			return 0, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// GC relocation inside the failed attempt shares the round-robin
+		// cursor and may have wrapped it back onto the plane just tried;
+		// park it one past that plane so the retry visits each remaining
+		// plane exactly once instead of hammering the wedged one.
+		f.cursor = (idx + 1) % n
+	}
+	return 0, firstErr
+}
+
 // Write stores one logical page, striping across planes.
 func (f *FTL) Write(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return 0, err
 	}
-	done, err := f.writeTo(f.nextPlane(), lpn, data, at, true)
+	done, err := f.writeStriped(lpn, data, at)
 	if err != nil {
 		return 0, err
 	}
@@ -541,7 +614,7 @@ func (f *FTL) WriteRelocation(lpn uint64, data []byte, at sim.Time) (sim.Time, e
 	if err := f.checkLPN(lpn); err != nil {
 		return 0, err
 	}
-	done, err := f.writeTo(f.nextPlane(), lpn, data, at, true)
+	done, err := f.writeStriped(lpn, data, at)
 	if err != nil {
 		return 0, err
 	}
@@ -819,3 +892,78 @@ func (f *FTL) FreeBlocks() int {
 
 // MappedPages reports how many logical pages currently hold data.
 func (f *FTL) MappedPages() int { return len(f.l2p) }
+
+// CheckInvariants verifies the FTL's internal bookkeeping and returns the
+// first violation found, or nil. The invariants it asserts are the ones
+// every allocation path (striped writes, paired writes, GC, read reclaim,
+// static wear leveling) must preserve:
+//
+//   - l2p and p2l are inverse maps of each other;
+//   - on every plane, each block appears in exactly one of the free list,
+//     the active slot, or the full list (and never twice);
+//   - a block's valid-page counter equals the number of p2l entries that
+//     point into it, and free blocks hold no valid pages.
+//
+// Tests — in particular the concurrent scheduler stress tests — call it
+// after hammering a device to prove the shared state stayed coherent.
+func (f *FTL) CheckInvariants() error {
+	for lpn, ppn := range f.l2p {
+		back, ok := f.p2l[ppn]
+		if !ok || back != lpn {
+			return fmt.Errorf("ftl: l2p[%d]=%d but p2l[%d]=%d (ok=%v)", lpn, ppn, ppn, back, ok)
+		}
+	}
+	for ppn, lpn := range f.p2l {
+		fwd, ok := f.l2p[lpn]
+		if !ok || fwd != ppn {
+			return fmt.Errorf("ftl: p2l[%d]=%d but l2p[%d]=%d (ok=%v)", ppn, lpn, lpn, fwd, ok)
+		}
+	}
+	// Valid-page counts per (plane, block) from the reverse map.
+	counts := make(map[int][]int, len(f.planes))
+	for i := range f.planes {
+		counts[i] = make([]int, f.geo.BlocksPerPlane)
+	}
+	for ppn := range f.p2l {
+		addr := f.geo.PageAt(ppn)
+		counts[f.geo.PlaneIndex(addr.PlaneAddr)][addr.Block]++
+	}
+	for i, pa := range f.planes {
+		where := make(map[int]string, f.geo.BlocksPerPlane)
+		note := func(b int, list string) error {
+			if prev, dup := where[b]; dup {
+				return fmt.Errorf("ftl: plane %d block %d in both %s and %s", i, b, prev, list)
+			}
+			where[b] = list
+			return nil
+		}
+		for _, b := range pa.free {
+			if err := note(b, "free"); err != nil {
+				return err
+			}
+		}
+		if pa.active >= 0 {
+			if err := note(pa.active, "active"); err != nil {
+				return err
+			}
+		}
+		for _, b := range pa.full {
+			if err := note(b, "full"); err != nil {
+				return err
+			}
+		}
+		for b := 0; b < f.geo.BlocksPerPlane; b++ {
+			if _, ok := where[b]; !ok {
+				return fmt.Errorf("ftl: plane %d block %d on no list", i, b)
+			}
+			if pa.valid[b] != counts[i][b] {
+				return fmt.Errorf("ftl: plane %d block %d valid=%d but %d mapped pages",
+					i, b, pa.valid[b], counts[i][b])
+			}
+			if where[b] == "free" && pa.valid[b] != 0 {
+				return fmt.Errorf("ftl: plane %d free block %d holds %d valid pages", i, b, pa.valid[b])
+			}
+		}
+	}
+	return nil
+}

@@ -552,3 +552,189 @@ func TestStaticWLDisabledByDefault(t *testing.T) {
 		t.Fatal("static WL ran with zero delta")
 	}
 }
+
+// TestStaticWLCompactsWithoutPadding proves static wear leveling no longer
+// burns a padded program for every invalid source page: a cold block whose
+// invalid pages come in whole wordlines compacts into the worn block with
+// zero pads, and every surviving page keeps its page kind (LSB data stays
+// LSB-resident), preserving LSB-before-MSB program order and ParaBit's
+// aligned layouts.
+func TestStaticWLCompactsWithoutPadding(t *testing.T) {
+	geo := flash.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 16, WordlinesPerBlock: 8, PageSize: 64, CellBits: 2,
+	}
+	cfg := Config{OverprovisionPct: 0.25, GCFreeBlockLow: 2, StaticWLDelta: 4}
+	f := New(flash.NewArray(geo, flash.DefaultTiming()), cfg)
+
+	// Cold block: one block's worth of pages, then trim alternate whole
+	// wordlines so half the block is invalid but the valid half keeps
+	// LSB/MSB pairs together.
+	coldLPNs := geo.PagesPerBlock()
+	for i := 0; i < coldLPNs; i++ {
+		if _, err := f.Write(uint64(i), page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kept := make(map[uint64]flash.PageKind)
+	for i := 0; i < coldLPNs; i++ {
+		if (i/int(geo.CellBits))%2 == 1 { // odd wordlines of the cold block
+			f.Trim(uint64(i))
+			continue
+		}
+		addr, ok := f.Lookup(uint64(i))
+		if !ok {
+			t.Fatalf("cold lpn %d unmapped", i)
+		}
+		kept[uint64(i)] = addr.Kind
+	}
+	// Hot churn elsewhere racks up erase counts until static WL triggers.
+	rng := rand.New(rand.NewSource(7))
+	hotBase := uint64(coldLPNs)
+	for i := 0; f.Stats().StaticWLMoves == 0; i++ {
+		if i > int(geo.TotalPages())*40 {
+			t.Fatal("static wear leveling never triggered")
+		}
+		lpn := hotBase + uint64(rng.Intn(coldLPNs))
+		if _, err := f.Write(lpn, page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pads := f.Stats().PaddedPages; pads != 0 {
+		t.Fatalf("static WL burned %d padded programs; whole-wordline gaps need none", pads)
+	}
+	for lpn, kind := range kept {
+		addr, ok := f.Lookup(lpn)
+		if !ok {
+			t.Fatalf("cold lpn %d lost by migration", lpn)
+		}
+		if addr.Kind != kind {
+			t.Fatalf("cold lpn %d migrated from %v to %v slot; page kind must survive", lpn, kind, addr.Kind)
+		}
+		data, _, err := f.Read(lpn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != page(f, byte(lpn))[0] {
+			t.Fatalf("cold lpn %d corrupted by migration", lpn)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticWLPadsOnlyForKindAlignment checks the complementary case: when
+// the cold block's valid pages sit in MSB slots only, the migration pads
+// exactly one LSB slot per moved page — the minimum required to keep MSB
+// data in MSB slots — instead of one pad per invalid page plus overflow.
+func TestStaticWLPadsOnlyForKindAlignment(t *testing.T) {
+	geo := flash.Geometry{
+		Channels: 1, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 16, WordlinesPerBlock: 8, PageSize: 64, CellBits: 2,
+	}
+	cfg := Config{OverprovisionPct: 0.25, GCFreeBlockLow: 2, StaticWLDelta: 4}
+	f := New(flash.NewArray(geo, flash.DefaultTiming()), cfg)
+
+	coldLPNs := geo.PagesPerBlock()
+	for i := 0; i < coldLPNs; i++ {
+		if _, err := f.Write(uint64(i), page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := 0
+	for i := 0; i < coldLPNs; i++ {
+		addr, ok := f.Lookup(uint64(i))
+		if !ok {
+			t.Fatalf("cold lpn %d unmapped", i)
+		}
+		if addr.Kind == flash.LSBPage {
+			f.Trim(uint64(i))
+		} else {
+			valid++
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	hotBase := uint64(coldLPNs)
+	for i := 0; f.Stats().StaticWLMoves == 0; i++ {
+		if i > int(geo.TotalPages())*40 {
+			t.Fatal("static wear leveling never triggered")
+		}
+		lpn := hotBase + uint64(rng.Intn(coldLPNs))
+		if _, err := f.Write(lpn, page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pads := f.Stats().PaddedPages; pads != int64(valid) {
+		t.Fatalf("static WL padded %d pages, want exactly %d (one LSB filler per migrated MSB page)",
+			pads, valid)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteRetriesPastWedgedPlane fills one plane with fully valid data
+// (so its allocator rejects new blocks) and verifies striped writes still
+// succeed by retrying on the remaining planes instead of reporting the
+// whole device full.
+func TestWriteRetriesPastWedgedPlane(t *testing.T) {
+	geo := flash.Geometry{
+		Channels: 2, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 8, WordlinesPerBlock: 4, PageSize: 64, CellBits: 2,
+	}
+	// GCFreeBlockLow 0 lets a plane run its free list down to the single
+	// reserve block, at which point its allocator refuses new data blocks
+	// even though the sibling plane is wide open.
+	cfg := Config{OverprovisionPct: 0.25, GCFreeBlockLow: 0}
+	f := New(flash.NewArray(geo, flash.DefaultTiming()), cfg)
+
+	// Fill plane 0 completely with valid pages, bypassing GC.
+	pa0 := f.planes[0]
+	lpn := uint64(0)
+	for {
+		if _, err := f.writeTo(pa0, lpn, page(f, byte(lpn)), 0, false); err != nil {
+			if !errors.Is(err, ErrDeviceFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		lpn++
+	}
+	if len(pa0.free) != 0 {
+		t.Fatalf("plane 0 not wedged: %d free blocks", len(pa0.free))
+	}
+	// Striped writes round-robin over both planes; every one must succeed
+	// even when the cursor lands on the wedged plane.
+	for i := 0; i < 3*len(f.planes); i++ {
+		if _, err := f.Write(lpn, page(f, byte(lpn)), 0); err != nil {
+			t.Fatalf("striped write %d: %v (plane 1 still has %d free blocks)",
+				i, err, len(f.planes[1].free))
+		}
+		lpn++
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsAfterChurn exercises the bookkeeping checker across a
+// GC- and wear-leveling-heavy workload.
+func TestCheckInvariantsAfterChurn(t *testing.T) {
+	f := New(flash.NewArray(flash.Small(), flash.DefaultTiming()),
+		Config{OverprovisionPct: 0.2, GCFreeBlockLow: 2, StaticWLDelta: 6})
+	rng := rand.New(rand.NewSource(3))
+	logical := uint64(f.LogicalPages())
+	for i := 0; i < 6000; i++ {
+		lpn := uint64(rng.Intn(int(logical / 4)))
+		if _, err := f.Write(lpn, page(f, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if i%13 == 0 {
+			f.Trim(uint64(rng.Intn(int(logical / 4))))
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package sched provides a concurrency-safe command scheduler fronting an
+// ssd.Device.
+//
+// The simulated device is single-threaded by construction: every operation
+// mutates FTL maps, allocator lists and plane resources, and carries an
+// explicit virtual issue time. sched makes that device safe and useful for
+// many goroutines with a queue-and-batch discipline:
+//
+//   - Submit enqueues a Command and returns a Ticket without touching the
+//     device; it never blocks on simulation work.
+//   - Ticket.Wait dispatches every command queued so far as one batch,
+//     under the scheduler mutex, all sharing the batch's issue instant.
+//     Commands in one batch therefore overlap in virtual time exactly the
+//     way independent page operations overlap on real hardware: the plane,
+//     channel and die resources serialize only where they genuinely
+//     conflict, and the batch completes at the latest per-command finish.
+//   - The issue cursor then advances to that horizon, so the next batch
+//     observes the device drained — a full barrier between batches.
+//
+// Sequential callers (submit, wait, submit, wait …) get batches of one and
+// see exactly the latencies the bare device reports. Concurrent callers
+// get wider batches and a virtual makespan shorter than the sum of their
+// command latencies — the paper's §5.1 parallelism argument, observable
+// through Stats().Utilization.
+//
+// Flush dispatches without submitting (a drain barrier), and Exclusive
+// runs a caller-supplied function against the raw device with the queue
+// drained and the mutex held, for snapshots and maintenance that must not
+// interleave with commands.
+package sched
+
+import (
+	"sync"
+
+	"parabit/internal/latch"
+	"parabit/internal/nvme"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
+)
+
+// Kind identifies what a Command asks the device to do.
+type Kind uint8
+
+// Command kinds. The write kinds mirror the device's operand layouts.
+const (
+	// KindWrite stores one page on the normal (scrambled) data path.
+	KindWrite Kind = iota
+	// KindWriteOperand stores one unscrambled operand page, striped.
+	KindWriteOperand
+	// KindWritePair co-locates two operand pages in one wordline.
+	KindWritePair
+	// KindWriteGroup places operand pages in aligned LSB slots of one plane.
+	KindWriteGroup
+	// KindWriteOnPlane places one operand page in an LSB slot of a chosen plane.
+	KindWriteOnPlane
+	// KindWriteTriple co-locates three operand pages in one TLC wordline.
+	KindWriteTriple
+	// KindRead returns one logical page.
+	KindRead
+	// KindBitwise executes a two-operand in-flash operation.
+	KindBitwise
+	// KindBitwiseTriple executes a three-operand TLC operation.
+	KindBitwiseTriple
+	// KindReduce folds operand pages with an associative operation.
+	KindReduce
+	// KindFormula executes a parsed bitwise formula end to end.
+	KindFormula
+	// KindBarrier performs no device work; it completes when the batch
+	// containing it issues, which makes Wait on it a drain point.
+	KindBarrier
+
+	numKinds = int(KindBarrier) + 1
+)
+
+var kindNames = [numKinds]string{
+	"write", "write-operand", "write-pair", "write-group", "write-on-plane",
+	"write-triple", "read", "bitwise", "bitwise-triple", "reduce", "formula",
+	"barrier",
+}
+
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Command describes one device operation. Which fields matter depends on
+// Kind; unused fields are ignored. Data and Pages are copied at Submit, so
+// callers may reuse their buffers immediately.
+type Command struct {
+	Kind Kind
+	// LPN addresses single-page commands (writes, read, on-plane write).
+	LPN uint64
+	// LPNs addresses multi-operand commands: [first, second] for
+	// KindWritePair/KindBitwise, three entries for the triple kinds, k
+	// entries for KindWriteGroup/KindReduce.
+	LPNs []uint64
+	// Data is the payload of single-page writes.
+	Data []byte
+	// Pages are the payloads of multi-page writes, parallel to LPNs.
+	Pages [][]byte
+	// Plane selects the target plane for KindWriteOnPlane.
+	Plane int
+	// Op is the latch operation for KindBitwise/KindReduce.
+	Op latch.Op
+	// Op3 is the three-operand TLC operation for KindBitwiseTriple.
+	Op3 latch.TLCOp3
+	// Scheme selects the execution scheme for bitwise kinds.
+	Scheme ssd.Scheme
+	// ToHost additionally ships the result over the host link, filling
+	// Result.HostDone (KindBitwise, KindReduce).
+	ToHost bool
+	// Formula is the command stream for KindFormula.
+	Formula nvme.Formula
+}
+
+// Result is the outcome of one command.
+type Result struct {
+	// Data is the result page (bitwise, reduce) or page content (read).
+	Data []byte
+	// Pages holds formula results, one per sub-operation page.
+	Pages [][]byte
+	// Start is the virtual instant the command issued.
+	Start sim.Time
+	// Done is when the command's result was ready at the controller (or
+	// the program completed, for writes).
+	Done sim.Time
+	// HostDone is when the last result byte crossed the host link; zero
+	// unless the command shipped results.
+	HostDone sim.Time
+	// Err is the device error, if any. Failed commands consume no
+	// modeled time beyond their issue instant.
+	Err error
+}
+
+// end returns the command's completion instant.
+func (r Result) end() sim.Time {
+	if r.HostDone > r.Done {
+		return r.HostDone
+	}
+	return r.Done
+}
+
+// Ticket tracks a submitted command. Wait blocks until the command has
+// executed and returns its Result; it may be called from any goroutine,
+// any number of times.
+type Ticket struct {
+	s    *Scheduler
+	cmd  Command
+	done chan struct{}
+	// res is written exactly once, under s.mu, before done closes.
+	res Result
+}
+
+// Wait returns the command's result, dispatching the pending queue if the
+// command has not executed yet.
+func (t *Ticket) Wait() Result {
+	select {
+	case <-t.done:
+		return t.res
+	default:
+	}
+	t.s.mu.Lock()
+	t.s.dispatchLocked()
+	t.s.mu.Unlock()
+	<-t.done
+	return t.res
+}
+
+// QueueStats describes one command kind's queue.
+type QueueStats struct {
+	// Submitted counts commands accepted, Completed those executed,
+	// Errors those that failed.
+	Submitted, Completed, Errors int64
+	// MaxDepth is the high-water mark of commands of this kind pending
+	// at once.
+	MaxDepth int
+	// Busy is the summed per-command service time (completion minus
+	// issue) — across queues it can exceed the makespan, which is what
+	// overlapped execution looks like.
+	Busy sim.Duration
+}
+
+// Stats is a snapshot of scheduler activity.
+type Stats struct {
+	// Queues indexes per-kind counters by Kind.
+	Queues [numKinds]QueueStats
+	// Batches counts dispatches; MaxBatch is the widest single batch.
+	Batches  int64
+	MaxBatch int
+	// Horizon is the virtual clock after the last dispatched batch.
+	Horizon sim.Time
+}
+
+// Submitted totals accepted commands across queues.
+func (s Stats) Submitted() int64 {
+	var n int64
+	for _, q := range s.Queues {
+		n += q.Submitted
+	}
+	return n
+}
+
+// Completed totals executed commands across queues.
+func (s Stats) Completed() int64 {
+	var n int64
+	for _, q := range s.Queues {
+		n += q.Completed
+	}
+	return n
+}
+
+// BusyTime totals per-command service time across queues.
+func (s Stats) BusyTime() sim.Duration {
+	var d sim.Duration
+	for _, q := range s.Queues {
+		d += q.Busy
+	}
+	return d
+}
+
+// Utilization is total service time over the makespan: 1.0 means strictly
+// serial execution; values above 1.0 measure how much command service
+// overlapped in virtual time.
+func (s Stats) Utilization() float64 {
+	if s.Horizon <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime()) / float64(s.Horizon)
+}
+
+// Scheduler serializes access to an ssd.Device and batches concurrent
+// commands onto shared issue instants. Safe for use from many goroutines.
+type Scheduler struct {
+	mu      sync.Mutex
+	dev     *ssd.Device
+	now     sim.Time // issue cursor for the next batch
+	pending []*Ticket
+	depth   [numKinds]int // pending commands per kind
+	stats   Stats
+}
+
+// New wraps a device. The scheduler assumes sole ownership: bypassing it
+// with direct device calls while commands are in flight races.
+func New(dev *ssd.Device) *Scheduler {
+	return &Scheduler{dev: dev}
+}
+
+// Submit enqueues a command. It never blocks on device work; the command
+// executes when any ticket of the current queue is waited on, or at the
+// next Flush/Exclusive. Payload buffers are copied.
+func (s *Scheduler) Submit(cmd Command) *Ticket {
+	cmd.Data = copyPage(cmd.Data)
+	if cmd.Pages != nil {
+		pages := make([][]byte, len(cmd.Pages))
+		for i, p := range cmd.Pages {
+			pages[i] = copyPage(p)
+		}
+		cmd.Pages = pages
+	}
+	if cmd.LPNs != nil {
+		cmd.LPNs = append([]uint64(nil), cmd.LPNs...)
+	}
+	t := &Ticket{s: s, cmd: cmd, done: make(chan struct{})}
+	s.mu.Lock()
+	s.pending = append(s.pending, t)
+	k := cmd.Kind
+	s.stats.Queues[k].Submitted++
+	s.depth[k]++
+	if s.depth[k] > s.stats.Queues[k].MaxDepth {
+		s.stats.Queues[k].MaxDepth = s.depth[k]
+	}
+	s.mu.Unlock()
+	return t
+}
+
+func copyPage(p []byte) []byte {
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// dispatchLocked executes every pending command as one batch. All commands
+// issue at the shared batch instant; the cursor then advances to the
+// latest completion, so the following batch sees the device drained.
+func (s *Scheduler) dispatchLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	batch := s.pending
+	s.pending = nil
+	issue := s.now
+	horizon := issue
+	s.stats.Batches++
+	if len(batch) > s.stats.MaxBatch {
+		s.stats.MaxBatch = len(batch)
+	}
+	for _, t := range batch {
+		t.res = s.exec(&t.cmd, issue)
+		k := t.cmd.Kind
+		s.depth[k]--
+		s.stats.Queues[k].Completed++
+		if t.res.Err != nil {
+			s.stats.Queues[k].Errors++
+		}
+		if end := t.res.end(); end > horizon {
+			horizon = end
+		}
+		s.stats.Queues[k].Busy += t.res.end().Sub(issue)
+		close(t.done)
+	}
+	s.now = horizon
+	s.stats.Horizon = horizon
+}
+
+// exec runs one command against the device at the given issue time.
+func (s *Scheduler) exec(c *Command, issue sim.Time) Result {
+	r := Result{Start: issue, Done: issue}
+	switch c.Kind {
+	case KindBarrier:
+		// No device work: completes the moment its batch issues.
+	case KindWrite:
+		r.Done, r.Err = s.dev.Write(c.LPN, c.Data, issue)
+	case KindWriteOperand:
+		r.Done, r.Err = s.dev.WriteOperand(c.LPN, c.Data, issue)
+	case KindWritePair:
+		r.Done, r.Err = s.dev.WriteOperandPair(c.LPNs[0], c.LPNs[1], c.Pages[0], c.Pages[1], issue)
+	case KindWriteGroup:
+		r.Done, r.Err = s.dev.WriteOperandLSBGroup(c.LPNs, c.Pages, issue)
+	case KindWriteOnPlane:
+		r.Done, r.Err = s.dev.WriteOperandOnPlane(c.Plane, c.LPN, c.Data, issue)
+	case KindWriteTriple:
+		r.Done, r.Err = s.dev.WriteOperandTriple(
+			[3]uint64{c.LPNs[0], c.LPNs[1], c.LPNs[2]},
+			[3][]byte{c.Pages[0], c.Pages[1], c.Pages[2]}, issue)
+	case KindRead:
+		if c.ToHost {
+			r.Data, r.HostDone, r.Err = s.dev.ReadToHost(c.LPN, issue)
+			r.Done = r.HostDone
+		} else {
+			r.Data, r.Done, r.Err = s.dev.Read(c.LPN, issue)
+		}
+	case KindBitwise:
+		br, err := s.dev.Bitwise(c.Op, c.LPNs[0], c.LPNs[1], c.Scheme, issue)
+		if err == nil && c.ToHost {
+			s.dev.ShipToHost(&br)
+		}
+		r.Data, r.Err = br.Data, err
+		if err == nil {
+			r.Done, r.HostDone = br.Done, br.HostDone
+		}
+	case KindBitwiseTriple:
+		br, err := s.dev.BitwiseTriple(c.Op3, [3]uint64{c.LPNs[0], c.LPNs[1], c.LPNs[2]}, issue)
+		r.Data, r.Err = br.Data, err
+		if err == nil {
+			r.Done, r.HostDone = br.Done, br.HostDone
+		}
+	case KindReduce:
+		br, err := s.dev.Reduce(c.Op, c.LPNs, c.Scheme, issue)
+		if err == nil && c.ToHost {
+			s.dev.ShipToHost(&br)
+		}
+		r.Data, r.Err = br.Data, err
+		if err == nil {
+			r.Done, r.HostDone = br.Done, br.HostDone
+		}
+	case KindFormula:
+		fr, err := s.dev.ExecuteFormula(c.Formula, c.Scheme, issue)
+		r.Pages, r.Err = fr.Pages, err
+		if err == nil {
+			r.Done, r.HostDone = fr.Done, fr.HostDone
+		}
+	default:
+		panic("sched: unknown command kind")
+	}
+	return r
+}
+
+// Flush dispatches every pending command and returns the virtual clock
+// after they complete — a drain barrier for the whole queue.
+func (s *Scheduler) Flush() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatchLocked()
+	return s.now
+}
+
+// Now returns the current issue cursor without dispatching.
+func (s *Scheduler) Now() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Stats returns a snapshot of scheduler counters. It does not dispatch;
+// pending commands are reflected in Submitted but not Completed.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Exclusive drains the queue and then runs fn with the mutex held,
+// handing it the raw device. Use it for snapshots and maintenance
+// (statistics, trims, pool reclaim) that must not interleave with
+// commands. fn must not call back into the scheduler.
+func (s *Scheduler) Exclusive(fn func(dev *ssd.Device, now sim.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatchLocked()
+	fn(s.dev, s.now)
+}

@@ -1,0 +1,379 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parabit/internal/ftl"
+	"parabit/internal/latch"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
+)
+
+func newSched(t *testing.T) (*Scheduler, *ssd.Device) {
+	t.Helper()
+	dev, err := ssd.New(ssd.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev), dev
+}
+
+func pageOf(dev *ssd.Device, seed byte) []byte {
+	b := make([]byte, dev.PageSize())
+	for i := range b {
+		b[i] = seed ^ byte(i*7)
+	}
+	return b
+}
+
+// TestSequentialMatchesBareDevice pins the scheduler's sequential
+// semantics to the raw device: one command per batch must observe exactly
+// the virtual times and data the unwrapped device reports.
+func TestSequentialMatchesBareDevice(t *testing.T) {
+	s, _ := newSched(t)
+	bare, err := ssd.New(ssd.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := pageOf(bare, 3), pageOf(bare, 5)
+
+	wantDone, err := bare.WriteOperandPair(0, 1, m, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Submit(Command{Kind: KindWritePair, LPNs: []uint64{0, 1}, Pages: [][]byte{m, n}}).Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Done != wantDone {
+		t.Fatalf("scheduled pair write done at %v, bare device at %v", r.Done, wantDone)
+	}
+
+	bw, err := bare.Bitwise(latch.OpXor, 0, 1, ssd.SchemePreAlloc, wantDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = s.Submit(Command{Kind: KindBitwise, LPNs: []uint64{0, 1}, Op: latch.OpXor, Scheme: ssd.SchemePreAlloc}).Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Done != bw.Done {
+		t.Fatalf("scheduled XOR done at %v, bare device at %v", r.Done, bw.Done)
+	}
+	if !bytes.Equal(r.Data, bw.Data) {
+		t.Fatal("scheduled XOR data differs from bare device")
+	}
+}
+
+// TestBatchSharesIssueInstant proves the parallelism contract: commands
+// queued together issue at one instant, so independent per-plane
+// operations overlap instead of serializing, and the batch horizon is the
+// max — not the sum — of their latencies.
+func TestBatchSharesIssueInstant(t *testing.T) {
+	s, dev := newSched(t)
+	// Pairs stripe round-robin, so the first four land on distinct planes.
+	const pairs = 4
+	for i := 0; i < pairs; i++ {
+		r := s.Submit(Command{
+			Kind:  KindWritePair,
+			LPNs:  []uint64{uint64(2 * i), uint64(2*i + 1)},
+			Pages: [][]byte{pageOf(dev, byte(i)), pageOf(dev, byte(i+9))},
+		}).Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// Measure a lone AND's service time.
+	lone := s.Submit(Command{Kind: KindBitwise, LPNs: []uint64{0, 1}, Op: latch.OpAnd, Scheme: ssd.SchemePreAlloc}).Wait()
+	if lone.Err != nil {
+		t.Fatal(lone.Err)
+	}
+	service := lone.Done.Sub(lone.Start)
+
+	// Queue one AND per plane, then wait: one batch.
+	tickets := make([]*Ticket, pairs)
+	for i := range tickets {
+		tickets[i] = s.Submit(Command{
+			Kind: KindBitwise, LPNs: []uint64{uint64(2 * i), uint64(2*i + 1)},
+			Op: latch.OpAnd, Scheme: ssd.SchemePreAlloc,
+		})
+	}
+	first := tickets[0].Wait()
+	for i, tk := range tickets {
+		r := tk.Wait()
+		if r.Err != nil {
+			t.Fatalf("batched AND %d: %v", i, r.Err)
+		}
+		if r.Start != first.Start {
+			t.Fatalf("batched AND %d issued at %v, batch issued at %v", i, r.Start, first.Start)
+		}
+		if got := r.Done.Sub(r.Start); got != service {
+			t.Fatalf("batched AND %d took %v, lone AND took %v: planes did not overlap", i, got, service)
+		}
+	}
+	st := s.Stats()
+	if st.MaxBatch < pairs {
+		t.Fatalf("max batch %d, want >= %d", st.MaxBatch, pairs)
+	}
+	if u := st.Utilization(); u <= 0 {
+		t.Fatalf("utilization %v after overlapped batch", u)
+	}
+}
+
+// TestFlushDrains checks Flush executes queued commands without a Wait.
+func TestFlushDrains(t *testing.T) {
+	s, dev := newSched(t)
+	tk := s.Submit(Command{Kind: KindWriteOperand, LPN: 7, Data: pageOf(dev, 1)})
+	if done := s.Stats().Completed(); done != 0 {
+		t.Fatalf("command ran before any Wait/Flush: %d completed", done)
+	}
+	horizon := s.Flush()
+	if horizon <= 0 {
+		t.Fatal("flush did not advance the clock past a program")
+	}
+	st := s.Stats()
+	if st.Completed() != 1 || st.Submitted() != 1 {
+		t.Fatalf("after flush: %d/%d completed", st.Completed(), st.Submitted())
+	}
+	if r := tk.Wait(); r.Err != nil || r.Done != horizon {
+		t.Fatalf("flushed ticket: err=%v done=%v horizon=%v", r.Err, r.Done, horizon)
+	}
+	if s.Now() != horizon {
+		t.Fatalf("cursor %v, want %v", s.Now(), horizon)
+	}
+}
+
+// TestBarrierCompletesWithBatch checks the no-op barrier kind: waiting on
+// it drains everything queued before it.
+func TestBarrierCompletesWithBatch(t *testing.T) {
+	s, dev := newSched(t)
+	w := s.Submit(Command{Kind: KindWrite, LPN: 3, Data: pageOf(dev, 2)})
+	b := s.Submit(Command{Kind: KindBarrier})
+	if r := b.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	select {
+	case <-w.done:
+	default:
+		t.Fatal("barrier wait did not drain the preceding write")
+	}
+}
+
+// TestErrorsAreIsolated checks a failing command reports through its own
+// ticket without wedging the queue or the clock.
+func TestErrorsAreIsolated(t *testing.T) {
+	s, dev := newSched(t)
+	bad := s.Submit(Command{Kind: KindRead, LPN: 40}) // never written
+	good := s.Submit(Command{Kind: KindWriteOperand, LPN: 4, Data: pageOf(dev, 4)})
+	if r := bad.Wait(); !errors.Is(r.Err, ftl.ErrUnmapped) {
+		t.Fatalf("unmapped read: %v", r.Err)
+	}
+	if r := good.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := s.Stats()
+	if st.Queues[KindRead].Errors != 1 {
+		t.Fatalf("read queue errors = %d, want 1", st.Queues[KindRead].Errors)
+	}
+	if st.Queues[KindWriteOperand].Errors != 0 {
+		t.Fatalf("write queue errors = %d, want 0", st.Queues[KindWriteOperand].Errors)
+	}
+}
+
+// TestQueueStats checks per-kind submission accounting and depth
+// high-water marks.
+func TestQueueStats(t *testing.T) {
+	s, dev := newSched(t)
+	for i := 0; i < 3; i++ {
+		s.Submit(Command{Kind: KindWriteOperand, LPN: uint64(i), Data: pageOf(dev, byte(i))})
+	}
+	st := s.Stats()
+	if st.Queues[KindWriteOperand].Submitted != 3 {
+		t.Fatalf("submitted = %d", st.Queues[KindWriteOperand].Submitted)
+	}
+	if st.Queues[KindWriteOperand].MaxDepth != 3 {
+		t.Fatalf("max depth = %d, want 3", st.Queues[KindWriteOperand].MaxDepth)
+	}
+	s.Flush()
+	st = s.Stats()
+	if st.Queues[KindWriteOperand].Completed != 3 {
+		t.Fatalf("completed = %d", st.Queues[KindWriteOperand].Completed)
+	}
+	if st.Batches != 1 || st.MaxBatch != 3 {
+		t.Fatalf("batches=%d maxBatch=%d, want 1 and 3", st.Batches, st.MaxBatch)
+	}
+	if st.Queues[KindWriteOperand].Busy <= 0 {
+		t.Fatal("no service time recorded")
+	}
+}
+
+// TestExclusiveSeesDrainedDevice checks Exclusive's barrier property.
+func TestExclusiveSeesDrainedDevice(t *testing.T) {
+	s, dev := newSched(t)
+	s.Submit(Command{Kind: KindWriteOperand, LPN: 9, Data: pageOf(dev, 9)})
+	s.Exclusive(func(d *ssd.Device, now sim.Time) {
+		if _, ok := d.FTL().Lookup(9); !ok {
+			t.Error("exclusive ran before the queued write")
+		}
+		if now <= 0 {
+			t.Error("clock did not advance past the queued write")
+		}
+	})
+}
+
+// TestStressConcurrentMixed hammers one device from many goroutines with
+// mixed reads, writes, bitwise ops and reductions. Run under -race. It
+// checks every command's data (private pages round-trip, shared-operand
+// results match the byte-wise golden op) and that the FTL bookkeeping
+// holds afterward.
+func TestStressConcurrentMixed(t *testing.T) {
+	s, dev := newSched(t)
+	const (
+		workers = 12
+		ops     = 50
+		shared  = 8 // read-only operand pages, written up front
+	)
+	sharedData := make([][]byte, shared)
+	for i := range sharedData {
+		sharedData[i] = pageOf(dev, byte(0xC0+i))
+		r := s.Submit(Command{Kind: KindWriteOperand, LPN: uint64(i), Data: sharedData[i]}).Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	goldenOp := func(op latch.Op, a, b []byte) []byte {
+		out := make([]byte, len(a))
+		for i := range out {
+			switch op {
+			case latch.OpAnd:
+				out[i] = a[i] & b[i]
+			case latch.OpOr:
+				out[i] = a[i] | b[i]
+			case latch.OpXor:
+				out[i] = a[i] ^ b[i]
+			}
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*ops)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each worker owns a private LPN range well above the shared
+			// operands.
+			base := uint64(1000 + 100*w)
+			last := make(map[uint64][]byte)
+			ops3 := []latch.Op{latch.OpAnd, latch.OpOr, latch.OpXor}
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(5) {
+				case 0, 1: // write a private page
+					lpn := base + uint64(rng.Intn(20))
+					data := pageOf(dev, byte(rng.Intn(256)))
+					r := s.Submit(Command{Kind: KindWriteOperand, LPN: lpn, Data: data}).Wait()
+					if r.Err != nil {
+						errs <- fmt.Errorf("worker %d write: %w", w, r.Err)
+						return
+					}
+					last[lpn] = data
+				case 2: // read a private page back
+					for lpn, want := range last {
+						r := s.Submit(Command{Kind: KindRead, LPN: lpn}).Wait()
+						if r.Err != nil {
+							errs <- fmt.Errorf("worker %d read: %w", w, r.Err)
+							return
+						}
+						if !bytes.Equal(r.Data, want) {
+							errs <- fmt.Errorf("worker %d lpn %d: read back wrong data", w, lpn)
+							return
+						}
+						break
+					}
+				case 3: // bitwise over two shared operands
+					op := ops3[rng.Intn(len(ops3))]
+					a, b := rng.Intn(shared), rng.Intn(shared)
+					r := s.Submit(Command{
+						Kind: KindBitwise, LPNs: []uint64{uint64(a), uint64(b)},
+						Op: op, Scheme: ssd.SchemeReAlloc,
+					}).Wait()
+					if r.Err != nil {
+						errs <- fmt.Errorf("worker %d bitwise: %w", w, r.Err)
+						return
+					}
+					if !bytes.Equal(r.Data, goldenOp(op, sharedData[a], sharedData[b])) {
+						errs <- fmt.Errorf("worker %d bitwise %v(%d,%d): wrong result", w, op, a, b)
+						return
+					}
+				case 4: // reduce three shared operands
+					op := ops3[rng.Intn(len(ops3))]
+					a, b, c := rng.Intn(shared), rng.Intn(shared), rng.Intn(shared)
+					r := s.Submit(Command{
+						Kind: KindReduce, LPNs: []uint64{uint64(a), uint64(b), uint64(c)},
+						Op: op, Scheme: ssd.SchemeReAlloc,
+					}).Wait()
+					if r.Err != nil {
+						errs <- fmt.Errorf("worker %d reduce: %w", w, r.Err)
+						return
+					}
+					want := goldenOp(op, goldenOp(op, sharedData[a], sharedData[b]), sharedData[c])
+					if !bytes.Equal(r.Data, want) {
+						errs <- fmt.Errorf("worker %d reduce %v: wrong result", w, op)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Completed() != st.Submitted() {
+		t.Fatalf("completed %d of %d submitted", st.Completed(), st.Submitted())
+	}
+	var totalErrs int64
+	for _, q := range st.Queues {
+		totalErrs += q.Errors
+	}
+	if totalErrs != 0 {
+		t.Fatalf("%d commands errored", totalErrs)
+	}
+	s.Exclusive(func(d *ssd.Device, _ sim.Time) {
+		if err := d.FTL().CheckInvariants(); err != nil {
+			t.Errorf("FTL invariants violated after stress: %v", err)
+		}
+	})
+}
+
+// TestSubmitCopiesBuffers checks callers can reuse payload buffers after
+// Submit returns.
+func TestSubmitCopiesBuffers(t *testing.T) {
+	s, dev := newSched(t)
+	data := pageOf(dev, 6)
+	want := append([]byte(nil), data...)
+	tk := s.Submit(Command{Kind: KindWriteOperand, LPN: 11, Data: data})
+	for i := range data {
+		data[i] = 0xFF // clobber before dispatch
+	}
+	if r := tk.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := s.Submit(Command{Kind: KindRead, LPN: 11}).Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !bytes.Equal(r.Data, want) {
+		t.Fatal("scheduler did not copy the payload at Submit")
+	}
+}

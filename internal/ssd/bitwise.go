@@ -118,6 +118,22 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 			d.stats.BitwiseOps++
 			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 		}
+		if addrM.Kind == flash.LSBPage && addrN.Kind == flash.MSBPage &&
+			addrM.PlaneAddr == addrN.PlaneAddr {
+			// Swapped orientation: the sense primitive always pulls the MSB
+			// from its first wordline and the LSB from its second, so feed
+			// it the wordlines exchanged. The op passes through unchanged:
+			// the latch sequences act on resident pages (OpNotLSB inverts
+			// whatever sits in an LSB slot — here the first operand), and
+			// the two-input ops are commutative, so no fallback to
+			// reallocation is needed.
+			res, err := d.array.BitwiseSenseLocFree(op, addrN.WordlineAddr, addrM.WordlineAddr, at)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.stats.BitwiseOps++
+			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+		}
 		d.stats.Fallbacks++
 		return d.senseAfterRealloc(op, lpnM, lpnN, at)
 	}

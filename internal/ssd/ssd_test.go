@@ -493,3 +493,62 @@ func TestParallelWaveAcrossPlanes(t *testing.T) {
 		t.Fatalf("wave of %d ANDs completed at %v, want 25µs (full parallelism)", numPairs, latest)
 	}
 }
+
+// TestLocFreeBothOrientations is the regression test for the swapped
+// MSB/LSB orientation: location-free sensing must fire whether the first
+// operand is the MSB-resident page and the second the LSB-resident one or
+// vice versa. The ParaBit two-input ops are commutative and the NOT latch
+// sequences act on resident pages, so neither orientation needs the
+// reallocation fallback.
+func TestLocFreeBothOrientations(t *testing.T) {
+	d := newDevice(t)
+	// Paired writes stripe round-robin over the planes; keep writing pairs
+	// until one lands on the same plane as the first, giving us an MSB page
+	// (first pair) and an LSB page (later pair) co-resident on one plane in
+	// different wordlines.
+	firstL, firstM := randPage(d, 41), randPage(d, 42)
+	if _, err := d.WriteOperandPair(0, 1, firstL, firstM, 0); err != nil {
+		t.Fatal(err)
+	}
+	msbAddr, _ := d.FTL().Lookup(1)
+	var lsbLPN uint64
+	var lsbData []byte
+	found := false
+	for i := 1; i <= d.cfg.Geometry.Planes(); i++ {
+		l, m := randPage(d, int64(100+2*i)), randPage(d, int64(101+2*i))
+		lpnL, lpnM := uint64(2*i), uint64(2*i+1)
+		if _, err := d.WriteOperandPair(lpnL, lpnM, l, m, 0); err != nil {
+			t.Fatal(err)
+		}
+		addr, _ := d.FTL().Lookup(lpnL)
+		if addr.PlaneAddr == msbAddr.PlaneAddr {
+			lsbLPN, lsbData, found = lpnL, l, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no pair wrapped back onto the first pair's plane")
+	}
+	for _, op := range latch.BinaryOps {
+		want := golden(op, lsbData, firstM)
+		// Matched orientation: M is the MSB-resident page, N the LSB.
+		r, err := d.Bitwise(op, 1, lsbLPN, SchemeLocFree, 0)
+		if err != nil {
+			t.Fatalf("%v matched: %v", op, err)
+		}
+		if !bytes.Equal(r.Data, want) {
+			t.Fatalf("%v matched orientation result wrong", op)
+		}
+		// Swapped orientation: first operand LSB-resident, second MSB.
+		r, err = d.Bitwise(op, lsbLPN, 1, SchemeLocFree, 0)
+		if err != nil {
+			t.Fatalf("%v swapped: %v", op, err)
+		}
+		if !bytes.Equal(r.Data, want) {
+			t.Fatalf("%v swapped orientation result wrong", op)
+		}
+	}
+	if s := d.Stats(); s.Fallbacks != 0 || s.Reallocations != 0 {
+		t.Fatalf("mixed-kind same-plane operands must sense location-free both ways: %+v", s)
+	}
+}

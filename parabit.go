@@ -27,6 +27,7 @@ import (
 	"parabit/internal/flash"
 	"parabit/internal/latch"
 	"parabit/internal/reliability"
+	"parabit/internal/sched"
 	"parabit/internal/sim"
 	"parabit/internal/ssd"
 )
@@ -100,13 +101,17 @@ type Result struct {
 	HostLatency time.Duration
 }
 
-// Device is the public simulated ParaBit SSD.
+// Device is the public simulated ParaBit SSD. It is safe for concurrent
+// use: every operation goes through a command scheduler that serializes
+// device mutations while letting commands submitted concurrently share a
+// virtual issue instant, so the simulated plane/channel parallelism
+// applies across callers. See Flush for the drain barrier and Stats for
+// the scheduler's queue counters.
 type Device struct {
-	dev *ssd.Device
-	// now is the issue cursor: operations issue at this virtual time and
-	// advance it, so sequential API calls observe sequential latencies
-	// while batch calls share an issue instant.
-	now sim.Time
+	// dev is the raw single-threaded device; it must only be touched
+	// through sched (or inside sched.Exclusive).
+	dev   *ssd.Device
+	sched *sched.Scheduler
 }
 
 // Option configures a Device.
@@ -180,7 +185,7 @@ func NewDevice(opts ...Option) (*Device, error) {
 			return nil, err
 		}
 	}
-	return &Device{dev: dev}, nil
+	return &Device{dev: dev, sched: sched.New(dev)}, nil
 }
 
 // PageSize returns the flash page size in bytes; operand buffers must be
@@ -190,69 +195,70 @@ func (d *Device) PageSize() int { return d.dev.PageSize() }
 // UserPages returns the logical pages addressable by the host.
 func (d *Device) UserPages() uint64 { return d.dev.UserPages() }
 
+// wait turns a ticket's outcome into the public Result shape.
+func wait(t *sched.Ticket) (Result, error) {
+	r := t.Wait()
+	if r.Err != nil {
+		return Result{}, r.Err
+	}
+	out := Result{Data: r.Data, Latency: r.Done.Sub(r.Start).Std()}
+	if r.HostDone > 0 {
+		out.HostLatency = r.HostDone.Sub(r.Start).Std()
+	}
+	return out, nil
+}
+
 // Write stores a page of ordinary (scrambled) data.
 func (d *Device) Write(lpn uint64, data []byte) error {
-	done, err := d.dev.Write(lpn, data, d.now)
-	if err != nil {
-		return err
-	}
-	d.now = done
-	return nil
+	_, err := wait(d.sched.Submit(sched.Command{Kind: sched.KindWrite, LPN: lpn, Data: data}))
+	return err
 }
 
 // WriteOperand stores a bitwise operand page (unscrambled, normal
 // placement). Usable by Reallocated-scheme operations.
 func (d *Device) WriteOperand(lpn uint64, data []byte) error {
-	done, err := d.dev.WriteOperand(lpn, data, d.now)
-	if err != nil {
-		return err
-	}
-	d.now = done
-	return nil
+	_, err := wait(d.sched.Submit(sched.Command{Kind: sched.KindWriteOperand, LPN: lpn, Data: data}))
+	return err
 }
 
 // WriteOperandPair stores two operand pages co-located in one wordline —
 // the PreAllocated layout. first lands in the LSB page, second in MSB.
 func (d *Device) WriteOperandPair(first, second uint64, firstData, secondData []byte) error {
-	done, err := d.dev.WriteOperandPair(first, second, firstData, secondData, d.now)
-	if err != nil {
-		return err
-	}
-	d.now = done
-	return nil
+	_, err := wait(d.sched.Submit(sched.Command{
+		Kind:  sched.KindWritePair,
+		LPNs:  []uint64{first, second},
+		Pages: [][]byte{firstData, secondData},
+	}))
+	return err
 }
 
 // WriteOperandGroup stores operand pages in aligned LSB slots of one
 // plane — the LocationFree layout, required for chained reductions.
 func (d *Device) WriteOperandGroup(lpns []uint64, data [][]byte) error {
-	done, err := d.dev.WriteOperandLSBGroup(lpns, data, d.now)
-	if err != nil {
-		return err
-	}
-	d.now = done
-	return nil
+	_, err := wait(d.sched.Submit(sched.Command{
+		Kind: sched.KindWriteGroup, LPNs: lpns, Pages: data,
+	}))
+	return err
 }
 
 // Read returns a logical page's content (descrambled).
 func (d *Device) Read(lpn uint64) ([]byte, error) {
-	data, done, err := d.dev.Read(lpn, d.now)
+	r, err := wait(d.sched.Submit(sched.Command{Kind: sched.KindRead, LPN: lpn}))
 	if err != nil {
 		return nil, err
 	}
-	d.now = done
-	return data, nil
+	return r.Data, nil
 }
 
 // Bitwise executes one two-operand operation in flash under the scheme
 // and returns the result with its modeled latency.
 func (d *Device) Bitwise(op Op, first, second uint64, scheme Scheme) (Result, error) {
-	start := d.now
-	r, err := d.dev.Bitwise(op.latch(), first, second, scheme.ssd(), start)
-	if err != nil {
-		return Result{}, err
-	}
-	d.now = r.Done
-	return Result{Data: r.Data, Latency: r.Done.Sub(start).Std()}, nil
+	return wait(d.sched.Submit(sched.Command{
+		Kind:   sched.KindBitwise,
+		LPNs:   []uint64{first, second},
+		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+	}))
 }
 
 // Reduce folds operand pages with an associative operation (And, Or or
@@ -263,35 +269,83 @@ func (d *Device) Reduce(op Op, lpns []uint64, scheme Scheme) (Result, error) {
 	default:
 		return Result{}, errors.New("parabit: Reduce requires And, Or or Xor")
 	}
-	start := d.now
-	r, err := d.dev.Reduce(op.latch(), lpns, scheme.ssd(), start)
-	if err != nil {
-		return Result{}, err
-	}
-	d.now = r.Done
-	return Result{Data: r.Data, Latency: r.Done.Sub(start).Std()}, nil
+	return wait(d.sched.Submit(sched.Command{
+		Kind:   sched.KindReduce,
+		LPNs:   lpns,
+		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+	}))
 }
 
 // BitwiseToHost executes Bitwise and ships the result over the host
 // link, filling HostLatency.
 func (d *Device) BitwiseToHost(op Op, first, second uint64, scheme Scheme) (Result, error) {
-	start := d.now
-	r, err := d.dev.Bitwise(op.latch(), first, second, scheme.ssd(), start)
-	if err != nil {
-		return Result{}, err
-	}
-	d.dev.ShipToHost(&r)
-	d.now = r.HostDone
-	return Result{
-		Data:        r.Data,
-		Latency:     r.Done.Sub(start).Std(),
-		HostLatency: r.HostDone.Sub(start).Std(),
-	}, nil
+	return wait(d.sched.Submit(sched.Command{
+		Kind:   sched.KindBitwise,
+		LPNs:   []uint64{first, second},
+		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+		ToHost: true,
+	}))
 }
 
+// Pending is a handle to a submitted but not yet awaited operation.
+// Submitting several operations before waiting on any of them queues them
+// into one dispatch batch: they share a virtual issue instant, so
+// independent page operations overlap on the device's planes exactly as
+// outstanding commands do in a real SSD's queues.
+type Pending struct{ t *sched.Ticket }
+
+// Wait blocks until the operation executes and returns its result. It may
+// be called from any goroutine, any number of times.
+func (p *Pending) Wait() (Result, error) { return wait(p.t) }
+
+// WriteAsync queues a Write without waiting for it.
+func (d *Device) WriteAsync(lpn uint64, data []byte) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{Kind: sched.KindWrite, LPN: lpn, Data: data})}
+}
+
+// WriteOperandAsync queues a WriteOperand without waiting for it.
+func (d *Device) WriteOperandAsync(lpn uint64, data []byte) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{Kind: sched.KindWriteOperand, LPN: lpn, Data: data})}
+}
+
+// ReadAsync queues a Read; the page content arrives in Result.Data.
+func (d *Device) ReadAsync(lpn uint64) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{Kind: sched.KindRead, LPN: lpn})}
+}
+
+// BitwiseAsync queues a Bitwise without waiting for it.
+func (d *Device) BitwiseAsync(op Op, first, second uint64, scheme Scheme) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{
+		Kind:   sched.KindBitwise,
+		LPNs:   []uint64{first, second},
+		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+	})}
+}
+
+// ReduceAsync queues a Reduce without waiting for it.
+func (d *Device) ReduceAsync(op Op, lpns []uint64, scheme Scheme) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{
+		Kind:   sched.KindReduce,
+		LPNs:   lpns,
+		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+	})}
+}
+
+// Flush drains the scheduler: every command submitted so far (from any
+// goroutine) executes, and the virtual clock advances past the last of
+// them. The time all of them completed is reflected by Elapsed.
+func (d *Device) Flush() { d.sched.Flush() }
+
 // Reclaim trims the controller's internal reallocation pool. Call
-// between large batches of Reallocated-scheme operations.
-func (d *Device) Reclaim() { d.dev.ReclaimInternal() }
+// between large batches of Reallocated-scheme operations. It drains the
+// command queue first.
+func (d *Device) Reclaim() {
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { dev.ReclaimInternal() })
+}
 
 // Stats reports device activity counters.
 type Stats struct {
@@ -304,25 +358,51 @@ type Stats struct {
 	InjectedFlips int64
 	// WriteAmplification is (host+internal writes)/host writes.
 	WriteAmplification float64
+	// Commands counts scheduler commands executed; Batches how many
+	// dispatch rounds carried them; MaxBatch the widest single round
+	// (the queue-depth high-water mark across concurrent submitters).
+	Commands int64
+	Batches  int64
+	MaxBatch int
+	// Utilization is summed command service time over the virtual
+	// makespan: 1.0 is strictly serial execution, higher values measure
+	// how much concurrent commands overlapped on the planes.
+	Utilization float64
 }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters. It drains the command
+// queue first, so the counters reflect every submitted command.
 func (d *Device) Stats() Stats {
-	op := d.dev.Stats()
-	fl := d.dev.Array().Stats()
-	ft := d.dev.FTL().Stats()
-	return Stats{
-		BitwiseOps:         op.BitwiseOps,
-		Reallocations:      op.Reallocations,
-		Fallbacks:          op.Fallbacks,
-		SROs:               fl.SROs,
-		Programs:           fl.Programs,
-		Erases:             fl.Erases,
-		InjectedFlips:      fl.InjectedFlips,
-		WriteAmplification: ft.WriteAmplification(),
-	}
+	var st Stats
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		op := dev.Stats()
+		fl := dev.Array().Stats()
+		ft := dev.FTL().Stats()
+		st = Stats{
+			BitwiseOps:         op.BitwiseOps,
+			Reallocations:      op.Reallocations,
+			Fallbacks:          op.Fallbacks,
+			SROs:               fl.SROs,
+			Programs:           fl.Programs,
+			Erases:             fl.Erases,
+			InjectedFlips:      fl.InjectedFlips,
+			WriteAmplification: ft.WriteAmplification(),
+		}
+	})
+	ss := d.sched.Stats()
+	st.Commands = ss.Completed()
+	st.Batches = ss.Batches
+	st.MaxBatch = ss.MaxBatch
+	st.Utilization = ss.Utilization()
+	return st
 }
+
+// SchedulerStats returns the scheduler's per-queue counters: submission,
+// completion and error counts, queue-depth high-water marks, and summed
+// service time for each command kind.
+func (d *Device) SchedulerStats() sched.Stats { return d.sched.Stats() }
 
 // Elapsed returns the device's virtual clock: total modeled time consumed
-// by the operations issued so far.
-func (d *Device) Elapsed() time.Duration { return sim.Duration(d.now).Std() }
+// by the operations completed so far. Commands submitted but not yet
+// waited on or flushed are not included.
+func (d *Device) Elapsed() time.Duration { return sim.Duration(d.sched.Now()).Std() }

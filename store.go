@@ -5,7 +5,12 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
+
+	"parabit/internal/sched"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
 )
 
 // ColumnStore is a bitmap-index-style store built on a ParaBit device:
@@ -15,11 +20,17 @@ import (
 // page i of every column lives on the same plane, and a query over any
 // set of columns runs as per-plane location-free chained reductions —
 // no operand ever crosses the host link; only result pages do.
+// ColumnStore is safe for concurrent use: the catalog below is guarded by
+// its own mutex, and all device work goes through the device's command
+// scheduler, so concurrent Puts and queries batch onto shared issue
+// instants and execute with plane parallelism.
 type ColumnStore struct {
 	dev *Device
 	// bits is the column width; pages is its page count.
 	bits  int
 	pages int
+	// mu guards columns and nextLPN.
+	mu sync.RWMutex
 	// columns maps a name to its pages' LPNs (pages[i] on plane i%P).
 	columns map[string][]uint64
 	nextLPN uint64
@@ -57,6 +68,8 @@ func (cs *ColumnStore) Bits() int { return cs.bits }
 
 // Columns returns the stored column names, sorted.
 func (cs *ColumnStore) Columns() []string {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
 	out := make([]string, 0, len(cs.columns))
 	for name := range cs.columns {
 		out = append(out, name)
@@ -68,50 +81,72 @@ func (cs *ColumnStore) Columns() []string {
 // Put stores a new column. data is the packed little-endian bit vector;
 // it must hold exactly Bits() bits (rounded up to whole bytes).
 func (cs *ColumnStore) Put(name string, data []byte) error {
-	if _, ok := cs.columns[name]; ok {
-		return fmt.Errorf("%w: %q", ErrColumnExists, name)
-	}
 	wantBytes := (cs.bits + 7) / 8
 	if len(data) != wantBytes {
 		return fmt.Errorf("%w: %d bytes, want %d", ErrColumnWidth, len(data), wantBytes)
 	}
-	ps := cs.dev.PageSize()
+	// Reserve the name and its LPNs under the catalog lock, then write
+	// outside it so concurrent Puts batch on the device. A placeholder
+	// keeps a racing Put of the same name out until we commit or fail.
+	cs.mu.Lock()
+	if _, ok := cs.columns[name]; ok {
+		cs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrColumnExists, name)
+	}
+	cs.columns[name] = nil
 	lpns := make([]uint64, cs.pages)
+	for p := range lpns {
+		lpns[p] = cs.nextLPN
+		cs.nextLPN++
+	}
+	cs.mu.Unlock()
+
+	ps := cs.dev.PageSize()
+	tickets := make([]*sched.Ticket, cs.pages)
 	for p := 0; p < cs.pages; p++ {
 		page := make([]byte, ps)
 		start := p * ps
 		if start < len(data) {
 			copy(page, data[start:])
 		}
-		lpn := cs.allocLPN()
 		// Page p of every column shares plane p: cross-column chains
-		// stay location-free.
-		if _, err := cs.dev.dev.WriteOperandOnPlane(p, lpn, page, cs.dev.now); err != nil {
-			return err
-		}
-		lpns[p] = lpn
+		// stay location-free. The page writes are submitted together and
+		// issue as one batch, so they land on their planes in parallel.
+		tickets[p] = cs.dev.sched.Submit(sched.Command{
+			Kind: sched.KindWriteOnPlane, Plane: p, LPN: lpns[p], Data: page,
+		})
 	}
-	cs.dev.now = cs.dev.dev.DrainTime()
-	cs.columns[name] = lpns
-	return nil
-}
-
-func (cs *ColumnStore) allocLPN() uint64 {
-	lpn := cs.nextLPN
-	cs.nextLPN++
-	return lpn
+	var firstErr error
+	for _, t := range tickets {
+		if r := t.Wait(); r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+	}
+	cs.mu.Lock()
+	if firstErr != nil {
+		delete(cs.columns, name)
+	} else {
+		cs.columns[name] = lpns
+	}
+	cs.mu.Unlock()
+	return firstErr
 }
 
 // Delete removes a column, trimming its pages.
 func (cs *ColumnStore) Delete(name string) error {
+	cs.mu.Lock()
 	lpns, ok := cs.columns[name]
 	if !ok {
+		cs.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoColumn, name)
 	}
-	for _, lpn := range lpns {
-		cs.dev.dev.FTL().Trim(lpn)
-	}
 	delete(cs.columns, name)
+	cs.mu.Unlock()
+	cs.dev.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		for _, lpn := range lpns {
+			dev.FTL().Trim(lpn)
+		}
+	})
 	return nil
 }
 
@@ -141,37 +176,50 @@ func (cs *ColumnStore) query(op Op, names []string) (QueryResult, error) {
 	if len(names) < 2 {
 		return QueryResult{}, ErrQueryShape
 	}
+	cs.mu.RLock()
 	cols := make([][]uint64, len(names))
 	for i, name := range names {
-		lpns, ok := cs.columns[name]
-		if !ok {
+		lpns := cs.columns[name]
+		if lpns == nil { // absent, or a Put still in flight
+			cs.mu.RUnlock()
 			return QueryResult{}, fmt.Errorf("%w: %q", ErrNoColumn, name)
 		}
 		cols[i] = lpns
 	}
-	start := cs.dev.now
+	cs.mu.RUnlock()
 	ps := cs.dev.PageSize()
 	out := make([]byte, cs.pages*ps)
 	// Page position p across all columns reduces on its own plane; the
-	// positions are independent and issue at the same instant, so the
-	// device's plane parallelism applies across them.
-	var latest = start
+	// positions are independent and submitted together, so they issue in
+	// one batch and the device's plane parallelism applies across them.
+	tickets := make([]*sched.Ticket, cs.pages)
 	for p := 0; p < cs.pages; p++ {
 		lpns := make([]uint64, len(cols))
 		for i := range cols {
 			lpns[i] = cols[i][p]
 		}
-		r, err := cs.dev.dev.Reduce(op.latch(), lpns, LocationFree.ssd(), start)
-		if err != nil {
-			return QueryResult{}, err
+		tickets[p] = cs.dev.sched.Submit(sched.Command{
+			Kind:   sched.KindReduce,
+			LPNs:   lpns,
+			Op:     op.latch(),
+			Scheme: LocationFree.ssd(),
+			ToHost: true,
+		})
+	}
+	var start, latest sim.Time
+	for p, t := range tickets {
+		r := t.Wait()
+		if r.Err != nil {
+			return QueryResult{}, r.Err
 		}
 		copy(out[p*ps:], r.Data)
-		hostDone := cs.dev.dev.HostLink().Transfer(int64(ps), r.Done)
-		if hostDone > latest {
-			latest = hostDone
+		if p == 0 || r.Start < start {
+			start = r.Start
+		}
+		if r.HostDone > latest {
+			latest = r.HostDone
 		}
 	}
-	cs.dev.now = latest
 	// Trim to the declared width and count.
 	res := QueryResult{
 		Data:    out[:(cs.bits+7)/8],

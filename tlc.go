@@ -6,6 +6,7 @@ import (
 
 	"parabit/internal/flash"
 	"parabit/internal/latch"
+	"parabit/internal/sched"
 )
 
 // Op3 is a three-operand bitwise operation on a TLC device (§4.4.1): the
@@ -51,24 +52,22 @@ func WithTLCGeometry() Option {
 // WriteOperandTriple stores three operand pages co-located in one TLC
 // wordline. TLC devices only.
 func (d *Device) WriteOperandTriple(lpns [3]uint64, data [3][]byte) error {
-	done, err := d.dev.WriteOperandTriple(lpns, data, d.now)
-	if err != nil {
-		return err
-	}
-	d.now = done
-	return nil
+	_, err := wait(d.sched.Submit(sched.Command{
+		Kind:  sched.KindWriteTriple,
+		LPNs:  lpns[:],
+		Pages: data[:],
+	}))
+	return err
 }
 
 // Bitwise3 executes a three-operand operation over a co-located TLC
 // triple and returns the bit-exact result with its modeled latency.
 func (d *Device) Bitwise3(op Op3, lpns [3]uint64) (Result, error) {
-	start := d.now
-	r, err := d.dev.BitwiseTriple(op.latch(), lpns, start)
-	if err != nil {
-		return Result{}, err
-	}
-	d.now = r.Done
-	return Result{Data: r.Data, Latency: time.Duration(r.Done - start)}, nil
+	return wait(d.sched.Submit(sched.Command{
+		Kind: sched.KindBitwiseTriple,
+		LPNs: lpns[:],
+		Op3:  op.latch(),
+	}))
 }
 
 // Op3Latency returns the in-flash latency of a three-operand TLC
