@@ -5,14 +5,19 @@
 //	parabit-bench -list             list available experiments
 //	parabit-bench -run fig13a      regenerate one experiment
 //	parabit-bench -run all         regenerate everything
-//	parabit-bench -hammer 16       drive one device from 16 concurrent clients
+//	parabit-bench -hammer=16       drive one device from 16 concurrent clients
+//	parabit-bench -hammer -trace out.json -metrics
+//	                                hammer with telemetry: write a Chrome
+//	                                trace-event file and a metrics summary
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,16 +25,59 @@ import (
 	"parabit/internal/sched"
 )
 
+// defaultHammerClients is the client count a bare -hammer flag uses.
+const defaultHammerClients = 8
+
+// hammerFlag accepts -hammer (bare, meaning defaultHammerClients),
+// -hammer=N, and — rescued from the positional arguments after parsing —
+// the historical two-token "-hammer N" form.
+type hammerFlag struct{ n int }
+
+func (h *hammerFlag) String() string   { return strconv.Itoa(h.n) }
+func (h *hammerFlag) IsBoolFlag() bool { return true }
+
+func (h *hammerFlag) Set(v string) error {
+	switch v {
+	case "true":
+		h.n = defaultHammerClients
+		return nil
+	case "false":
+		h.n = 0
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return fmt.Errorf("want a positive client count, got %q", v)
+	}
+	h.n = n
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment id to run, or \"all\"")
 	format := flag.String("format", "table", "output format: table or csv")
-	hammer := flag.Int("hammer", 0, "drive one device from N concurrent clients and report scheduler stats")
+	var hammer hammerFlag
+	flag.Var(&hammer, "hammer", "drive one device from N concurrent clients (bare flag: 8) and report scheduler stats")
 	hammerOps := flag.Int("hammer-ops", 200, "operations per hammer client")
+	tracePath := flag.String("trace", "", "hammer mode: write a Chrome trace-event JSON file here")
+	metrics := flag.Bool("metrics", false, "hammer mode: print the telemetry metrics summary")
 	flag.Parse()
 
-	if *hammer > 0 {
-		if err := runHammer(*hammer, *hammerOps); err != nil {
+	if hammer.n > 0 {
+		n := hammer.n
+		// Rescue "-hammer 16": the bool-style flag left the count as a
+		// positional argument, which also stopped flag parsing — consume
+		// the count and re-parse whatever followed it.
+		if flag.NArg() > 0 {
+			if v, err := strconv.Atoi(flag.Arg(0)); err == nil && v > 0 {
+				n = v
+				if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+					os.Exit(2)
+				}
+			}
+		}
+		if err := runHammer(n, *hammerOps, *tracePath, *metrics, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -68,11 +116,17 @@ func main() {
 // runHammer drives one device from n concurrent clients with a mixed
 // write/read/bitwise/reduce workload and reports how the command
 // scheduler batched it: queue depths, dispatch rounds, and how much the
-// simulated plane parallelism overlapped command service.
-func runHammer(n, ops int) error {
+// simulated plane parallelism overlapped command service. With tracePath
+// or metrics set, the run executes with telemetry attached; the trace
+// file opens in chrome://tracing or ui.perfetto.dev with one lane per
+// plane, channel and scheduler queue.
+func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
 	if err != nil {
 		return err
+	}
+	if tracePath != "" || metrics {
+		dev.EnableTelemetry(tracePath != "")
 	}
 	const shared = 8
 	for i := 0; i < shared; i += 2 {
@@ -138,19 +192,37 @@ func runHammer(n, ops int) error {
 	wall := time.Since(wallStart)
 	st := dev.Stats()
 	ss := dev.SchedulerStats()
-	fmt.Printf("hammer: %d clients x %d ops in %v wall\n", n, ops, wall.Round(time.Millisecond))
-	fmt.Printf("  virtual elapsed    %v\n", dev.Elapsed())
-	fmt.Printf("  commands           %d in %d batches (max batch %d)\n", st.Commands, st.Batches, st.MaxBatch)
-	fmt.Printf("  plane overlap      %.2fx (summed service / makespan)\n", st.Utilization)
-	fmt.Printf("  bitwise ops        %d (%d fallbacks, %d reallocations)\n",
+	fmt.Fprintf(w, "hammer: %d clients x %d ops in %v wall\n", n, ops, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  virtual elapsed    %v\n", dev.Elapsed())
+	fmt.Fprintf(w, "  commands           %d in %d batches (max batch %d)\n", st.Commands, st.Batches, st.MaxBatch)
+	fmt.Fprintf(w, "  plane overlap      %.2fx (summed service / makespan)\n", st.Utilization)
+	fmt.Fprintf(w, "  bitwise ops        %d (%d fallbacks, %d reallocations)\n",
 		st.BitwiseOps, st.Fallbacks, st.Reallocations)
-	fmt.Printf("  write amplification %.3f\n", st.WriteAmplification)
-	fmt.Println("  per-queue: kind submitted maxdepth busy")
+	fmt.Fprintf(w, "  write amplification %.3f\n", st.WriteAmplification)
+	fmt.Fprintln(w, "  per-queue: kind submitted maxdepth busy")
 	for k, q := range ss.Queues {
 		if q.Submitted == 0 {
 			continue
 		}
-		fmt.Printf("    %-14s %9d %8d %v\n", sched.Kind(k).String(), q.Submitted, q.MaxDepth, q.Busy.Std())
+		fmt.Fprintf(w, "    %-14s %9d %8d %v\n", sched.Kind(k).String(), q.Submitted, q.MaxDepth, q.Busy.Std())
+	}
+	if metrics {
+		fmt.Fprintln(w, "\nmetrics:")
+		dev.WriteMetrics(w)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := dev.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntrace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"parabit/internal/telemetry"
+)
+
+func TestHammerFlagForms(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"true", defaultHammerClients, false}, // bare -hammer
+		{"false", 0, false},
+		{"16", 16, false},
+		{"1", 1, false},
+		{"0", 0, true},
+		{"-3", 0, true},
+		{"lots", 0, true},
+	}
+	for _, c := range cases {
+		var h hammerFlag
+		err := h.Set(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Set(%q): err=%v, wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && h.n != c.want {
+			t.Errorf("Set(%q): n=%d, want %d", c.in, h.n, c.want)
+		}
+	}
+	if !(&hammerFlag{}).IsBoolFlag() {
+		t.Error("hammer flag must be bool-style so bare -hammer parses")
+	}
+}
+
+// TestRunHammerWithTraceAndMetrics is the end-to-end check of the
+// telemetry plumbing: a -hammer run with -trace and -metrics must emit a
+// parseable Chrome trace with one lane per plane and per scheduler queue,
+// and a metrics summary with per-op-kind latency quantiles.
+func TestRunHammerWithTraceAndMetrics(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	if err := runHammer(3, 40, tracePath, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "hammer: 3 clients x 40 ops") {
+		t.Errorf("missing hammer report header:\n%s", text)
+	}
+
+	// Metrics summary: per-op-kind latency histograms with p50/p99.
+	for _, kind := range []string{"write", "bitwise", "reduce"} {
+		re := regexp.MustCompile(`hist\s+sched\.latency\.` + kind + `\s+count=[1-9]\d*.*p50=\S+.*p99=\S+`)
+		if !re.MatchString(text) {
+			t.Errorf("metrics summary lacks populated latency histogram for %q:\n%s", kind, text)
+		}
+	}
+	if !strings.Contains(text, "counter ssd.bitwise.ops") {
+		t.Errorf("metrics summary lacks bitwise op counter:\n%s", text)
+	}
+
+	// Trace file: valid Chrome trace-event JSON round-trip.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f telemetry.TraceFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	lanes := map[string]bool{}
+	spans := 0
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			lanes[ev.Args["name"]] = true
+		}
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	// The small geometry has 8 planes; the scheduler has one lane per
+	// command kind. All must be present even if idle.
+	for _, want := range []string{
+		"plane-0", "plane-1", "plane-2", "plane-3",
+		"plane-4", "plane-5", "plane-6", "plane-7",
+		"chan-0", "chan-1", "link",
+		"queue-write", "queue-write-operand", "queue-write-pair",
+		"queue-write-group", "queue-write-on-plane", "queue-write-triple",
+		"queue-read", "queue-bitwise", "queue-bitwise-triple",
+		"queue-reduce", "queue-formula", "queue-barrier",
+		"gc", "read-reclaim", "static-wl", "batches", "bitwise",
+	} {
+		if !lanes[want] {
+			t.Errorf("trace is missing lane %q (have %v)", want, lanes)
+		}
+	}
+	if spans == 0 {
+		t.Error("trace has no complete (X) spans")
+	}
+}
+
+// TestRunHammerPlain keeps the untraced path working: no trace file, no
+// metrics section, stats still reported.
+func TestRunHammerPlain(t *testing.T) {
+	var out bytes.Buffer
+	if err := runHammer(2, 10, "", false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "commands") || !strings.Contains(text, "per-queue") {
+		t.Errorf("missing scheduler report:\n%s", text)
+	}
+	if strings.Contains(text, "metrics:") || strings.Contains(text, "trace written") {
+		t.Errorf("plain run leaked telemetry output:\n%s", text)
+	}
+}

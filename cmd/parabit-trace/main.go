@@ -8,11 +8,18 @@
 //	group   <lpn1,lpn2,...> <hex1,hex2,...> # aligned LSB group
 //	bitwise <op> <scheme> <lpnA> <lpnB>
 //	reduce  <op> <scheme> <lpn1,lpn2,...>
+//	flush                                   # drain the queue, print the clock
+//	stats                                   # print a mid-trace stats snapshot
 //
 // Usage:
 //
 //	parabit-trace -f trace.txt
-//	parabit-trace -demo          # run a built-in demonstration trace
+//	parabit-trace -demo              # run a built-in demonstration trace
+//	parabit-trace -demo -trace t.json # also export a Chrome trace-event file
+//
+// Every replay runs with telemetry attached and ends with a per-op span
+// breakdown: count, mean and p50/p95/p99 of each command kind's modeled
+// service latency.
 package main
 
 import (
@@ -20,11 +27,14 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"parabit"
+	"parabit/internal/sim"
+	"parabit/internal/telemetry"
 )
 
 const demoTrace = `# demonstration: pre-allocated pair, then a location-free reduction
@@ -34,11 +44,14 @@ bitwise XOR prealloc 0 1
 group 10,11,12,13 ff,0f,33,55
 reduce AND locfree 10,11,12,13
 reduce XOR locfree 10,11,12,13
+flush
+stats
 `
 
 func main() {
 	file := flag.String("f", "", "trace file to replay")
 	demo := flag.Bool("demo", false, "replay the built-in demo trace")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the replay here")
 	flag.Parse()
 
 	var reader *bufio.Scanner
@@ -61,6 +74,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	sink := dev.EnableTelemetry(*tracePath != "")
 
 	lineNo := 0
 	ops := 0
@@ -81,6 +95,41 @@ func main() {
 	s := dev.Stats()
 	fmt.Printf("\nreplayed %d trace lines: %d bitwise ops, %d SROs, %d reallocations, elapsed %v\n",
 		ops, s.BitwiseOps, s.SROs, s.Reallocations, dev.Elapsed())
+	printBreakdown(os.Stdout, sink)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := dev.WriteTrace(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+// printBreakdown reports each command kind's span latencies: how many
+// commands ran and the shape of their modeled service time.
+func printBreakdown(w io.Writer, sink *telemetry.Sink) {
+	const prefix = "sched.latency."
+	header := false
+	sink.EachHistogram(func(name string, h *telemetry.Histogram) {
+		if h.Count() == 0 || !strings.HasPrefix(name, prefix) {
+			return
+		}
+		if !header {
+			fmt.Fprintln(w, "\nper-op span breakdown (virtual time):")
+			fmt.Fprintln(w, "  kind            count      mean       p50       p95       p99")
+			header = true
+		}
+		mean := sim.Duration(int64(h.Sum()) / h.Count())
+		fmt.Fprintf(w, "  %-14s %6d %9v %9v %9v %9v\n",
+			strings.TrimPrefix(name, prefix), h.Count(), mean,
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	})
 }
 
 func execute(dev *parabit.Device, line string) error {
@@ -161,6 +210,24 @@ func execute(dev *parabit.Device, line string) error {
 			return err
 		}
 		fmt.Printf("bitwise %-8v %-16v -> %x... in %v\n", op, scheme, r.Data[:4], r.Latency)
+		return nil
+	case "flush":
+		if len(fields) != 1 {
+			return fmt.Errorf("flush takes no arguments")
+		}
+		dev.Flush()
+		fmt.Printf("flush   queue drained, clock at %v\n", dev.Elapsed())
+		return nil
+	case "stats":
+		if len(fields) != 1 {
+			return fmt.Errorf("stats takes no arguments")
+		}
+		s := dev.Stats()
+		fmt.Printf("stats   %d bitwise (%d fallbacks, %d reallocs), %d SROs, %d programs, "+
+			"gc %d runs/%d pages, reclaim %d/%d, wl %d/%d, WA %.3f\n",
+			s.BitwiseOps, s.Fallbacks, s.Reallocations, s.SROs, s.Programs,
+			s.GCRuns, s.GCPagesMoved, s.ReadReclaims, s.ReclaimPagesMoved,
+			s.StaticWLMoves, s.WLPagesMoved, s.WriteAmplification)
 		return nil
 	case "reduce":
 		if len(fields) != 4 {

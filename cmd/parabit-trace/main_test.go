@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -77,5 +78,56 @@ func TestTraceSequencesCompose(t *testing.T) {
 		if err := execute(d, line); err != nil {
 			t.Fatalf("%q: %v", line, err)
 		}
+	}
+}
+
+func TestFlushAndStatsDirectives(t *testing.T) {
+	d := traceDevice(t)
+	script := []string{
+		"pair 0 1 a5 3c",
+		"flush",
+		"bitwise AND prealloc 0 1",
+		"stats",
+		"flush",
+	}
+	for _, line := range script {
+		if err := execute(d, line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	if d.Stats().BitwiseOps != 1 {
+		t.Errorf("stats after directives: %+v", d.Stats())
+	}
+	bad := []string{"flush now", "stats all"}
+	for _, line := range bad {
+		if err := execute(d, line); err == nil {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
+
+func TestPrintBreakdownReportsOpKinds(t *testing.T) {
+	d := traceDevice(t)
+	sink := d.EnableTelemetry(false)
+	for _, line := range []string{
+		"pair 0 1 a5 3c",
+		"bitwise AND prealloc 0 1",
+		"bitwise XOR prealloc 0 1",
+	} {
+		if err := execute(d, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	var buf bytes.Buffer
+	printBreakdown(&buf, sink)
+	out := buf.String()
+	for _, want := range []string{"per-op span breakdown", "write-pair", "bitwise", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "read ") {
+		t.Errorf("breakdown lists an idle kind:\n%s", out)
 	}
 }

@@ -14,6 +14,9 @@ import (
 // result is checked bit-exact and the FTL bookkeeping is verified after.
 func TestDeviceConcurrentClients(t *testing.T) {
 	d := newTestDevice(t)
+	// Telemetry (with tracing) stays attached for the whole hammer run, so
+	// -race also covers the sink's counters, histograms and span recorder.
+	sink := d.EnableTelemetry(true)
 	const (
 		workers = 10
 		ops     = 40
@@ -122,6 +125,18 @@ func TestDeviceConcurrentClients(t *testing.T) {
 	// Every pre-paired bitwise op should have sensed directly.
 	if st.Fallbacks != 0 {
 		t.Errorf("pre-allocated operands caused %d fallbacks", st.Fallbacks)
+	}
+	// The telemetry mirror of the op counter must agree with the device,
+	// and the trace must have recorded real spans.
+	if got := sink.Counter("ssd.bitwise.ops").Value(); got != st.BitwiseOps {
+		t.Errorf("telemetry counted %d bitwise ops, device %d", got, st.BitwiseOps)
+	}
+	if sink.Trace().Len() == 0 {
+		t.Error("trace recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
 	}
 }
 

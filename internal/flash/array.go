@@ -141,6 +141,29 @@ func (a *Array) SetNoisyBaseline(on bool) error {
 	return nil
 }
 
+// InstrumentResources installs a reservation observer on every plane's
+// sense path and every channel bus. mk is called once per resource with
+// its diagnostic name ("plane-3", "chan-0") and may return nil to leave
+// that resource uninstrumented; a nil mk removes every observer. The
+// telemetry layer uses this to give each plane and channel its own
+// occupancy lane in an exported trace.
+func (a *Array) InstrumentResources(mk func(name string) sim.ReserveObserver) {
+	for _, p := range a.planes {
+		if mk == nil {
+			p.sense.SetObserver(nil)
+		} else {
+			p.sense.SetObserver(mk(p.sense.Name()))
+		}
+	}
+	for _, b := range a.buses {
+		if mk == nil {
+			b.SetObserver(nil)
+		} else {
+			b.SetObserver(mk(b.Name()))
+		}
+	}
+}
+
 // DrainTime returns the instant all queued work on every plane and channel
 // completes — the wave-completion time experiments report.
 func (a *Array) DrainTime() sim.Time {
@@ -262,7 +285,7 @@ func (a *Array) ReadSense(p PageAddr, at sim.Time) (SenseResult, error) {
 	}
 	pl := a.planeAt(p.PlaneAddr)
 	sros := a.geo.ReadSROs(p.Kind)
-	_, end := pl.sense.Reserve(at, sim.Duration(sros)*a.timing.SenseSRO)
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(sros)*a.timing.SenseSRO, "sense")
 	a.stats.SROs += int64(sros)
 	exposure := a.noteReads(p.WordlineAddr, sros)
 	res := SenseResult{Data: a.pageBits(p.WordlineAddr, p.Kind), Ready: end}
@@ -282,7 +305,7 @@ func (a *Array) ReadSense(p PageAddr, at sim.Time) (SenseResult, error) {
 		for derr != nil && retries < a.timing.MaxReadRetries {
 			retries++
 			a.stats.ReadRetries++
-			_, end = pl.sense.Reserve(end, a.timing.SenseSRO)
+			_, end = pl.sense.ReserveLabeled(end, a.timing.SenseSRO, "sense")
 			a.stats.SROs++
 			a.noteReads(p.WordlineAddr, 1)
 			res.Data = a.pageBits(p.WordlineAddr, p.Kind)
@@ -316,21 +339,21 @@ func (a *Array) Read(p PageAddr, at sim.Time) ([]byte, sim.Time, error) {
 	if a.timing.NoCacheRead && done > res.Ready {
 		// Hold the single data register (and with it the plane's sense
 		// path) until the transfer completes.
-		a.planeAt(p.PlaneAddr).sense.Reserve(res.Ready, done.Sub(res.Ready))
+		a.planeAt(p.PlaneAddr).sense.ReserveLabeled(res.Ready, done.Sub(res.Ready), "hold")
 	}
 	return res.Data, done, nil
 }
 
 // transferOut books the channel for a plane->controller page transfer.
 func (a *Array) transferOut(channel int, ready sim.Time, n int) sim.Time {
-	_, end := a.buses[channel].Reserve(ready, a.timing.Transfer(n))
+	_, end := a.buses[channel].ReserveLabeled(ready, a.timing.Transfer(n), "xfer-out")
 	a.stats.BytesOut += int64(n)
 	return end
 }
 
 // transferIn books the channel for a controller->plane transfer.
 func (a *Array) transferIn(channel int, at sim.Time, n int) sim.Time {
-	_, end := a.buses[channel].Reserve(at, a.timing.Transfer(n))
+	_, end := a.buses[channel].ReserveLabeled(at, a.timing.Transfer(n), "xfer-in")
 	a.stats.BytesIn += int64(n)
 	return end
 }
@@ -365,7 +388,7 @@ func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) 
 	}
 	// Data crosses the channel into the register, then the plane programs.
 	xferEnd := a.transferIn(p.Channel, at, len(data))
-	_, end := pl.sense.Reserve(xferEnd, a.timing.ProgramPage)
+	_, end := pl.sense.ReserveLabeled(xferEnd, a.timing.ProgramPage, "program")
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	var par []byte
@@ -393,7 +416,7 @@ func (a *Array) Erase(p PlaneAddr, blockIdx int, at sim.Time) (sim.Time, error) 
 	}
 	pl := a.planeAt(p)
 	blk := &pl.blocks[blockIdx]
-	_, end := pl.sense.Reserve(at, a.timing.EraseBlock)
+	_, end := pl.sense.ReserveLabeled(at, a.timing.EraseBlock, "erase")
 	blk.wl = nil
 	blk.erases++
 	blk.reads = 0

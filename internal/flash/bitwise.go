@@ -76,7 +76,7 @@ func (a *Array) BitwiseSense(op latch.Op, w WordlineAddr, at sim.Time) (SenseRes
 	}
 	seq := latch.ForOp(op)
 	pl := a.planeAt(w.PlaneAddr)
-	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
 	out := applyOp(op, a.pageBits(w, LSBPage), a.pageBits(w, MSBPage))
 	exposure := a.noteReads(w, seq.SROs())
 	res := SenseResult{Data: out, Ready: end}
@@ -121,7 +121,7 @@ func (a *Array) BitwiseSenseLocFree(op latch.Op, m, n WordlineAddr, at sim.Time)
 	}
 	seq := latch.ForOpLocFree(op)
 	pl := a.planeAt(m.PlaneAddr)
-	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
 	// Operand order per §4.2: M from the MSB page, N from the LSB page.
 	msb := a.pageBits(m, MSBPage)
 	lsb := a.pageBits(n, LSBPage)
@@ -172,7 +172,7 @@ func (a *Array) BitwiseSenseLocFreeLSB(op latch.Op, m, n WordlineAddr, at sim.Ti
 	}
 	seq := latch.ForOpLocFreeLSB(op)
 	pl := a.planeAt(m.PlaneAddr)
-	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
 	mBits := a.pageBits(m, LSBPage)
 	nBits := a.pageBits(n, LSBPage)
 	// Binary ops are symmetric; the NOT pair maps to inverting the first
@@ -313,7 +313,7 @@ func (a *Array) BitwiseChainLSB(op latch.Op, wls []WordlineAddr, at sim.Time) (S
 		dur += a.timing.Transfer(a.geo.PageSize)
 		a.stats.BytesIn += int64(a.geo.PageSize)
 	}
-	_, end := pl.sense.Reserve(at, dur)
+	_, end := pl.sense.ReserveLabeled(at, dur, "chain")
 	// Fold the data.
 	acc := a.pageBits(wls[0], LSBPage)
 	for _, w := range wls[1:] {
@@ -371,7 +371,7 @@ func (a *Array) BitwiseSenseTLC(op latch.TLCOp3, w WordlineAddr, at sim.Time) (S
 	}
 	seq := latch.TLCForOp(op)
 	pl := a.planeAt(w.PlaneAddr)
-	_, end := pl.sense.Reserve(at, sim.Duration(seq.SROs())*a.timing.SenseSRO)
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
 	lsb := a.pageBits(w, LSBPage)
 	csb := a.pageBits(w, MSBPage) // kind 1 = the TLC centre page
 	top := a.pageBits(w, TopPage)

@@ -19,6 +19,7 @@ import (
 
 	"parabit/internal/flash"
 	"parabit/internal/sim"
+	"parabit/internal/telemetry"
 )
 
 // Config parameterizes the FTL.
@@ -57,7 +58,9 @@ var (
 	ErrLogicalRange = errors.New("ftl: logical page out of range")
 )
 
-// Stats tracks write-amplification and endurance inputs.
+// Stats tracks write-amplification inputs and the maintenance-event
+// counters (GC, read reclaim, static wear leveling) the telemetry layer
+// surfaces as gauges.
 type Stats struct {
 	HostPagesWritten  int64 // pages written on behalf of the host
 	ExtraPagesWritten int64 // pages written for GC relocation or ParaBit reallocation
@@ -65,7 +68,9 @@ type Stats struct {
 	GCPagesMoved      int64
 	PaddedPages       int64 // MSB slots skipped to keep paired writes aligned
 	ReadReclaims      int64 // blocks refreshed for read-disturb exposure
+	ReclaimPagesMoved int64 // valid pages migrated by read reclaim
 	StaticWLMoves     int64 // cold blocks migrated by static wear leveling
+	WLPagesMoved      int64 // valid pages migrated by static wear leveling
 }
 
 // WriteAmplification returns (host+extra)/host, or 1 when nothing was
@@ -98,6 +103,27 @@ type FTL struct {
 	order  []int // striping order: channel varies fastest
 	cursor int   // round-robin position in order
 	stats  Stats
+
+	// Telemetry handles; all nil (free no-ops) until SetTelemetry runs.
+	gcTrack, reclaimTrack, wlTrack                              *telemetry.Track
+	cGCRuns, cGCPages, cReclaims, cReclaimPages, cWLMoves, cPad *telemetry.Counter
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry sink. GC
+// runs, read reclaims and static wear-leveling migrations become spans on
+// their own lanes when the sink records a trace, and the maintenance
+// counters mirror into the sink's registry.
+func (f *FTL) SetTelemetry(s *telemetry.Sink) {
+	tr := s.Trace()
+	f.gcTrack = tr.Track("ftl", "gc")
+	f.reclaimTrack = tr.Track("ftl", "read-reclaim")
+	f.wlTrack = tr.Track("ftl", "static-wl")
+	f.cGCRuns = s.Counter("ftl.gc.runs")
+	f.cGCPages = s.Counter("ftl.gc.pages_moved")
+	f.cReclaims = s.Counter("ftl.read_reclaim.runs")
+	f.cReclaimPages = s.Counter("ftl.read_reclaim.pages_moved")
+	f.cWLMoves = s.Counter("ftl.static_wl.moves")
+	f.cPad = s.Counter("ftl.padded_pages")
 }
 
 // New builds an FTL over an erased array.
@@ -204,6 +230,7 @@ func (f *FTL) reclaimBlock(plane flash.PlaneAddr, blockIdx int, at sim.Time) err
 		return fmt.Errorf("ftl: block %d not reclaimable", blockIdx)
 	}
 	f.stats.ReadReclaims++
+	f.cReclaims.Add(1)
 	now := at
 	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[blockIdx] > 0; wl++ {
 		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
@@ -229,13 +256,17 @@ func (f *FTL) reclaimBlock(plane flash.PlaneAddr, blockIdx int, at sim.Time) err
 			}
 			now = done
 			f.stats.ExtraPagesWritten++
+			f.stats.ReclaimPagesMoved++
+			f.cReclaimPages.Add(1)
 		}
 	}
 	pa.full = append(pa.full[:idx], pa.full[idx+1:]...)
-	if _, err := f.array.Erase(plane, blockIdx, now); err != nil {
+	end, err := f.array.Erase(plane, blockIdx, now)
+	if err != nil {
 		return fmt.Errorf("ftl: reclaim erase: %w", err)
 	}
 	pa.free = append(pa.free, blockIdx)
+	f.reclaimTrack.Span("read-reclaim", at, end)
 	return nil
 }
 
@@ -375,6 +406,7 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 				return
 			}
 			f.stats.ExtraPagesWritten++
+			f.stats.WLPagesMoved++
 		}
 	}
 	// The worn block now holds the cold data (sealed, unless the cold
@@ -397,6 +429,8 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 		pa.full = append(pa.full, worn)
 	}
 	f.stats.StaticWLMoves++
+	f.cWLMoves.Add(1)
+	f.wlTrack.Span("static-wl", at, now)
 }
 
 // writeSlotPad programs a filler page to keep destination program order.
@@ -414,6 +448,7 @@ func writeSlotPad(f *FTL, pa *planeAlloc, worn int, dst *int, now *sim.Time) boo
 	*now = end
 	*dst++
 	f.stats.PaddedPages++
+	f.cPad.Add(1)
 	return true
 }
 
@@ -496,6 +531,7 @@ func (f *FTL) padToFreshWordline(pa *planeAlloc, at sim.Time) error {
 			return err
 		}
 		f.stats.PaddedPages++
+		f.cPad.Add(1)
 	}
 	return nil
 }
@@ -823,6 +859,7 @@ func (f *FTL) collectPlane(pa *planeAlloc, at sim.Time) (sim.Time, error) {
 	victim := pa.full[vi]
 	pa.full = append(pa.full[:vi], pa.full[vi+1:]...)
 	f.stats.GCRuns++
+	f.cGCRuns.Add(1)
 
 	now := at
 	// Relocate valid pages. Walk the victim's pages via the reverse map.
@@ -851,6 +888,7 @@ func (f *FTL) collectPlane(pa *planeAlloc, at sim.Time) (sim.Time, error) {
 			now = done
 			f.stats.ExtraPagesWritten++
 			f.stats.GCPagesMoved++
+			f.cGCPages.Add(1)
 		}
 	}
 	end, err := f.array.Erase(pa.addr, victim, now)
@@ -858,6 +896,7 @@ func (f *FTL) collectPlane(pa *planeAlloc, at sim.Time) (sim.Time, error) {
 		return now, fmt.Errorf("ftl: gc erase: %w", err)
 	}
 	pa.free = append(pa.free, victim)
+	f.gcTrack.Span("gc", at, end)
 	return end, nil
 }
 

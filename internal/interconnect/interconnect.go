@@ -68,10 +68,15 @@ func (l *Link) TransferTime(n int64) sim.Duration {
 	return l.setup + sim.Duration(float64(n)/l.bytesPerNs)
 }
 
+// InstrumentBus installs (or, with nil, removes) a reservation observer
+// on the link's bus, giving the host link its own lane in an exported
+// trace.
+func (l *Link) InstrumentBus(obs sim.ReserveObserver) { l.bus.SetObserver(obs) }
+
 // Transfer books n bytes on the link starting no earlier than at and
 // returns when the transfer completes. Concurrent requests serialize.
 func (l *Link) Transfer(n int64, at sim.Time) sim.Time {
-	_, end := l.bus.Reserve(at, l.TransferTime(n))
+	_, end := l.bus.ReserveLabeled(at, l.TransferTime(n), "transfer")
 	l.moved += n
 	return end
 }

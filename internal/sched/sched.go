@@ -36,6 +36,7 @@ import (
 	"parabit/internal/nvme"
 	"parabit/internal/sim"
 	"parabit/internal/ssd"
+	"parabit/internal/telemetry"
 )
 
 // Kind identifies what a Command asks the device to do.
@@ -239,6 +240,36 @@ type Scheduler struct {
 	pending []*Ticket
 	depth   [numKinds]int // pending commands per kind
 	stats   Stats
+	tele    schedTele
+}
+
+// schedTele holds the scheduler's telemetry handles; the zero value (all
+// nil) is the disabled state and every call through it is a free no-op.
+type schedTele struct {
+	queueTracks [numKinds]*telemetry.Track
+	depthGauges [numKinds]*telemetry.Gauge
+	latency     [numKinds]*telemetry.Histogram
+	batchTrack  *telemetry.Track
+	cBatches    *telemetry.Counter
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry sink. Every
+// command kind gets a queue lane (spans run from batch issue to command
+// completion), a pending-depth gauge and a service-latency histogram;
+// batches get their own lane. All numKinds lanes register eagerly so an
+// exported trace shows one lane per queue even for kinds that saw no
+// traffic.
+func (s *Scheduler) SetTelemetry(sink *telemetry.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := sink.Trace()
+	for k := 0; k < numKinds; k++ {
+		s.tele.queueTracks[k] = tr.Track("sched", "queue-"+kindNames[k])
+		s.tele.depthGauges[k] = sink.Gauge("sched.queue." + kindNames[k] + ".depth")
+		s.tele.latency[k] = sink.Histogram("sched.latency." + kindNames[k])
+	}
+	s.tele.batchTrack = tr.Track("sched", "batches")
+	s.tele.cBatches = sink.Counter("sched.batches")
 }
 
 // New wraps a device. The scheduler assumes sole ownership: bypassing it
@@ -271,6 +302,7 @@ func (s *Scheduler) Submit(cmd Command) *Ticket {
 	if s.depth[k] > s.stats.Queues[k].MaxDepth {
 		s.stats.Queues[k].MaxDepth = s.depth[k]
 	}
+	s.tele.depthGauges[k].Set(int64(s.depth[k]))
 	s.mu.Unlock()
 	return t
 }
@@ -309,10 +341,15 @@ func (s *Scheduler) dispatchLocked() {
 			horizon = end
 		}
 		s.stats.Queues[k].Busy += t.res.end().Sub(issue)
+		s.tele.depthGauges[k].Set(int64(s.depth[k]))
+		s.tele.latency[k].Observe(t.res.end().Sub(issue))
+		s.tele.queueTracks[k].Span(kindNames[k], issue, t.res.end())
 		close(t.done)
 	}
 	s.now = horizon
 	s.stats.Horizon = horizon
+	s.tele.cBatches.Add(1)
+	s.tele.batchTrack.Span("batch", issue, horizon)
 }
 
 // exec runs one command against the device at the given issue time.

@@ -17,7 +17,15 @@ type Resource struct {
 	busy Duration
 	// ops counts reservations.
 	ops int64
+	// obs, when set, receives every reservation (telemetry tracing).
+	obs ReserveObserver
 }
+
+// ReserveObserver receives each reservation made on an instrumented
+// resource: the label the reserving layer gave the work ("sense",
+// "program", "xfer", ...) and the interval actually occupied. Observers
+// run synchronously inside Reserve; keep them cheap.
+type ReserveObserver func(label string, start, end Time)
 
 // NewResource returns an idle resource with the given diagnostic name.
 func NewResource(name string) *Resource {
@@ -31,13 +39,26 @@ func (r *Resource) Name() string { return r.name }
 // and no earlier than the end of the previously booked work. It returns the
 // interval actually occupied.
 func (r *Resource) Reserve(at Time, d Duration) (start, end Time) {
+	return r.ReserveLabeled(at, d, "busy")
+}
+
+// ReserveLabeled is Reserve with a label describing the work, which the
+// observer (if any) receives — this is how occupancy lanes in an exported
+// trace distinguish senses from programs from transfers.
+func (r *Resource) ReserveLabeled(at Time, d Duration, label string) (start, end Time) {
 	start = Max(at, r.freeAt)
 	end = start.Add(d)
 	r.freeAt = end
 	r.busy += d
 	r.ops++
+	if r.obs != nil {
+		r.obs(label, start, end)
+	}
 	return start, end
 }
+
+// SetObserver installs (or, with nil, removes) the reservation observer.
+func (r *Resource) SetObserver(obs ReserveObserver) { r.obs = obs }
 
 // FreeAt returns the earliest instant at which new work could start.
 func (r *Resource) FreeAt() Time { return r.freeAt }

@@ -74,6 +74,8 @@ func (d *Device) reallocate(lpnM, lpnN uint64, at sim.Time) (flash.WordlineAddr,
 	d.plain[newN] = true
 	d.stats.Reallocations++
 	d.stats.ReallocPages += 2
+	d.tele.cRealloc.Add(1)
+	d.tele.cReallocPg.Add(2)
 	return wl, dataM, dataN, done, nil
 }
 
@@ -97,6 +99,7 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 		// Pre-allocation missed (operands arrived unpaired): fall back to
 		// reallocation, as the controller must.
 		d.stats.Fallbacks++
+		d.noteFallback(SchemePreAlloc)
 		return d.senseAfterRealloc(op, lpnM, lpnN, at)
 	case SchemeReAlloc:
 		return d.senseAfterRealloc(op, lpnM, lpnN, at)
@@ -107,6 +110,7 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 				return BitwiseResult{}, err
 			}
 			d.stats.BitwiseOps++
+			d.noteOp(op, SchemeLocFree, at, res.Ready)
 			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 		}
 		if addrM.Kind == flash.MSBPage && addrN.Kind == flash.LSBPage &&
@@ -116,6 +120,7 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 				return BitwiseResult{}, err
 			}
 			d.stats.BitwiseOps++
+			d.noteOp(op, SchemeLocFree, at, res.Ready)
 			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 		}
 		if addrM.Kind == flash.LSBPage && addrN.Kind == flash.MSBPage &&
@@ -132,9 +137,11 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 				return BitwiseResult{}, err
 			}
 			d.stats.BitwiseOps++
+			d.noteOp(op, SchemeLocFree, at, res.Ready)
 			return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 		}
 		d.stats.Fallbacks++
+		d.noteFallback(SchemeLocFree)
 		return d.senseAfterRealloc(op, lpnM, lpnN, at)
 	}
 	return BitwiseResult{}, fmt.Errorf("ssd: unknown scheme %v", scheme)
@@ -148,6 +155,7 @@ func (d *Device) senseCoLocated(op latch.Op, a, b flash.PageAddr, at sim.Time) (
 		return BitwiseResult{}, err
 	}
 	d.stats.BitwiseOps++
+	d.noteOp(op, SchemePreAlloc, at, res.Ready)
 	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 }
 
@@ -162,6 +170,7 @@ func (d *Device) senseAfterRealloc(op latch.Op, lpnM, lpnN uint64, at sim.Time) 
 		return BitwiseResult{}, err
 	}
 	d.stats.BitwiseOps++
+	d.noteOp(op, SchemeReAlloc, at, res.Ready)
 	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 }
 
@@ -198,11 +207,14 @@ func (d *Device) senseAfterReallocBuffered(op latch.Op, bufM []byte, readyM sim.
 	d.plain[newN] = true
 	d.stats.Reallocations++
 	d.stats.ReallocPages += 2
+	d.tele.cRealloc.Add(1)
+	d.tele.cReallocPg.Add(2)
 	res, err := d.array.BitwiseSense(op, wl, done)
 	if err != nil {
 		return BitwiseResult{}, err
 	}
 	d.stats.BitwiseOps++
+	d.noteOp(op, SchemeReAlloc, at, res.Ready)
 	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 }
 
@@ -279,6 +291,7 @@ func (d *Device) reduceLocFree(op latch.Op, lpns []uint64, at sim.Time) (Bitwise
 	}
 	if !allLSB {
 		d.stats.Fallbacks++
+		d.noteFallback(SchemeLocFree)
 		return d.reduceSerial(op, lpns, at)
 	}
 	// Split into same-plane runs, chain each, then park run results
@@ -338,6 +351,7 @@ func (d *Device) reduceLocFree(op latch.Op, lpns []uint64, at sim.Time) (Bitwise
 			return BitwiseResult{}, err
 		}
 		d.stats.BitwiseOps++
+		d.noteOp(op, SchemeLocFree, ready, res.Ready)
 		acc = BitwiseResult{Data: res.Data, Done: res.Ready}
 		havePartial = true
 	}
@@ -412,6 +426,7 @@ func (d *Device) reduceSerial(op latch.Op, lpns []uint64, at sim.Time) (BitwiseR
 func (d *Device) ShipToHost(r *BitwiseResult) {
 	r.HostDone = d.host.Transfer(int64(len(r.Data)), r.Done)
 	d.stats.ResultBytes += int64(len(r.Data))
+	d.tele.cResult.Add(int64(len(r.Data)))
 }
 
 // FormulaResult is the outcome of ExecuteFormula.
@@ -495,6 +510,7 @@ func (d *Device) ExecuteFormula(f nvme.Formula, scheme Scheme, at sim.Time) (For
 		}
 		hostDone := d.host.Transfer(int64(len(pr.data)), pr.done)
 		d.stats.ResultBytes += int64(len(pr.data))
+		d.tele.cResult.Add(int64(len(pr.data)))
 		if hostDone > out.HostDone {
 			out.HostDone = hostDone
 		}

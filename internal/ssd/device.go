@@ -40,6 +40,7 @@ type Device struct {
 	nextInternal uint64
 	lowInternal  uint64
 	stats        OpStats
+	tele         devTele
 }
 
 // OpStats counts controller-level ParaBit activity.
@@ -280,6 +281,11 @@ func (d *Device) BitwiseTriple(op latch.TLCOp3, lpns [3]uint64, at sim.Time) (Bi
 		return BitwiseResult{}, err
 	}
 	d.stats.BitwiseOps++
+	d.tele.cOps.Add(1)
+	if d.tele.sink != nil {
+		d.tele.sink.Counter(tripleOpName).Add(1)
+		d.tele.opTrack.Span("triple/"+op.String(), at, res.Ready)
+	}
 	return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
 }
 
@@ -316,6 +322,7 @@ func (d *Device) readOperand(lpn uint64, at sim.Time) ([]byte, sim.Time, error) 
 	if d.cfg.Scramble && !d.plain[lpn] {
 		scrambleKeystream(lpn, data)
 		d.stats.DescrambledOps++
+		d.tele.cDescramble.Add(1)
 	}
 	return data, done, nil
 }

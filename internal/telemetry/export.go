@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"parabit/internal/sim"
+)
+
+// TraceEvent is one entry of the exported Chrome trace-event JSON. The
+// field set follows the trace-event format spec: ph "M" for metadata,
+// "X" for complete spans (ts + dur), "i" for instants. Timestamps are in
+// microseconds of *virtual* time.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level object WriteTrace emits; exported so tests
+// (and tools) can round-trip the JSON.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func toMicros(t sim.Time) float64      { return float64(t) / 1e3 }
+func durMicros(d sim.Duration) float64 { return float64(d) / 1e3 }
+
+// Events builds the export-ready event list: metadata events naming every
+// process and lane first, then all spans and instants sorted by
+// timestamp (insertion order breaks ties, so the output is deterministic
+// for a deterministic run).
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	procs, tracks, samples := t.snapshot()
+	out := make([]TraceEvent, 0, len(procs)+2*len(tracks)+len(samples))
+	for i, p := range procs {
+		out = append(out, TraceEvent{
+			Name: "process_name", Ph: "M", PID: i + 1, TID: 0,
+			Args: map[string]string{"name": p},
+		})
+	}
+	for _, tk := range tracks {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tk.pid, TID: tk.tid,
+			Args: map[string]string{"name": tk.lane},
+		})
+		out = append(out, TraceEvent{
+			Name: "thread_sort_index", Ph: "M", PID: tk.pid, TID: tk.tid,
+			Args: map[string]string{"sort_index": fmt.Sprint(tk.tid)},
+		})
+	}
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].start != samples[j].start {
+			return samples[i].start < samples[j].start
+		}
+		return samples[i].seq < samples[j].seq
+	})
+	for _, s := range samples {
+		ev := TraceEvent{
+			Name: s.name, TS: toMicros(s.start),
+			PID: s.track.pid, TID: s.track.tid,
+		}
+		if s.dur < 0 {
+			ev.Ph = "i"
+			ev.S = "t" // thread-scoped instant
+		} else {
+			ev.Ph = "X"
+			ev.Dur = durMicros(s.dur)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteTrace writes the recorded trace as Chrome trace-event JSON. Open
+// the file in chrome://tracing or https://ui.perfetto.dev. Writing an
+// empty or disabled trace yields a valid file with only metadata (or
+// nothing), so callers need not special-case short runs.
+func (s *Sink) WriteTrace(w io.Writer) error {
+	f := TraceFile{
+		TraceEvents:     s.Trace().Events(),
+		DisplayTimeUnit: "ns",
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteMetrics writes an expvar-style text summary: every counter and
+// gauge with its value, and every histogram with count, mean, min,
+// p50/p95/p99 and max — the per-op-kind latency breakdown the paper's
+// Fig. 13 reports as sense/transfer/program splits.
+func (s *Sink) WriteMetrics(w io.Writer) {
+	if s == nil {
+		return
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	s.EachCounter(func(name string, v int64) {
+		fmt.Fprintf(bw, "counter %-36s %d\n", name, v)
+	})
+	s.EachGauge(func(name string, v int64) {
+		fmt.Fprintf(bw, "gauge   %-36s %d\n", name, v)
+	})
+	s.EachHistogram(func(name string, h *Histogram) {
+		n := h.Count()
+		if n == 0 {
+			fmt.Fprintf(bw, "hist    %-36s count=0\n", name)
+			return
+		}
+		mean := sim.Duration(int64(h.Sum()) / n)
+		fmt.Fprintf(bw, "hist    %-36s count=%d mean=%v min=%v p50=%v p95=%v p99=%v max=%v\n",
+			name, n, mean, h.Min(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	})
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parabit/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleSink builds a small deterministic trace covering every event
+// variety the exporter emits: multiple processes and lanes, overlapping
+// and zero-length spans, out-of-order recording, and an instant.
+func sampleSink() *Sink {
+	s := New()
+	tr := s.EnableTrace()
+	p0 := tr.Track("flash", "plane-0")
+	p1 := tr.Track("flash", "plane-1")
+	ch := tr.Track("flash", "chan-0")
+	q := tr.Track("sched", "queue-bitwise")
+	q.Span("bitwise", 0, sim.Time(40_000))
+	p0.Span("sense", 0, sim.Time(25_000))
+	p1.Span("sense", sim.Time(10_000), sim.Time(35_000))
+	ch.Span("xfer-out", sim.Time(25_000), sim.Time(31_000))
+	p0.Instant("gc-trigger", sim.Time(50_000))
+	// Recorded late but starting early: the exporter must sort it.
+	p1.Span("program", sim.Time(5_000), sim.Time(8_000))
+	// Zero-length span (a barrier) survives export.
+	q.Span("barrier", sim.Time(60_000), sim.Time(60_000))
+	s.Counter("ops").Add(7)
+	return s
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSink().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON diverged from golden file; run with -update if intended.\ngot:\n%s", buf.String())
+	}
+}
+
+// TestTraceRoundTrip validates the exported JSON against the Chrome
+// trace-event contract: parseable, metadata naming every lane, samples
+// sorted by timestamp, well-formed X/i events, and ids stable across
+// repeated exports.
+func TestTraceRoundTrip(t *testing.T) {
+	s := sampleSink()
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit %q", f.DisplayTimeUnit)
+	}
+	lanes := map[[2]int]string{}
+	procs := map[int]string{}
+	var lastTS float64
+	samples := 0
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procs[ev.PID] = ev.Args["name"]
+			case "thread_name":
+				lanes[[2]int{ev.PID, ev.TID}] = ev.Args["name"]
+			case "thread_sort_index":
+			default:
+				t.Errorf("unknown metadata event %q", ev.Name)
+			}
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative dur %v", ev.Name, ev.Dur)
+			}
+			fallthrough
+		case "i":
+			samples++
+			if ev.TS < lastTS {
+				t.Errorf("event %q at ts %v after ts %v: not sorted", ev.Name, ev.TS, lastTS)
+			}
+			lastTS = ev.TS
+			if _, ok := lanes[[2]int{ev.PID, ev.TID}]; !ok {
+				t.Errorf("event %q on unregistered lane pid=%d tid=%d", ev.Name, ev.PID, ev.TID)
+			}
+			if _, ok := procs[ev.PID]; !ok {
+				t.Errorf("event %q in unnamed process %d", ev.Name, ev.PID)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if samples != s.Trace().Len() {
+		t.Errorf("exported %d samples, recorded %d", samples, s.Trace().Len())
+	}
+	wantLanes := map[string]bool{"plane-0": true, "plane-1": true, "chan-0": true, "queue-bitwise": true}
+	for _, name := range lanes {
+		delete(wantLanes, name)
+	}
+	if len(wantLanes) != 0 {
+		t.Errorf("missing lanes in export: %v", wantLanes)
+	}
+
+	// Re-export: identical output, so pids/tids are stable.
+	var again bytes.Buffer
+	if err := s.WriteTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("re-export produced different bytes")
+	}
+	// A structurally identical sink registered in the same order must
+	// assign the same ids (run-over-run stability).
+	var fresh bytes.Buffer
+	if err := sampleSink().WriteTrace(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fresh.Bytes()) {
+		t.Error("identical construction produced different ids")
+	}
+}
+
+func TestWriteTraceDisabledOrEmpty(t *testing.T) {
+	for name, s := range map[string]*Sink{"nil": nil, "no-trace": New(), "empty-trace": func() *Sink {
+		s := New()
+		s.EnableTrace()
+		return s
+	}()} {
+		var buf bytes.Buffer
+		if err := s.WriteTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var f TraceFile
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", name, err)
+		}
+		if f.TraceEvents == nil {
+			t.Errorf("%s: traceEvents must be [], not null", name)
+		}
+	}
+}
+
+func TestWriteMetricsSummary(t *testing.T) {
+	s := New()
+	s.Counter("ftl.gc.runs").Add(3)
+	s.Gauge("depth").Set(11)
+	h := s.Histogram("sched.latency.bitwise")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	s.Histogram("sched.latency.read") // registered, never observed
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"counter ftl.gc.runs", "3",
+		"gauge", "depth", "11",
+		"hist", "sched.latency.bitwise", "count=100", "p50=", "p95=", "p99=",
+		"sched.latency.read", "count=0",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order must be preserved.
+	var names []string
+	s.EachHistogram(func(name string, _ *Histogram) { names = append(names, name) })
+	if !reflect.DeepEqual(names, []string{"sched.latency.bitwise", "sched.latency.read"}) {
+		t.Errorf("histogram order: %v", names)
+	}
+}

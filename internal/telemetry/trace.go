@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+
+	"parabit/internal/sim"
+)
+
+// Trace records spans and instants on named tracks and exports them as
+// Chrome trace-event JSON (chrome://tracing, Perfetto UI). A track is one
+// lane in the viewer: a (process, lane) pair mapped to a stable
+// (pid, tid). Processes group related lanes — "flash" holds one lane per
+// plane and channel, "sched" one per command queue, and so on.
+//
+// A nil *Trace is a valid disabled recorder; Track on it returns a nil
+// *Track whose methods are no-ops.
+type Trace struct {
+	mu     sync.Mutex
+	pids   map[string]int
+	procs  []string // by pid-1
+	tracks map[trackKey]*Track
+	order  []*Track
+	events []traceSample
+}
+
+type trackKey struct{ process, lane string }
+
+// traceSample is one recorded event. dur < 0 marks an instant event.
+type traceSample struct {
+	track *Track
+	name  string
+	start sim.Time
+	dur   sim.Duration
+	seq   int // insertion order, the tie-breaker for equal timestamps
+}
+
+func newTrace() *Trace {
+	return &Trace{
+		pids:   make(map[string]int),
+		tracks: make(map[trackKey]*Track),
+	}
+}
+
+// Track returns the lane for (process, lane), registering it on first
+// use. Pids and tids are assigned in registration order, so a fixed
+// instrumentation order yields stable ids run over run. Nil-safe.
+func (t *Trace) Track(process, lane string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := trackKey{process, lane}
+	if tk, ok := t.tracks[key]; ok {
+		return tk
+	}
+	pid, ok := t.pids[process]
+	if !ok {
+		pid = len(t.procs) + 1
+		t.pids[process] = pid
+		t.procs = append(t.procs, process)
+	}
+	tid := 1
+	for _, tk := range t.order {
+		if tk.pid == pid {
+			tid++
+		}
+	}
+	tk := &Track{tr: t, process: process, lane: lane, pid: pid, tid: tid}
+	t.tracks[key] = tk
+	t.order = append(t.order, tk)
+	return tk
+}
+
+// Track is one lane of the trace. A nil *Track is a disabled lane.
+type Track struct {
+	tr            *Trace
+	process, lane string
+	pid, tid      int
+}
+
+// Span records a complete ("X") event covering [start, end] in virtual
+// time. Zero-length spans are kept — they mark instantaneous commands
+// (barriers). No-op on a nil track.
+func (k *Track) Span(name string, start, end sim.Time) {
+	if k == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		start, d = end, -d
+	}
+	k.tr.record(k, name, start, d)
+}
+
+// Instant records a point event ("i") at the given virtual time. No-op on
+// a nil track.
+func (k *Track) Instant(name string, at sim.Time) {
+	if k == nil {
+		return
+	}
+	k.tr.record(k, name, at, -1)
+}
+
+func (t *Trace) record(k *Track, name string, start sim.Time, dur sim.Duration) {
+	t.mu.Lock()
+	t.events = append(t.events, traceSample{
+		track: k, name: name, start: start, dur: dur, seq: len(t.events),
+	})
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded events (spans + instants).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// snapshot copies the recorder state for export.
+func (t *Trace) snapshot() (procs []string, tracks []*Track, events []traceSample) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	procs = append([]string(nil), t.procs...)
+	tracks = append([]*Track(nil), t.order...)
+	events = append([]traceSample(nil), t.events...)
+	return
+}

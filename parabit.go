@@ -22,6 +22,7 @@ package parabit
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"parabit/internal/flash"
@@ -30,6 +31,7 @@ import (
 	"parabit/internal/sched"
 	"parabit/internal/sim"
 	"parabit/internal/ssd"
+	"parabit/internal/telemetry"
 )
 
 // Op is a bitwise operation ParaBit can execute in flash.
@@ -112,6 +114,7 @@ type Device struct {
 	// through sched (or inside sched.Exclusive).
 	dev   *ssd.Device
 	sched *sched.Scheduler
+	sink  *telemetry.Sink
 }
 
 // Option configures a Device.
@@ -347,6 +350,55 @@ func (d *Device) Reclaim() {
 	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { dev.ReclaimInternal() })
 }
 
+// EnableTelemetry attaches a fresh telemetry sink to every layer of the
+// device: scheduler queues, controller bitwise paths, FTL maintenance,
+// plane/channel occupancy, and the host link. With trace true the sink
+// also records spans for export as Chrome trace-event JSON (WriteTrace);
+// metrics (counters, gauges, latency histograms) are always on. Safe to
+// call on a device with in-flight commands — it drains the queue first.
+func (d *Device) EnableTelemetry(trace bool) *telemetry.Sink {
+	sink := telemetry.New()
+	if trace {
+		sink.EnableTrace()
+	}
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { dev.SetTelemetry(sink) })
+	d.sched.SetTelemetry(sink)
+	d.sink = sink
+	return sink
+}
+
+// Telemetry returns the sink attached by EnableTelemetry, or nil.
+func (d *Device) Telemetry() *telemetry.Sink { return d.sink }
+
+// SyncTelemetryGauges refreshes the sink's device-level gauges (flash
+// operation totals and write amplification) from the current counters.
+// Call before exporting metrics; a nil or absent sink is a no-op.
+func (d *Device) SyncTelemetryGauges() {
+	if d.sink == nil {
+		return
+	}
+	st := d.Stats()
+	d.sink.Gauge("flash.sros").Set(st.SROs)
+	d.sink.Gauge("flash.programs").Set(st.Programs)
+	d.sink.Gauge("flash.erases").Set(st.Erases)
+	d.sink.Gauge("ftl.write_amp_milli").Set(int64(st.WriteAmplification * 1000))
+}
+
+// WriteTrace exports the recorded trace as Chrome trace-event JSON (open
+// in chrome://tracing or ui.perfetto.dev). Valid, possibly empty, output
+// even when telemetry or tracing is disabled.
+func (d *Device) WriteTrace(w io.Writer) error {
+	d.Flush()
+	return d.sink.WriteTrace(w)
+}
+
+// WriteMetrics writes the expvar-style metrics summary; it syncs the
+// device-level gauges first. No output when telemetry is disabled.
+func (d *Device) WriteMetrics(w io.Writer) {
+	d.SyncTelemetryGauges()
+	d.sink.WriteMetrics(w)
+}
+
 // Stats reports device activity counters.
 type Stats struct {
 	BitwiseOps    int64
@@ -356,6 +408,16 @@ type Stats struct {
 	Programs      int64
 	Erases        int64
 	InjectedFlips int64
+	// FTL maintenance activity: garbage collection, read reclaim and
+	// static wear leveling runs, with the pages each migrated, plus MSB
+	// slots padded to keep paired writes aligned.
+	GCRuns            int64
+	GCPagesMoved      int64
+	ReadReclaims      int64
+	ReclaimPagesMoved int64
+	StaticWLMoves     int64
+	WLPagesMoved      int64
+	PaddedPages       int64
 	// WriteAmplification is (host+internal writes)/host writes.
 	WriteAmplification float64
 	// Commands counts scheduler commands executed; Batches how many
@@ -386,6 +448,13 @@ func (d *Device) Stats() Stats {
 			Programs:           fl.Programs,
 			Erases:             fl.Erases,
 			InjectedFlips:      fl.InjectedFlips,
+			GCRuns:             ft.GCRuns,
+			GCPagesMoved:       ft.GCPagesMoved,
+			ReadReclaims:       ft.ReadReclaims,
+			ReclaimPagesMoved:  ft.ReclaimPagesMoved,
+			StaticWLMoves:      ft.StaticWLMoves,
+			WLPagesMoved:       ft.WLPagesMoved,
+			PaddedPages:        ft.PaddedPages,
 			WriteAmplification: ft.WriteAmplification(),
 		}
 	})
