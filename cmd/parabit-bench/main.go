@@ -23,6 +23,7 @@ import (
 
 	"parabit"
 	"parabit/internal/sched"
+	"parabit/internal/wallclock"
 )
 
 // defaultHammerClients is the client count a bare -hammer flag uses.
@@ -138,7 +139,7 @@ func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 		}
 	}
 	assoc := []parabit.Op{parabit.And, parabit.Or, parabit.Xor}
-	wallStart := time.Now()
+	wallStart := wallclock.Start()
 	var wg sync.WaitGroup
 	errCh := make(chan error, n)
 	for w := 0; w < n; w++ {
@@ -189,7 +190,7 @@ func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 		return err
 	}
 	dev.Flush()
-	wall := time.Since(wallStart)
+	wall := wallStart.Elapsed()
 	st := dev.Stats()
 	ss := dev.SchedulerStats()
 	fmt.Fprintf(w, "hammer: %d clients x %d ops in %v wall\n", n, ops, wall.Round(time.Millisecond))

@@ -1,0 +1,108 @@
+// Package errdrop flags discarded error returns from the simulated
+// device stack.
+//
+// Calls into ssd.Device, the FTL and the scheduler mutate simulated
+// device state (mappings, timing cursors, latch contents) and report
+// failure through their error result. A call statement that drops that
+// error desynchronizes the caller from the device silently: the
+// simulation keeps running with state the caller believes is different,
+// and the corruption only surfaces — if ever — as wrong experiment
+// numbers. This analyzer reports statement-position calls (including go
+// and defer statements) to functions and methods of the device packages
+// whose error result is discarded. Test files are exempt; an explicit
+// `_ =` assignment also passes, as a visible record that the error was
+// considered and dropped on purpose.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parabit/internal/analysis"
+)
+
+// Analyzer is the errdrop analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag call statements that discard error results from the device stack " +
+		"(internal/ssd, internal/ftl, internal/sched): a dropped error silently " +
+		"desynchronizes the simulated device state",
+	Run: run,
+}
+
+// guardedPkgs are the packages whose error returns must not be dropped.
+var guardedPkgs = map[string]bool{
+	"parabit/internal/ssd":   true,
+	"parabit/internal/ftl":   true,
+	"parabit/internal/sched": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || fn.Pkg() == nil || !guardedPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			if pass.IsTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s.%s is discarded; its error reports simulated-device state desync — handle it or assign it to _ explicitly",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// callee resolves the called function or method, looking through
+// selectors and plain identifiers.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// returnsError reports whether any of the function's results is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

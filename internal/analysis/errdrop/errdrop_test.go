@@ -1,0 +1,16 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"parabit/internal/analysis/analysistest"
+	"parabit/internal/analysis/errdrop"
+)
+
+func TestDroppedErrorsFlagged(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "errbad")
+}
+
+func TestHandledErrorsClean(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "errok")
+}

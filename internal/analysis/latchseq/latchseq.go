@@ -1,0 +1,500 @@
+// Package latchseq statically validates latch control sequences against
+// the circuit contract of internal/latch (ParaBit Tables 2–7).
+//
+// The latching circuit only computes correctly when control steps follow
+// the legal orderings: a sequence must begin with an initialization, a
+// combine transistor (M1/M2) may only fire after a sense has charged SO,
+// and the L1→L2 transfer (M3) is meaningless before L1 has been
+// initialized. Sequences that break these rules do not fail loudly — they
+// silently latch garbage, exactly like the illegal row-activation
+// orderings in the Ambit/PRISM line of PIM work. This analyzer finds
+// []latch.Step composite literals (including ones built with append or
+// reached through named package-level variables and single-return helper
+// functions) and checks the orderings at compile time.
+package latchseq
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"parabit/internal/analysis"
+)
+
+// Analyzer is the latchseq analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "latchseq",
+	Doc: "check latch control sequences against the ParaBit circuit contract: " +
+		"init first, sense before combine, no M3 before init, no unknown step kinds, " +
+		"and per-op step/sense counts matching internal/latch/sequences.go",
+	Run: run,
+}
+
+// latchPkgPath is the package whose Step/Sequence types anchor the checks.
+const latchPkgPath = "parabit/internal/latch"
+
+// Step kind values mirroring internal/latch. The analyzer reads kinds as
+// untyped constant values out of type information, so these must match
+// the constant block in latch/circuit.go; the latchseq tests in
+// internal/latch/validate_test.go pin the correspondence.
+const (
+	stepInit = iota
+	stepInitInv
+	stepReinitL1
+	stepReinitL1Inv
+	stepSense
+	stepM1
+	stepM2
+	stepM3
+	numStepKinds
+)
+
+var stepKindNames = [numStepKinds]string{
+	"StepInit", "StepInitInv", "StepReinitL1", "StepReinitL1Inv",
+	"StepSense", "StepM1", "StepM2", "StepM3",
+}
+
+// opShape is the expected step and sense count for one named operation's
+// sequence, per the tables in internal/latch/sequences.go.
+type opShape struct{ steps, senses int }
+
+// opShapes pins the shape of every basic-ParaBit sequence (paper Fig. 3,
+// Fig. 5-7 and Tables 2-5). Location-free and TLC sequences are checked
+// for ordering only; their shapes vary by hardware variant.
+var opShapes = map[string]opShape{
+	"READ-LSB": {4, 1},
+	"READ-MSB": {6, 2},
+	"AND":      {4, 1},
+	"OR":       {6, 2},
+	"XNOR":     {11, 4},
+	"NAND":     {4, 1},
+	"NOR":      {6, 2},
+	"XOR":      {11, 4},
+	"NOT-LSB":  {4, 1},
+	"NOT-MSB":  {6, 2},
+}
+
+// maxSteps bounds any single control sequence; the longest legal sequence
+// in the repository (location-free XOR/XNOR) has 16 steps, and a runaway
+// generated sequence almost certainly indicates a builder bug.
+const maxSteps = 64
+
+// step is one statically resolved sequence element.
+type step struct {
+	kind  int64
+	known bool      // kind resolved to a constant
+	pos   token.Pos // position to anchor diagnostics for this element
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// vars maps package-level (and local) single-assignment variables to
+	// their initializer expressions, for resolving steps behind names.
+	vars map[types.Object]ast.Expr
+	// funcs maps same-package functions to their declarations, for
+	// resolving helper constructors like sense(v) and seq builders.
+	funcs map[types.Object]*ast.FuncDecl
+	// checked records Steps expressions already validated as part of an
+	// enclosing latch.Sequence literal, so the bare []Step walk does not
+	// report them twice.
+	checked map[ast.Expr]bool
+	// reported dedups diagnostics: a literal inside a helper function can
+	// be reached both by the bare []Step walk and by resolution through
+	// every sequence that calls the helper.
+	reported map[reportKey]bool
+}
+
+type reportKey struct {
+	pos token.Pos
+	msg string
+}
+
+// reportf reports a diagnostic once per (position, message) pair.
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if c.reported[reportKey{pos, msg}] {
+		return
+	}
+	c.reported[reportKey{pos, msg}] = true
+	c.pass.Report(pos, msg)
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		vars:     make(map[types.Object]ast.Expr),
+		funcs:    make(map[types.Object]*ast.FuncDecl),
+		checked:  make(map[ast.Expr]bool),
+		reported: make(map[reportKey]bool),
+	}
+	c.index()
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if c.isSequenceLit(lit) {
+				c.checkSequenceLit(lit)
+			} else if c.isStepSlice(lit) && !c.checked[lit] {
+				c.checked[lit] = true
+				c.checkSteps(c.resolveSteps(lit, 0), lit.Pos(), "")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// index records initializer expressions for variables and bodies for
+// functions declared in this package.
+func (c *checker) index() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if obj := c.pass.TypesInfo.Defs[d.Name]; obj != nil {
+					c.funcs[obj] = d
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i, name := range vs.Names {
+						if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+							c.vars[obj] = vs.Values[i]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// fromLatch reports whether the named type is the given declaration from
+// the latch package.
+func fromLatch(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && isLatchPath(obj.Pkg().Path())
+}
+
+// isLatchPath matches the latch package both at its module path and at
+// the suffix-shaped paths used by analyzer fixtures under testdata.
+func isLatchPath(path string) bool {
+	return path == latchPkgPath || strings.HasSuffix(path, "internal/latch")
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	return c.pass.TypesInfo.TypeOf(e)
+}
+
+func (c *checker) isSequenceLit(lit *ast.CompositeLit) bool {
+	t := c.typeOf(lit)
+	return t != nil && fromLatch(t, "Sequence")
+}
+
+func (c *checker) isStepSlice(e ast.Expr) bool {
+	t := c.typeOf(e)
+	if t == nil {
+		return false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	return ok && fromLatch(slice.Elem(), "Step")
+}
+
+func (c *checker) isStep(e ast.Expr) bool {
+	t := c.typeOf(e)
+	return t != nil && fromLatch(t, "Step")
+}
+
+// checkSequenceLit validates a latch.Sequence composite literal: its
+// Steps field follows the ordering rules, and when its Name field is a
+// literal string naming a basic operation, the step/sense counts match
+// the paper tables.
+func (c *checker) checkSequenceLit(lit *ast.CompositeLit) {
+	var name string
+	var stepsExpr ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if tv, ok := c.pass.TypesInfo.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name = constant.StringVal(tv.Value)
+			}
+		case "Steps":
+			stepsExpr = kv.Value
+		}
+	}
+	if stepsExpr == nil {
+		return
+	}
+	if inner, ok := stepsExpr.(*ast.CompositeLit); ok {
+		c.checked[inner] = true
+	}
+	c.checkSteps(c.resolveSteps(stepsExpr, 0), stepsExpr.Pos(), name)
+}
+
+// resolveSteps statically evaluates an expression of type []latch.Step to
+// the list of steps it denotes, returning nil when the expression cannot
+// be resolved. depth bounds recursion through named values.
+func (c *checker) resolveSteps(e ast.Expr, depth int) []step {
+	if depth > 10 {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		var out []step
+		for _, el := range e.Elts {
+			out = append(out, c.resolveStep(el, depth+1))
+		}
+		return out
+	case *ast.CallExpr:
+		// append(base, elems...) concatenation.
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return nil
+			}
+			if len(e.Args) == 0 {
+				return nil
+			}
+			out := c.resolveSteps(e.Args[0], depth+1)
+			if out == nil {
+				return nil
+			}
+			rest := e.Args[1:]
+			if e.Ellipsis != token.NoPos {
+				if len(rest) != 1 {
+					return nil
+				}
+				tail := c.resolveSteps(rest[0], depth+1)
+				if tail == nil {
+					return nil
+				}
+				return append(out, tail...)
+			}
+			for _, a := range rest {
+				out = append(out, c.resolveStep(a, depth+1))
+			}
+			return out
+		}
+		// A same-package helper returning a fixed []Step.
+		if ret := c.singleReturn(e); ret != nil && c.isStepSlice(ret) {
+			return c.resolveSteps(ret, depth+1)
+		}
+		return nil
+	case *ast.Ident, *ast.SelectorExpr:
+		if init := c.initializer(e); init != nil {
+			return c.resolveSteps(init, depth+1)
+		}
+		return nil
+	case *ast.ParenExpr:
+		return c.resolveSteps(e.X, depth)
+	}
+	return nil
+}
+
+// resolveStep statically evaluates one element of a step sequence.
+func (c *checker) resolveStep(e ast.Expr, depth int) step {
+	unknown := step{known: false, pos: e.Pos()}
+	if depth > 10 {
+		return unknown
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if !c.isStep(e) {
+			return unknown
+		}
+		return c.stepFromLit(e)
+	case *ast.CallExpr:
+		if ret := c.singleReturn(e); ret != nil && c.isStep(ret) {
+			s := c.resolveStep(ret, depth+1)
+			s.pos = e.Pos()
+			return s
+		}
+		return unknown
+	case *ast.Ident, *ast.SelectorExpr:
+		if init := c.initializer(e); init != nil {
+			s := c.resolveStep(init, depth+1)
+			s.pos = e.Pos()
+			return s
+		}
+		return unknown
+	case *ast.ParenExpr:
+		return c.resolveStep(e.X, depth)
+	}
+	return unknown
+}
+
+// stepFromLit extracts the Kind of a latch.Step composite literal. An
+// absent Kind field is the zero value StepInit.
+func (c *checker) stepFromLit(lit *ast.CompositeLit) step {
+	out := step{kind: stepInit, known: true, pos: lit.Pos()}
+	for i, el := range lit.Elts {
+		var kindExpr ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+				kindExpr = kv.Value
+			}
+		} else if i == 0 {
+			// Positional literal: Kind is the first field.
+			kindExpr = el
+		}
+		if kindExpr == nil {
+			continue
+		}
+		if tv, ok := c.pass.TypesInfo.Types[kindExpr]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(tv.Value); ok {
+				out.kind, out.known = v, true
+				return out
+			}
+		}
+		out.known = false
+		out.pos = kindExpr.Pos()
+		return out
+	}
+	return out
+}
+
+// initializer resolves an identifier or selector to the initializer
+// expression of the variable it names, when that variable is declared in
+// the package under analysis with a single static initializer.
+func (c *checker) initializer(e ast.Expr) ast.Expr {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return c.vars[obj]
+}
+
+// singleReturn resolves a call to a same-package function whose body is a
+// single return statement, yielding the returned expression.
+func (c *checker) singleReturn(call *ast.CallExpr) ast.Expr {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	decl, ok := c.funcs[obj]
+	if !ok || decl.Body == nil || len(decl.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	return ret.Results[0]
+}
+
+func isInitFamily(kind int64) bool {
+	switch kind {
+	case stepInit, stepInitInv, stepReinitL1, stepReinitL1Inv:
+		return true
+	}
+	return false
+}
+
+func isFullInit(kind int64) bool {
+	return kind == stepInit || kind == stepInitInv
+}
+
+// checkSteps applies the ordering rules to a resolved sequence. Elements
+// whose kind could not be resolved are treated as wildcards: they satisfy
+// any precondition, so only provable violations are reported.
+func (c *checker) checkSteps(steps []step, pos token.Pos, name string) {
+	if steps == nil {
+		return
+	}
+	if len(steps) > maxSteps {
+		c.reportf(pos, "latch sequence has %d steps, more than the %d any legal control program needs", len(steps), maxSteps)
+	}
+
+	allKnown := true
+	sawInit := false        // an init-family step so far (or a wildcard)
+	senseSinceInit := false // a sense since the most recent init-family step (or a wildcard)
+	senses := 0
+	for i, s := range steps {
+		if !s.known {
+			allKnown = false
+			// Conservatively assume the unresolved step could be
+			// whatever the following steps need.
+			sawInit = true
+			senseSinceInit = true
+			continue
+		}
+		if s.kind < 0 || s.kind >= numStepKinds {
+			c.reportf(s.pos, "unknown StepKind %d in latch sequence; the circuit defines kinds %s..%s", s.kind, stepKindNames[0], stepKindNames[numStepKinds-1])
+			continue
+		}
+		if i == 0 && !isFullInit(s.kind) {
+			c.reportf(s.pos, "latch sequence must begin with StepInit or StepInitInv, not %s: the circuit latches are undefined before initialization", stepKindNames[s.kind])
+			// One complaint about the start is enough; don't cascade
+			// into M3-before-init reports for the same root cause.
+			sawInit = true
+		}
+		switch {
+		case isInitFamily(s.kind):
+			sawInit = true
+			senseSinceInit = false
+		case s.kind == stepSense:
+			senses++
+			senseSinceInit = true
+		case s.kind == stepM1 || s.kind == stepM2:
+			if !senseSinceInit {
+				c.reportf(s.pos, "%s combine at step %d has no StepSense since the last initialization: SO holds no sensed value to combine", stepKindNames[s.kind], i+1)
+			}
+		case s.kind == stepM3:
+			if !sawInit {
+				c.reportf(s.pos, "StepM3 transfer at step %d before any initialization: L1 holds no value to transfer", i+1)
+			}
+		}
+	}
+
+	if name == "" || !allKnown {
+		return
+	}
+	if shape, ok := opShapes[name]; ok {
+		if len(steps) != shape.steps {
+			c.reportf(pos, "sequence %q has %d steps, but the paper's %s sequence has %d", name, len(steps), name, shape.steps)
+		}
+		if senses != shape.senses {
+			c.reportf(pos, "sequence %q has %d sense steps, but the paper's %s sequence issues %d SROs", name, senses, name, shape.senses)
+		}
+	}
+}

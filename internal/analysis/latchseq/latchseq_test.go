@@ -1,0 +1,47 @@
+package latchseq_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parabit/internal/analysis/analysistest"
+	"parabit/internal/analysis/latchseq"
+)
+
+func TestIllegalSequences(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "a")
+}
+
+func TestLegalSequences(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "b")
+}
+
+// TestDiagnosticPosition pins the exact position and message of the
+// missing-init diagnostic, beyond the line-based // want matching.
+func TestDiagnosticPosition(t *testing.T) {
+	diags := analysistest.Diagnostics(t, latchseq.Analyzer, "a")
+	const wantMsg = "latch sequence must begin with StepInit or StepInitInv, not StepSense: the circuit latches are undefined before initialization"
+	for _, d := range diags {
+		if d.Message != wantMsg {
+			continue
+		}
+		if filepath.Base(d.Pos.Filename) != "a.go" {
+			t.Errorf("diagnostic file = %s, want a.go", d.Pos.Filename)
+		}
+		// The first such diagnostic anchors on the sense1 element of the
+		// noInit sequence; its line holds the []latch.Step literal.
+		if d.Pos.Line != 20 {
+			t.Errorf("diagnostic line = %d, want 20", d.Pos.Line)
+		}
+		if d.Pos.Column == 0 {
+			t.Errorf("diagnostic column = 0, want a real column")
+		}
+		return
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	t.Fatalf("no diagnostic %q; got:\n%s", wantMsg, strings.Join(got, "\n"))
+}

@@ -1,0 +1,67 @@
+package latchseq
+
+import (
+	"testing"
+
+	"parabit/internal/latch"
+)
+
+// TestStepKindConstantsMatchLatch pins the analyzer's local step-kind
+// constants to the real ones in internal/latch. The analyzer reads kinds
+// as untyped constants out of type-checked source, so if the latch
+// package reorders its StepKind iota block this test fails before the
+// analyzer starts mislabeling sequences.
+func TestStepKindConstantsMatchLatch(t *testing.T) {
+	pins := []struct {
+		name  string
+		local int
+		real  latch.StepKind
+	}{
+		{"StepInit", stepInit, latch.StepInit},
+		{"StepInitInv", stepInitInv, latch.StepInitInv},
+		{"StepReinitL1", stepReinitL1, latch.StepReinitL1},
+		{"StepReinitL1Inv", stepReinitL1Inv, latch.StepReinitL1Inv},
+		{"StepSense", stepSense, latch.StepSense},
+		{"StepM1", stepM1, latch.StepM1},
+		{"StepM2", stepM2, latch.StepM2},
+		{"StepM3", stepM3, latch.StepM3},
+	}
+	for _, p := range pins {
+		if p.local != int(p.real) {
+			t.Errorf("analyzer constant %s = %d, latch.%s = %d", p.name, p.local, p.name, int(p.real))
+		}
+	}
+	if numStepKinds != int(latch.StepM3)+1 {
+		t.Errorf("analyzer numStepKinds = %d, latch defines %d kinds", numStepKinds, int(latch.StepM3)+1)
+	}
+}
+
+// TestOpShapesMatchShippedSequences pins the analyzer's per-op shape
+// table (step count and SRO count) to the sequences the simulator
+// actually executes.
+func TestOpShapesMatchShippedSequences(t *testing.T) {
+	shipped := map[string]latch.Sequence{
+		latch.ReadLSB.Name: latch.ReadLSB,
+		latch.ReadMSB.Name: latch.ReadMSB,
+	}
+	for _, op := range latch.Ops {
+		s := latch.ForOp(op)
+		shipped[s.Name] = s
+	}
+	for name, shape := range opShapes {
+		s, ok := shipped[name]
+		if !ok {
+			t.Errorf("opShapes has %q but internal/latch ships no sequence by that name", name)
+			continue
+		}
+		if len(s.Steps) != shape.steps || s.SROs() != shape.senses {
+			t.Errorf("opShapes[%q] = {steps: %d, senses: %d}, shipped sequence has %d steps and %d SROs",
+				name, shape.steps, shape.senses, len(s.Steps), s.SROs())
+		}
+	}
+	for name := range shipped {
+		if _, ok := opShapes[name]; !ok {
+			t.Errorf("shipped sequence %q has no opShapes entry; the analyzer cannot check its shape", name)
+		}
+	}
+}

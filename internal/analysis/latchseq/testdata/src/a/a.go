@@ -1,0 +1,69 @@
+// Package a holds deliberately illegal latch control sequences; every
+// diagnostic latchseq can produce is exercised here.
+package a
+
+import "parabit/internal/latch"
+
+var (
+	init0   = latch.Step{Kind: latch.StepInit}
+	initInv = latch.Step{Kind: latch.StepInitInv}
+	sense1  = latch.Step{Kind: latch.StepSense, V: latch.VRead1}
+	sense3  = latch.Step{Kind: latch.StepSense, V: latch.VRead3}
+	m1      = latch.Step{Kind: latch.StepM1}
+	m2      = latch.Step{Kind: latch.StepM2}
+	m3      = latch.Step{Kind: latch.StepM3}
+)
+
+// A sequence that senses before any initialization.
+var noInit = latch.Sequence{
+	Name:  "BAD-NO-INIT",
+	Steps: []latch.Step{sense1, m2, m3}, // want `must begin with StepInit or StepInitInv`
+}
+
+// A combine with nothing sensed: SO holds no value.
+var blindCombine = latch.Sequence{
+	Name:  "BAD-BLIND-COMBINE",
+	Steps: []latch.Step{init0, m2, m3}, // want `StepM2 combine at step 2 has no StepSense`
+}
+
+// A transfer with no initialization at all, as a bare step slice.
+var orphanTransfer = []latch.Step{m3} // want `must begin with StepInit or StepInitInv`
+
+// A step kind the circuit does not define.
+var unknownKind = []latch.Step{{Kind: latch.StepKind(99)}, m3} // want `unknown StepKind 99` `StepM3 transfer at step 2 before any initialization`
+
+// The AND shape from the paper has 4 steps and 1 sense; this has extras.
+var fatAnd = latch.Sequence{
+	Name:  "AND",
+	Steps: []latch.Step{init0, sense1, m2, sense3, m1, m3}, // want `has 6 steps, but the paper's AND sequence has 4` `has 2 sense steps, but the paper's AND sequence issues 1`
+}
+
+// Append-built sequences resolve too: the combine that never sees a
+// sense sits in the appended tail's base.
+var appended = latch.Sequence{
+	Name:  "BAD-APPEND",
+	Steps: append([]latch.Step{init0, m2}, m3), // want `StepM2 combine at step 2 has no StepSense`
+}
+
+// A helper behind a name: the diagnostic lands on the literal inside the
+// helper, once, no matter how many sequences call it.
+func combineNoSense() []latch.Step { return []latch.Step{init0, m2, m3} } // want `StepM2 combine at step 2 has no StepSense`
+
+var viaFunc = latch.Sequence{Name: "BAD-VIA-FUNC", Steps: combineNoSense()}
+
+var viaFunc2 = latch.Sequence{Name: "BAD-VIA-FUNC-2", Steps: combineNoSense()}
+
+// A whole step table behind a named variable.
+var namedSteps = []latch.Step{initInv, m1, m3} // want `StepM1 combine at step 2 has no StepSense`
+
+var viaVar = latch.Sequence{Name: "BAD-VIA-VAR", Steps: namedSteps}
+
+// A named constant as the sequence name still pins the table shape.
+const andName = "AND"
+
+var constName = latch.Sequence{
+	Name:  andName,
+	Steps: []latch.Step{init0, sense1, m2}, // want `has 3 steps, but the paper's AND sequence has 4`
+}
+
+var _ = []interface{}{noInit, blindCombine, orphanTransfer, unknownKind, fatAnd, appended, viaFunc, viaFunc2, viaVar, constName}

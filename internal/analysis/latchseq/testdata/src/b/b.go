@@ -1,0 +1,71 @@
+// Package b holds legal latch control sequences mirroring the shapes in
+// internal/latch; latchseq must stay silent on all of them.
+package b
+
+import "parabit/internal/latch"
+
+func sense(v latch.Vref) latch.Step { return latch.Step{Kind: latch.StepSense, V: v} }
+
+func senseWL(wl int, v latch.Vref) latch.Step {
+	return latch.Step{Kind: latch.StepSense, V: v, WL: wl}
+}
+
+var (
+	init0   = latch.Step{Kind: latch.StepInit}
+	initInv = latch.Step{Kind: latch.StepInitInv}
+	reinit  = latch.Step{Kind: latch.StepReinitL1}
+	m1      = latch.Step{Kind: latch.StepM1}
+	m2      = latch.Step{Kind: latch.StepM2}
+	m3      = latch.Step{Kind: latch.StepM3}
+)
+
+// The baseline LSB read, exactly as the paper draws it.
+var readLSB = latch.Sequence{
+	Name:  "READ-LSB",
+	Steps: []latch.Step{init0, sense(latch.VRead2), m2, m3},
+}
+
+// OR: two senses, two combines, one transfer.
+var orSeq = latch.Sequence{
+	Name:  "OR",
+	Steps: []latch.Step{init0, sense(latch.VRead2), m2, sense(latch.VRead3), m1, m3},
+}
+
+// NAND on the inverted initialization.
+var nandSeq = latch.Sequence{
+	Name:  "NAND",
+	Steps: []latch.Step{initInv, sense(latch.VRead1), m1, m3},
+}
+
+// A location-free shape: re-initializing L1 mid-sequence is legal as long
+// as each combine still has a sense after the re-init.
+var withReinit = latch.Sequence{
+	Name: "LF-OR-LIKE",
+	Steps: []latch.Step{
+		init0,
+		senseWL(0, latch.VRead1), m2,
+		m3,
+		reinit,
+		senseWL(1, latch.VRead2), m2,
+		m3,
+	},
+}
+
+// Append-built but legal.
+var appendOK = latch.Sequence{
+	Name:  "APPEND-OK",
+	Steps: append([]latch.Step{init0, sense(latch.VRead1)}, m2, m3),
+}
+
+// Steps the analyzer cannot resolve statically are left alone.
+func dynamicSteps(n int) []latch.Step {
+	var out []latch.Step
+	for i := 0; i < n; i++ {
+		out = append(out, init0)
+	}
+	return out
+}
+
+var dynamic = latch.Sequence{Name: "DYNAMIC", Steps: dynamicSteps(3)}
+
+var _ = []latch.Sequence{readLSB, orSeq, nandSeq, withReinit, appendOK, dynamic}

@@ -1,0 +1,178 @@
+// Package nocopylock enforces the no-copy discipline on the telemetry
+// and scheduler handle structs.
+//
+// telemetry.Sink, the trace recorder, metric handles and sched.Scheduler
+// are shared by reference: they carry sync.Mutex fields or sync/atomic
+// counters whose identity is the synchronization. A by-value copy forks
+// that state — two goroutines increment different counters, or lock
+// different mutexes, and no race detector run is guaranteed to notice.
+// Standard vet's copylocks only catches types with a Lock method, which
+// misses the atomic-only handles, and it does not flag declarations that
+// merely *invite* copies. This analyzer flags, module-wide: by-value
+// parameters, results and receivers of guarded types; range statements
+// whose iteration variable copies a guarded element; and assignments
+// copying a guarded value out of a dereference, variable or field.
+package nocopylock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"parabit/internal/analysis"
+)
+
+// Analyzer is the nocopylock analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "nocopylock",
+	Doc: "flag by-value copies of telemetry/sched handle structs carrying mutexes or " +
+		"atomics (params, results, receivers, range copies, value assignments), which " +
+		"vet's copylocks misses for atomic-only structs",
+	Run: run,
+}
+
+// isGuardedPkg reports whether a package's lock-carrying structs follow
+// the shared-by-pointer discipline. Suffix matching lets analyzer
+// fixtures under testdata take the same path shape.
+func isGuardedPkg(path string) bool {
+	return strings.HasSuffix(path, "internal/telemetry") || strings.HasSuffix(path, "internal/sched")
+}
+
+type checker struct {
+	pass *analysis.Pass
+	memo map[types.Type]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, memo: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.checkFuncDecl(n)
+			case *ast.FuncLit:
+				c.checkFieldLists(n.Type)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					c.checkCopyExpr(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					c.checkCopyExpr(v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (c *checker) checkFuncDecl(d *ast.FuncDecl) {
+	if d.Recv != nil {
+		for _, f := range d.Recv.List {
+			if t := c.pass.TypesInfo.TypeOf(f.Type); t != nil && c.guarded(t) {
+				c.report(f.Type.Pos(), t, "method receiver copies")
+			}
+		}
+	}
+	c.checkFieldLists(d.Type)
+}
+
+func (c *checker) checkFieldLists(ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if t := c.pass.TypesInfo.TypeOf(f.Type); t != nil && c.guarded(t) {
+				c.report(f.Type.Pos(), t, what+" copies")
+			}
+		}
+	}
+	check(ft.Params, "by-value parameter")
+	check(ft.Results, "by-value result")
+}
+
+func (c *checker) checkRange(r *ast.RangeStmt) {
+	for _, v := range []ast.Expr{r.Key, r.Value} {
+		if v == nil {
+			continue
+		}
+		if id, ok := v.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if t := c.pass.TypesInfo.TypeOf(v); t != nil && c.guarded(t) {
+			c.report(v.Pos(), t, "range iteration variable copies")
+		}
+	}
+}
+
+// checkCopyExpr flags an assignment right-hand side that copies a guarded
+// value. Composite literals (construction, not copying) and call results
+// (flagged once, at the callee's result declaration) stay silent.
+func (c *checker) checkCopyExpr(e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if t := c.pass.TypesInfo.TypeOf(e); t != nil && c.guarded(t) {
+		c.report(e.Pos(), t, "assignment copies")
+	}
+}
+
+func (c *checker) report(pos token.Pos, t types.Type, verb string) {
+	c.pass.Reportf(pos, "%s %s, which carries mutex or atomic state; share it by pointer", verb, types.TypeString(t, nil))
+}
+
+// guarded reports whether t is a named struct declared in a guarded
+// package that transitively contains sync or sync/atomic state by value.
+func (c *checker) guarded(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isGuardedPkg(obj.Pkg().Path()) {
+		return false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return false
+	}
+	return c.containsLock(t)
+}
+
+// containsLock reports whether the type holds sync or sync/atomic state
+// by value, recursively through struct fields and array elements.
+func (c *checker) containsLock(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // breaks cycles; recursive value types are illegal anyway
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+			// Interfaces (sync.Locker) are reference-shaped and safe.
+			if _, isInterface := u.Underlying().(*types.Interface); !isInterface {
+				result = true
+				break
+			}
+		}
+		result = c.containsLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.containsLock(u.Elem())
+	}
+	c.memo[t] = result
+	return result
+}

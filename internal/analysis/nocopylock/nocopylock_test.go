@@ -1,0 +1,16 @@
+package nocopylock_test
+
+import (
+	"testing"
+
+	"parabit/internal/analysis/analysistest"
+	"parabit/internal/analysis/nocopylock"
+)
+
+func TestCopiesFlagged(t *testing.T) {
+	analysistest.Run(t, nocopylock.Analyzer, "internal/telemetry")
+}
+
+func TestPointerDisciplineClean(t *testing.T) {
+	analysistest.Run(t, nocopylock.Analyzer, "internal/sched")
+}

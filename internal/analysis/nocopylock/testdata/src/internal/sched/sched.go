@@ -1,0 +1,36 @@
+// Package sched holds clean pointer-disciplined code plus lock-free
+// value types whose copies are fine; nocopylock must stay silent.
+package sched
+
+import "sync"
+
+// Scheduler carries a mutex and is shared by pointer everywhere below.
+type Scheduler struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Use(s *Scheduler) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Ticket carries no lock state; copying it is fine.
+type Ticket struct{ ID int }
+
+func Copy(t Ticket) Ticket { return t }
+
+func RangeTickets(ts []Ticket) int {
+	sum := 0
+	for _, t := range ts {
+		sum += t.ID
+	}
+	return sum
+}
+
+func RangeSchedulers(xs []*Scheduler) {
+	for _, p := range xs {
+		Use(p)
+	}
+}

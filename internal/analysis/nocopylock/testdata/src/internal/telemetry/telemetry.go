@@ -1,0 +1,62 @@
+// Package telemetry mirrors the real handle-struct shapes: a
+// mutex-guarded registry and an atomic-only counter handle. Every
+// by-value copy here must be flagged — including the atomic-only one,
+// which standard vet's copylocks cannot see.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sink is a mutex-guarded registry, shared by pointer.
+type Sink struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// Counter carries only atomic state; it has no Lock method, so vet's
+// copylocks is blind to copies of it.
+type Counter struct {
+	n atomic.Int64
+}
+
+func ByValueParam(s Sink) {} // want `by-value parameter copies`
+
+func ByValueResult(p *Sink) Sink { // want `by-value result copies`
+	return *p
+}
+
+func (s Sink) ValueMethod() {} // want `method receiver copies`
+
+func RangeCopy(xs []Sink) {
+	for _, x := range xs { // want `range iteration variable copies`
+		use(&x)
+	}
+}
+
+func DerefCopy(p *Sink) {
+	s := *p // want `assignment copies`
+	use(&s)
+}
+
+func AtomicOnlyHandle(c Counter) {} // want `by-value parameter copies`
+
+func FieldCopy(pair *struct{ A Sink }) {
+	s := pair.A // want `assignment copies`
+	use(&s)
+}
+
+// Pointer discipline passes.
+func Fine(p *Sink, c *Counter) *Sink {
+	q := p
+	return q
+}
+
+func RangePointers(xs []*Sink) {
+	for _, p := range xs {
+		use(p)
+	}
+}
+
+func use(*Sink) {}

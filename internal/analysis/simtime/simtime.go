@@ -1,0 +1,88 @@
+// Package simtime keeps wall-clock time out of the simulation.
+//
+// Every latency in the parabit stack is accounted in virtual time
+// (internal/sim's Clock and Time); if any internal package reads the wall
+// clock — time.Now, time.Since, time.Sleep, timers, tickers — host-machine
+// speed silently leaks into simulated latencies and the model's results
+// stop being reproducible. This analyzer forbids the wall-clock subset of
+// package time in internal/... packages. Three escapes remain open:
+// internal/wallclock (the one sanctioned wrapper, used by command-line
+// tools for wall-time progress reporting), cmd/... packages, and _test.go
+// files, where wall-clock deadlines are legitimate.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"parabit/internal/analysis"
+)
+
+// Analyzer is the simtime analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, timers, tickers) in internal " +
+		"simulation packages so all latency flows through internal/sim's virtual clock",
+	Run: run,
+}
+
+// forbidden lists the package-time functions and types that observe or
+// wait on the wall clock. Pure-value API (time.Duration arithmetic,
+// time.Unix construction, formatting) stays allowed.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Ticker":    true,
+	"Timer":     true,
+}
+
+// exempt reports whether an internal package is sanctioned to touch the
+// wall clock: only internal/wallclock, the one blessed wrapper, which
+// cmd/ tools use for wall-time progress reporting.
+func exempt(path string) bool {
+	return strings.HasSuffix(path, "internal/wallclock")
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/") || exempt(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !forbidden[sel.Sel.Name] || !isTimePkg(pass, sel.X) {
+				return true
+			}
+			if pass.IsTestFile(sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock inside simulation package %s; use internal/sim's virtual clock (or internal/wallclock in reporting tools)",
+				sel.Sel.Name, path)
+			return true
+		})
+	}
+	return nil
+}
+
+// isTimePkg reports whether the expression names the standard time package.
+func isTimePkg(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "time"
+}

@@ -1,0 +1,20 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"parabit/internal/analysis/analysistest"
+	"parabit/internal/analysis/simtime"
+)
+
+func TestInternalPackageFlagged(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "internal/simbad")
+}
+
+func TestWallclockPackageExempt(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "internal/wallclock")
+}
+
+func TestNonInternalPackageExempt(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "cmdok")
+}

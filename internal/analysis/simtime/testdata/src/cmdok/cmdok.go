@@ -1,0 +1,11 @@
+// Package cmdok has a non-internal package path, standing in for cmd/
+// tools, which may report wall time freely.
+package cmdok
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,7 @@
+package simbad
+
+import "time"
+
+// Wall-clock use in test files is sanctioned: test deadlines and timing
+// live outside the simulated-latency model.
+var testStart = time.Now()

@@ -1,0 +1,26 @@
+// Package simbad reads the wall clock from inside an internal simulation
+// package; every use here must be flagged.
+package simbad
+
+import "time"
+
+func Bad() time.Duration {
+	t0 := time.Now()                    // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)      // want `time\.After reads the wall clock`
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tick.Stop()
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+var lazy *time.Timer // want `time\.Timer reads the wall clock`
+
+// Pure duration arithmetic never touches the wall clock and stays legal.
+const sro = 25 * time.Microsecond
+
+func Scale(n int) time.Duration { return time.Duration(n) * sro }
+
+// An explicit suppression stands down the analyzer, with a recorded reason.
+//
+//lint:ignore simtime fixture-sanctioned wall-clock probe
+var sanctioned = time.Now()

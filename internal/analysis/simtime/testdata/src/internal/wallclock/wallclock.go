@@ -1,0 +1,9 @@
+// Package wallclock mirrors the sanctioned internal/wallclock wrapper:
+// the one internal package allowed to read the wall clock.
+package wallclock
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,59 @@
+package latch
+
+import "fmt"
+
+// MaxSteps bounds any single control sequence. The longest legal program
+// (location-free XOR) has 11 steps; anything past this is a construction
+// bug, not a bigger circuit.
+const MaxSteps = 64
+
+// Validate checks the circuit-ordering invariants every legal control
+// program must satisfy, mirroring the static latchseq analyzer:
+//
+//   - the sequence is non-empty and at most MaxSteps long;
+//   - every step kind is one the circuit defines (StepInit..StepM3);
+//   - the first step is StepInit or StepInitInv — the latches are
+//     undefined before initialization;
+//   - every StepM1/StepM2 combine is preceded by a StepSense since the
+//     most recent initialization, so SO holds a sensed value to combine;
+//   - every StepM3 transfer has some prior initialization, so L1 holds
+//     a defined value to move into L2.
+//
+// It returns nil for legal sequences and a descriptive error naming the
+// first violation otherwise. The static analyzer proves these properties
+// for sequences it can resolve at compile time; Validate covers
+// sequences assembled at run time (e.g. TLC builders or fuzzers).
+func (s Sequence) Validate() error {
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("sequence %q is empty: a control program must initialize the latches", s.Name)
+	}
+	if len(s.Steps) > MaxSteps {
+		return fmt.Errorf("sequence %q has %d steps, more than the %d any legal control program needs", s.Name, len(s.Steps), MaxSteps)
+	}
+	sawInit := false
+	senseSinceInit := false
+	for i, st := range s.Steps {
+		if st.Kind > StepM3 {
+			return fmt.Errorf("sequence %q step %d: unknown StepKind %d; the circuit defines kinds StepInit..StepM3", s.Name, i+1, uint8(st.Kind))
+		}
+		if i == 0 && st.Kind != StepInit && st.Kind != StepInitInv {
+			return fmt.Errorf("sequence %q must begin with StepInit or StepInitInv, not %s: the circuit latches are undefined before initialization", s.Name, st.Kind)
+		}
+		switch st.Kind {
+		case StepInit, StepInitInv, StepReinitL1, StepReinitL1Inv:
+			sawInit = true
+			senseSinceInit = false
+		case StepSense:
+			senseSinceInit = true
+		case StepM1, StepM2:
+			if !senseSinceInit {
+				return fmt.Errorf("sequence %q: %s combine at step %d has no StepSense since the last initialization: SO holds no sensed value to combine", s.Name, st.Kind, i+1)
+			}
+		case StepM3:
+			if !sawInit {
+				return fmt.Errorf("sequence %q: StepM3 transfer at step %d before any initialization: L1 holds no value to transfer", s.Name, i+1)
+			}
+		}
+	}
+	return nil
+}

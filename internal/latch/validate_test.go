@@ -1,0 +1,98 @@
+package latch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShippedSequencesValidate runs the runtime validator over every
+// control program the package ships: the baseline page reads, the basic
+// ParaBit table, and the location-free table. A failure here means a
+// sequence table was edited into an illegal circuit program.
+func TestShippedSequencesValidate(t *testing.T) {
+	all := []Sequence{ReadLSB, ReadMSB}
+	for _, op := range Ops {
+		all = append(all, ForOp(op), ForOpLocFree(op))
+	}
+	for _, s := range all {
+		if err := s.Validate(); err != nil {
+			t.Errorf("shipped sequence %q fails Validate: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsIllegalSequences(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  Sequence
+		want string // substring of the error
+	}{
+		{
+			name: "empty",
+			seq:  Sequence{Name: "EMPTY"},
+			want: "is empty",
+		},
+		{
+			name: "no init first",
+			//lint:ignore latchseq deliberately illegal input for Validate
+			seq:  Sequence{Name: "NO-INIT", Steps: []Step{sense(VRead1), m2, m3}},
+			want: "must begin with StepInit or StepInitInv",
+		},
+		{
+			name: "combine without sense",
+			//lint:ignore latchseq deliberately illegal input for Validate
+			seq:  Sequence{Name: "BLIND", Steps: []Step{init0, m2, m3}},
+			want: "has no StepSense since the last initialization",
+		},
+		{
+			name: "combine after reinit clears the sense",
+			//lint:ignore latchseq deliberately illegal input for Validate
+			seq:  Sequence{Name: "STALE", Steps: []Step{init0, sense(VRead1), reinit, m1}},
+			want: "has no StepSense since the last initialization",
+		},
+		{
+			name: "unknown kind",
+			//lint:ignore latchseq deliberately illegal input for Validate
+			seq:  Sequence{Name: "BOGUS", Steps: []Step{init0, {Kind: StepKind(99)}}},
+			want: "unknown StepKind 99",
+		},
+		{
+			name: "too long",
+			seq:  Sequence{Name: "LONG", Steps: longSteps(MaxSteps + 1)},
+			want: "more than the 64",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.seq.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%q) = nil, want error containing %q", tc.seq.Name, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%q) = %q, want error containing %q", tc.seq.Name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsRuntimeAssembly covers the path the static latchseq
+// analyzer cannot prove: sequences stitched together at run time.
+func TestValidateAcceptsRuntimeAssembly(t *testing.T) {
+	steps := []Step{init0}
+	for wl := 0; wl < 3; wl++ {
+		steps = append(steps, senseWL(wl, VRead2), m2)
+	}
+	steps = append(steps, m3)
+	s := Sequence{Name: "RUNTIME", Steps: steps}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate(%q) = %v, want nil", s.Name, err)
+	}
+}
+
+func longSteps(n int) []Step {
+	steps := []Step{init0}
+	for len(steps) < n {
+		steps = append(steps, sense(VRead2), m2)
+	}
+	return steps[:n]
+}

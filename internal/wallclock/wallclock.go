@@ -1,0 +1,19 @@
+// Package wallclock is the single sanctioned gateway to the host's
+// real clock. Simulation packages under internal/ must never read wall
+// time — all latency there flows through internal/sim's virtual clock,
+// and the simtime analyzer enforces that. Reporting tools (cmd/...)
+// that want to print how long a run took on the host use this package
+// instead of calling time.Now directly, which keeps every wall-clock
+// read greppable in one place.
+package wallclock
+
+import "time"
+
+// Stamp is an opaque wall-clock reading taken by Start.
+type Stamp struct{ t time.Time }
+
+// Start records the current wall-clock time.
+func Start() Stamp { return Stamp{t: time.Now()} }
+
+// Elapsed reports the wall-clock time since the stamp was taken.
+func (s Stamp) Elapsed() time.Duration { return time.Since(s.t) }
