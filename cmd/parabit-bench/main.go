@@ -9,6 +9,9 @@
 //	parabit-bench -hammer -trace out.json -metrics
 //	                                hammer with telemetry: write a Chrome
 //	                                trace-event file and a metrics summary
+//	parabit-bench -hammer -faults plan.json
+//	                                hammer with a fault-injection plan armed;
+//	                                ends with a fault/recovery summary
 package main
 
 import (
@@ -19,9 +22,11 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parabit"
+	"parabit/internal/flash"
 	"parabit/internal/sched"
 	"parabit/internal/wallclock"
 )
@@ -63,6 +68,7 @@ func main() {
 	hammerOps := flag.Int("hammer-ops", 200, "operations per hammer client")
 	tracePath := flag.String("trace", "", "hammer mode: write a Chrome trace-event JSON file here")
 	metrics := flag.Bool("metrics", false, "hammer mode: print the telemetry metrics summary")
+	faultsPath := flag.String("faults", "", "hammer mode: arm this JSON fault-injection plan")
 	flag.Parse()
 
 	if hammer.n > 0 {
@@ -78,7 +84,7 @@ func main() {
 				}
 			}
 		}
-		if err := runHammer(n, *hammerOps, *tracePath, *metrics, os.Stdout); err != nil {
+		if err := runHammer(n, *hammerOps, *tracePath, *faultsPath, *metrics, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -121,13 +127,18 @@ func main() {
 // or metrics set, the run executes with telemetry attached; the trace
 // file opens in chrome://tracing or ui.perfetto.dev with one lane per
 // plane, channel and scheduler queue.
-func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
+func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writer) error {
 	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
 	if err != nil {
 		return err
 	}
 	if tracePath != "" || metrics {
 		dev.EnableTelemetry(tracePath != "")
+	}
+	if faultsPath != "" {
+		if err := dev.InstallFaultPlanFile(faultsPath); err != nil {
+			return err
+		}
 	}
 	const shared = 8
 	for i := 0; i < shared; i += 2 {
@@ -141,6 +152,7 @@ func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 	assoc := []parabit.Op{parabit.And, parabit.Or, parabit.Xor}
 	wallStart := wallclock.Start()
 	var wg sync.WaitGroup
+	var surfacedFaults atomic.Int64
 	errCh := make(chan error, n)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
@@ -177,6 +189,13 @@ func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 				i += burst
 				for _, p := range pending {
 					if _, err := p.Wait(); err != nil {
+						// With a fault plan armed, unrecoverable injected
+						// faults surface as explicit errors — that is the
+						// degradation contract, not a workload failure.
+						if flash.AsFaultError(err) != nil {
+							surfacedFaults.Add(1)
+							continue
+						}
 						errCh <- fmt.Errorf("client %d: %w", w, err)
 						return
 					}
@@ -206,6 +225,17 @@ func runHammer(n, ops int, tracePath string, metrics bool, w io.Writer) error {
 			continue
 		}
 		fmt.Fprintf(w, "    %-14s %9d %8d %v\n", sched.Kind(k).String(), q.Submitted, q.MaxDepth, q.Busy.Std())
+	}
+	if faultsPath != "" {
+		fs := dev.FaultStats()
+		fmt.Fprintf(w, "fault injection (%s):\n", faultsPath)
+		fmt.Fprintf(w, "  injected           %d (%d transient, %d dead-plane, %d program, %d erase, %d stuck-block)\n",
+			fs.Injected, fs.PlaneTransient, fs.PlaneDead, fs.ProgramFails, fs.EraseFails, fs.StuckBlock)
+		fmt.Fprintf(w, "  jitter events      %d\n", fs.JitterEvents)
+		fmt.Fprintf(w, "  sched retries      %d (%d exhausted)\n", fs.Retries, fs.RetriesExhausted)
+		fmt.Fprintf(w, "  blocks retired     %d (%d pages rescued, %d writes re-steered)\n",
+			fs.BlocksRetired, fs.RetirePagesMoved, fs.ResteeredWrites)
+		fmt.Fprintf(w, "  surfaced errors    %d\n", surfacedFaults.Load())
 	}
 	if metrics {
 		fmt.Fprintln(w, "\nmetrics:")

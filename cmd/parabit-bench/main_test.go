@@ -49,7 +49,7 @@ func TestHammerFlagForms(t *testing.T) {
 func TestRunHammerWithTraceAndMetrics(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "out.json")
 	var out bytes.Buffer
-	if err := runHammer(3, 40, tracePath, true, &out); err != nil {
+	if err := runHammer(3, 40, tracePath, "", true, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -111,11 +111,45 @@ func TestRunHammerWithTraceAndMetrics(t *testing.T) {
 	}
 }
 
+// TestRunHammerWithFaults arms a fault plan under the concurrent hammer:
+// the run must survive, and the report must end with the fault/recovery
+// summary showing the injections actually happened.
+func TestRunHammerWithFaults(t *testing.T) {
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	plan := `{"seed": 7, "rules": [
+		{"type": "plane-transient", "plane": -1, "from_us": 0, "to_us": 100},
+		{"type": "jitter", "rate": 0.5, "op": "sense", "max_jitter_us": 10}
+	]}`
+	if err := os.WriteFile(planPath, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runHammer(3, 40, "", planPath, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fault injection") {
+		t.Fatalf("missing fault summary:\n%s", text)
+	}
+	for _, re := range []string{
+		`injected\s+[1-9]`,      // the startup window injected faults
+		`jitter events\s+[1-9]`, // the sense jitter fired
+		`sched retries\s+[1-9]`, // the scheduler rode the window out
+	} {
+		if !regexp.MustCompile(re).MatchString(text) {
+			t.Errorf("fault summary lacks %q:\n%s", re, text)
+		}
+	}
+	if err := runHammer(1, 1, "", filepath.Join(t.TempDir(), "missing.json"), false, &out); err == nil {
+		t.Error("missing plan file accepted")
+	}
+}
+
 // TestRunHammerPlain keeps the untraced path working: no trace file, no
 // metrics section, stats still reported.
 func TestRunHammerPlain(t *testing.T) {
 	var out bytes.Buffer
-	if err := runHammer(2, 10, "", false, &out); err != nil {
+	if err := runHammer(2, 10, "", "", false, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

@@ -10,6 +10,8 @@
 //	reduce  <op> <scheme> <lpn1,lpn2,...>
 //	flush                                   # drain the queue, print the clock
 //	stats                                   # print a mid-trace stats snapshot
+//	faults  <plan.json>                     # arm a fault-injection plan
+//	faults  off                             # disarm fault injection
 //
 // Usage:
 //
@@ -228,6 +230,27 @@ func execute(dev *parabit.Device, line string) error {
 			s.BitwiseOps, s.Fallbacks, s.Reallocations, s.SROs, s.Programs,
 			s.GCRuns, s.GCPagesMoved, s.ReadReclaims, s.ReclaimPagesMoved,
 			s.StaticWLMoves, s.WLPagesMoved, s.WriteAmplification)
+		if fs := dev.FaultStats(); fs.Injected > 0 || fs.JitterEvents > 0 {
+			fmt.Printf("faults  %d injected (%d transient, %d dead, %d program, %d erase, %d stuck), "+
+				"%d jitter, %d retries (%d exhausted), %d blocks retired (%d pages rescued, %d re-steered)\n",
+				fs.Injected, fs.PlaneTransient, fs.PlaneDead, fs.ProgramFails, fs.EraseFails,
+				fs.StuckBlock, fs.JitterEvents, fs.Retries, fs.RetriesExhausted,
+				fs.BlocksRetired, fs.RetirePagesMoved, fs.ResteeredWrites)
+		}
+		return nil
+	case "faults":
+		if len(fields) != 2 {
+			return fmt.Errorf("faults wants <plan.json> or off")
+		}
+		if fields[1] == "off" {
+			dev.ClearFaultPlan()
+			fmt.Println("faults  injection disarmed")
+			return nil
+		}
+		if err := dev.InstallFaultPlanFile(fields[1]); err != nil {
+			return err
+		}
+		fmt.Printf("faults  plan %s armed\n", fields[1])
 		return nil
 	case "reduce":
 		if len(fields) != 4 {

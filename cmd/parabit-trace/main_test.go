@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -99,6 +101,41 @@ func TestFlushAndStatsDirectives(t *testing.T) {
 		t.Errorf("stats after directives: %+v", d.Stats())
 	}
 	bad := []string{"flush now", "stats all"}
+	for _, line := range bad {
+		if err := execute(d, line); err == nil {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
+
+func TestFaultsDirective(t *testing.T) {
+	d := traceDevice(t)
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	plan := `{"seed": 3, "rules": [{"type": "stuck-block", "plane": 0, "block": 0}]}`
+	if err := os.WriteFile(planPath, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := []string{
+		"faults " + planPath,
+		"pair 0 1 a5 3c",
+		"bitwise AND prealloc 0 1",
+		"stats",
+		"faults off",
+	}
+	for _, line := range script {
+		if err := execute(d, line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	if fs := d.FaultStats(); fs.StuckBlock == 0 || fs.BlocksRetired == 0 {
+		t.Errorf("stuck block never hit or retired: %+v", fs)
+	}
+	bad := []string{
+		"faults",
+		"faults " + filepath.Join(dir, "missing.json"),
+		"faults too many args",
+	}
 	for _, line := range bad {
 		if err := execute(d, line); err == nil {
 			t.Errorf("%q accepted", line)

@@ -1,0 +1,79 @@
+package bitvec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBitvecSlice cross-checks the word-stitching Slice implementation
+// against a naive per-bit loop, and the Bytes/FromBytes round-trip. Slice
+// shifts across 64-bit word boundaries, which is exactly the kind of code
+// where an off-by-one in the `64-off` complement shift survives unit
+// tests built from round offsets.
+func FuzzBitvecSlice(f *testing.F) {
+	f.Add([]byte{0xff}, 0, 8)
+	f.Add([]byte{0xa5, 0x3c}, 3, 13)
+	f.Add(bytes.Repeat([]byte{0x81}, 24), 63, 129) // crosses two word boundaries
+	f.Add(bytes.Repeat([]byte{0xfe, 0x01}, 16), 64, 192)
+	f.Add([]byte{}, 0, 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, from, to int) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		v := FromBytes(data)
+		n := v.Len()
+		if n != 8*len(data) {
+			t.Fatalf("FromBytes(%d bytes).Len() = %d", len(data), n)
+		}
+
+		// Clamp the fuzzed range into validity rather than discarding:
+		// every input then exercises Slice.
+		from, to = clampRange(from, to, n)
+		got := v.Slice(from, to)
+		if got.Len() != to-from {
+			t.Fatalf("Slice(%d, %d).Len() = %d, want %d", from, to, got.Len(), to-from)
+		}
+		for i := 0; i < to-from; i++ {
+			if got.Get(i) != v.Get(from+i) {
+				t.Fatalf("Slice(%d, %d) bit %d = %v, want %v (source bit %d)",
+					from, to, i, got.Get(i), v.Get(from+i), from+i)
+			}
+		}
+
+		// Slicing must not alias the source: mutating the slice leaves the
+		// original intact.
+		if got.Len() > 0 {
+			before := v.Get(from)
+			got.Set(0, !got.Get(0))
+			if v.Get(from) != before {
+				t.Fatalf("Slice(%d, %d) aliases the source vector", from, to)
+			}
+		}
+
+		// Bytes/FromBytes is a lossless round-trip.
+		if rt := FromBytes(v.Bytes()); !v.Equal(rt) {
+			t.Fatalf("Bytes/FromBytes round-trip changed the vector")
+		}
+	})
+}
+
+// clampRange folds arbitrary fuzzed ints into a valid [from, to] range
+// over a vector of n bits.
+func clampRange(from, to, n int) (int, int) {
+	mod := func(x int) int {
+		if n == 0 {
+			return 0
+		}
+		x %= n + 1
+		if x < 0 {
+			x += n + 1
+		}
+		return x
+	}
+	from, to = mod(from), mod(to)
+	if from > to {
+		from, to = to, from
+	}
+	return from, to
+}

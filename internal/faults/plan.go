@@ -1,0 +1,29 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ParsePlan decodes a JSON plan. Unknown fields are rejected so typos in
+// hand-written plans surface immediately.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	return p, nil
+}
+
+// LoadPlan reads and decodes a JSON plan file.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	return ParsePlan(data)
+}

@@ -85,7 +85,11 @@ type Array struct {
 	// §5.8 configuration. Without a codec, raw errors would reach the
 	// host, so enabling this without a codec is rejected.
 	noisyBaseline bool
-	stats         Stats
+	// injector, when set, decides per-operation structural faults
+	// (program/erase failures, dead planes, latency jitter) the way noise
+	// decides bit errors. A nil injector is fault-free.
+	injector FaultInjector
+	stats    Stats
 }
 
 // NewArray builds an erased array. It panics on invalid configuration:
@@ -283,9 +287,13 @@ func (a *Array) ReadSense(p PageAddr, at sim.Time) (SenseResult, error) {
 	if err := a.geo.CheckPage(p); err != nil {
 		return SenseResult{}, err
 	}
+	jitter, ferr := a.checkFault(FaultSense, p.PlaneAddr, p.Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(p.PlaneAddr)
 	sros := a.geo.ReadSROs(p.Kind)
-	_, end := pl.sense.ReserveLabeled(at, sim.Duration(sros)*a.timing.SenseSRO, "sense")
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(sros)*a.timing.SenseSRO+jitter, "sense")
 	a.stats.SROs += int64(sros)
 	exposure := a.noteReads(p.WordlineAddr, sros)
 	res := SenseResult{Data: a.pageBits(p.WordlineAddr, p.Kind), Ready: end}
@@ -386,9 +394,14 @@ func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) 
 	if p.Kind > 0 && wl.pages[p.Kind-1] == nil {
 		return 0, fmt.Errorf("%w: %v", ErrProgramOrder, p)
 	}
+	jitter, ferr := a.checkFault(FaultProgram, p.PlaneAddr, p.Block, at)
+	if ferr != nil {
+		a.failOp(pl, at, a.timing.ProgramPage, jitter, ferr)
+		return 0, ferr
+	}
 	// Data crosses the channel into the register, then the plane programs.
 	xferEnd := a.transferIn(p.Channel, at, len(data))
-	_, end := pl.sense.ReserveLabeled(xferEnd, a.timing.ProgramPage, "program")
+	_, end := pl.sense.ReserveLabeled(xferEnd, a.timing.ProgramPage+jitter, "program")
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	var par []byte
@@ -416,7 +429,12 @@ func (a *Array) Erase(p PlaneAddr, blockIdx int, at sim.Time) (sim.Time, error) 
 	}
 	pl := a.planeAt(p)
 	blk := &pl.blocks[blockIdx]
-	_, end := pl.sense.ReserveLabeled(at, a.timing.EraseBlock, "erase")
+	jitter, ferr := a.checkFault(FaultErase, p, blockIdx, at)
+	if ferr != nil {
+		a.failOp(pl, at, a.timing.EraseBlock, jitter, ferr)
+		return 0, ferr
+	}
+	_, end := pl.sense.ReserveLabeled(at, a.timing.EraseBlock+jitter, "erase")
 	blk.wl = nil
 	blk.erases++
 	blk.reads = 0

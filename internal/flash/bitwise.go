@@ -75,8 +75,12 @@ func (a *Array) BitwiseSense(op latch.Op, w WordlineAddr, at sim.Time) (SenseRes
 		return SenseResult{}, err
 	}
 	seq := latch.ForOp(op)
+	jitter, ferr := a.checkFault(FaultSense, w.PlaneAddr, w.Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(w.PlaneAddr)
-	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO+jitter, "bitwise")
 	out := applyOp(op, a.pageBits(w, LSBPage), a.pageBits(w, MSBPage))
 	exposure := a.noteReads(w, seq.SROs())
 	res := SenseResult{Data: out, Ready: end}
@@ -120,8 +124,12 @@ func (a *Array) BitwiseSenseLocFree(op latch.Op, m, n WordlineAddr, at sim.Time)
 		return SenseResult{}, fmt.Errorf("%w: %v vs %v", ErrPlaneMismatch, m.PlaneAddr, n.PlaneAddr)
 	}
 	seq := latch.ForOpLocFree(op)
+	jitter, ferr := a.checkFault(FaultSense, m.PlaneAddr, m.Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(m.PlaneAddr)
-	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO+jitter, "bitwise")
 	// Operand order per §4.2: M from the MSB page, N from the LSB page.
 	msb := a.pageBits(m, MSBPage)
 	lsb := a.pageBits(n, LSBPage)
@@ -171,8 +179,12 @@ func (a *Array) BitwiseSenseLocFreeLSB(op latch.Op, m, n WordlineAddr, at sim.Ti
 		return SenseResult{}, fmt.Errorf("%w: %v vs %v", ErrPlaneMismatch, m.PlaneAddr, n.PlaneAddr)
 	}
 	seq := latch.ForOpLocFreeLSB(op)
+	jitter, ferr := a.checkFault(FaultSense, m.PlaneAddr, m.Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(m.PlaneAddr)
-	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO+jitter, "bitwise")
 	mBits := a.pageBits(m, LSBPage)
 	nBits := a.pageBits(n, LSBPage)
 	// Binary ops are symmetric; the NOT pair maps to inverting the first
@@ -306,8 +318,12 @@ func (a *Array) BitwiseChainLSB(op latch.Op, wls []WordlineAddr, at sim.Time) (S
 			maxPE = pe
 		}
 	}
+	jitter, ferr := a.checkFault(FaultSense, plane, wls[0].Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(plane)
-	dur := sim.Duration(cost.SROs) * a.timing.SenseSRO
+	dur := sim.Duration(cost.SROs)*a.timing.SenseSRO + jitter
 	// Register reloads cross the channel bus into the plane register.
 	for i := 0; i < cost.RegisterLoads; i++ {
 		dur += a.timing.Transfer(a.geo.PageSize)
@@ -370,8 +386,12 @@ func (a *Array) BitwiseSenseTLC(op latch.TLCOp3, w WordlineAddr, at sim.Time) (S
 		return SenseResult{}, err
 	}
 	seq := latch.TLCForOp(op)
+	jitter, ferr := a.checkFault(FaultSense, w.PlaneAddr, w.Block, at)
+	if ferr != nil {
+		return SenseResult{}, ferr
+	}
 	pl := a.planeAt(w.PlaneAddr)
-	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO, "bitwise")
+	_, end := pl.sense.ReserveLabeled(at, sim.Duration(seq.SROs())*a.timing.SenseSRO+jitter, "bitwise")
 	lsb := a.pageBits(w, LSBPage)
 	csb := a.pageBits(w, MSBPage) // kind 1 = the TLC centre page
 	top := a.pageBits(w, TopPage)

@@ -90,15 +90,17 @@ func (t Timing) ReadLatency(kind PageKind) sim.Duration {
 // Stats accumulates operation counts across an array's lifetime. The
 // energy model converts them to joules; experiments report them directly.
 type Stats struct {
-	SROs          int64 // single read operations issued
-	Programs      int64 // page programs
-	Erases        int64 // block erases
-	BitwiseOps    int64 // ParaBit sense operations (any variant)
-	BytesOut      int64 // bytes moved plane -> controller
-	BytesIn       int64 // bytes moved controller -> plane
-	InjectedFlips int64 // bit errors injected by the read-noise model
-	CorrectedBits int64 // bits corrected by the baseline ECC path
-	ReadRetries   int64 // calibrated re-reads after uncorrectable ECC
+	SROs           int64 // single read operations issued
+	Programs       int64 // page programs
+	Erases         int64 // block erases
+	BitwiseOps     int64 // ParaBit sense operations (any variant)
+	BytesOut       int64 // bytes moved plane -> controller
+	BytesIn        int64 // bytes moved controller -> plane
+	InjectedFlips  int64 // bit errors injected by the read-noise model
+	CorrectedBits  int64 // bits corrected by the baseline ECC path
+	ReadRetries    int64 // calibrated re-reads after uncorrectable ECC
+	InjectedFaults int64 // structural faults injected by the fault model
+	JitterEvents   int64 // operations stretched by injected latency jitter
 }
 
 // Add accumulates o into s.
@@ -112,4 +114,6 @@ func (s *Stats) Add(o Stats) {
 	s.InjectedFlips += o.InjectedFlips
 	s.CorrectedBits += o.CorrectedBits
 	s.ReadRetries += o.ReadRetries
+	s.InjectedFaults += o.InjectedFaults
+	s.JitterEvents += o.JitterEvents
 }

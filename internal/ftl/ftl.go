@@ -71,6 +71,11 @@ type Stats struct {
 	ReclaimPagesMoved int64 // valid pages migrated by read reclaim
 	StaticWLMoves     int64 // cold blocks migrated by static wear leveling
 	WLPagesMoved      int64 // valid pages migrated by static wear leveling
+	ProgramFails      int64 // program-status failures absorbed
+	EraseFails        int64 // erase-status failures absorbed
+	BlocksRetired     int64 // blocks pulled from circulation as bad
+	RetirePagesMoved  int64 // valid pages migrated off retiring blocks
+	ResteeredWrites   int64 // writes re-issued on a fresh block after a program failure
 }
 
 // WriteAmplification returns (host+extra)/host, or 1 when nothing was
@@ -90,6 +95,7 @@ type planeAlloc struct {
 	free     []int // erased block indexes
 	valid    []int // valid page count per block
 	full     []int // filled, non-free blocks (GC candidates)
+	bad      []int // retired blocks, permanently out of circulation
 }
 
 // FTL maps logical page numbers to physical pages on a flash.Array.
@@ -105,8 +111,9 @@ type FTL struct {
 	stats  Stats
 
 	// Telemetry handles; all nil (free no-ops) until SetTelemetry runs.
-	gcTrack, reclaimTrack, wlTrack                              *telemetry.Track
+	gcTrack, reclaimTrack, wlTrack, retireTrack                 *telemetry.Track
 	cGCRuns, cGCPages, cReclaims, cReclaimPages, cWLMoves, cPad *telemetry.Counter
+	cProgFails, cEraseFails, cRetired, cResteer                 *telemetry.Counter
 }
 
 // SetTelemetry attaches (or, with nil, detaches) a telemetry sink. GC
@@ -124,6 +131,11 @@ func (f *FTL) SetTelemetry(s *telemetry.Sink) {
 	f.cReclaimPages = s.Counter("ftl.read_reclaim.pages_moved")
 	f.cWLMoves = s.Counter("ftl.static_wl.moves")
 	f.cPad = s.Counter("ftl.padded_pages")
+	f.retireTrack = tr.Track("ftl", "retirement")
+	f.cProgFails = s.Counter("ftl.faults.program_fails")
+	f.cEraseFails = s.Counter("ftl.faults.erase_fails")
+	f.cRetired = s.Counter("ftl.bad_blocks.retired")
+	f.cResteer = s.Counter("ftl.faults.resteered_writes")
 }
 
 // New builds an FTL over an erased array.
@@ -263,6 +275,20 @@ func (f *FTL) reclaimBlock(plane flash.PlaneAddr, blockIdx int, at sim.Time) err
 	pa.full = append(pa.full[:idx], pa.full[idx+1:]...)
 	end, err := f.array.Erase(plane, blockIdx, now)
 	if err != nil {
+		if flash.IsEraseFault(err) {
+			// Worn out rather than wedged: the data is already refreshed
+			// elsewhere, so the block retires and the reclaim succeeded.
+			f.stats.EraseFails++
+			f.cEraseFails.Add(1)
+			if _, rerr := f.retireBlock(pa, blockIdx, now); rerr != nil {
+				return fmt.Errorf("ftl: reclaim retire: %w", rerr)
+			}
+			f.reclaimTrack.Span("read-reclaim", at, now)
+			return nil
+		}
+		// Transient failure: seal the drained block again so the next
+		// reclaim or GC pass retries the erase.
+		pa.full = append(pa.full, blockIdx)
 		return fmt.Errorf("ftl: reclaim erase: %w", err)
 	}
 	pa.free = append(pa.free, blockIdx)
@@ -339,9 +365,17 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 	// erased otherwise and can rejoin the free pool), and the cold block
 	// leaves pa.full once it holds no valid data — a failure must not
 	// leave a drained cold block sealed alongside the half-sealed worn
-	// block.
-	abort := func() {
-		if dst > 0 {
+	// block. A program-status failure retires the worn destination
+	// outright (migrating back whatever already landed on it) instead of
+	// returning a known-bad block to circulation.
+	abort := func(err error) {
+		if flash.IsProgramFault(err) {
+			f.stats.ProgramFails++
+			f.cProgFails.Add(1)
+			// retireBlock seals worn back into full itself if the
+			// retirement cannot complete.
+			_, _ = f.retireBlock(pa, worn, now)
+		} else if dst > 0 {
 			pa.full = append(pa.full, worn)
 		} else {
 			pa.free = append(pa.free, worn)
@@ -353,7 +387,7 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 			}
 		}
 	}
-	writeSlot := func(lpn uint64, data []byte) bool {
+	writeSlot := func(lpn uint64, data []byte) error {
 		kind := flash.PageKind(dst % f.geo.CellBits)
 		wl := dst / f.geo.CellBits
 		addr := flash.PageAddr{
@@ -362,13 +396,13 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 		}
 		end, err := f.array.Program(addr, data, now)
 		if err != nil {
-			return false
+			return err
 		}
 		f.invalidate(lpn)
 		f.mapPage(lpn, addr)
 		now = end
 		dst++
-		return true
+		return nil
 	}
 	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[cold] > 0; wl++ {
 		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
@@ -390,19 +424,19 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 			// dst never overtakes the source cursor, so the worn block
 			// always has room.
 			for dst%f.geo.CellBits != int(kind) {
-				if !writeSlotPad(f, pa, worn, &dst, &now) {
-					abort()
+				if err := writeSlotPad(f, pa, worn, &dst, &now); err != nil {
+					abort(err)
 					return
 				}
 			}
 			data, readDone, err := f.array.Read(addr, now)
 			if err != nil {
-				abort()
+				abort(err)
 				return
 			}
 			now = readDone
-			if !writeSlot(lpn, data) {
-				abort()
+			if err := writeSlot(lpn, data); err != nil {
+				abort(err)
 				return
 			}
 			f.stats.ExtraPagesWritten++
@@ -434,7 +468,7 @@ func (f *FTL) maybeStaticWL(pa *planeAlloc, at sim.Time) {
 }
 
 // writeSlotPad programs a filler page to keep destination program order.
-func writeSlotPad(f *FTL, pa *planeAlloc, worn int, dst *int, now *sim.Time) bool {
+func writeSlotPad(f *FTL, pa *planeAlloc, worn int, dst *int, now *sim.Time) error {
 	kind := flash.PageKind(*dst % f.geo.CellBits)
 	wl := *dst / f.geo.CellBits
 	addr := flash.PageAddr{
@@ -443,13 +477,13 @@ func writeSlotPad(f *FTL, pa *planeAlloc, worn int, dst *int, now *sim.Time) boo
 	}
 	end, err := f.array.Program(addr, make([]byte, f.geo.PageSize), *now)
 	if err != nil {
-		return false
+		return err
 	}
 	*now = end
 	*dst++
 	f.stats.PaddedPages++
 	f.cPad.Add(1)
-	return true
+	return nil
 }
 
 // takeFreeBlock removes and returns the free block with the lowest erase
@@ -480,21 +514,27 @@ func (f *FTL) allocSlot(pa *planeAlloc, at sim.Time, allowGC bool) (flash.PageAd
 	ready := at
 	if pa.active < 0 {
 		if allowGC {
+			var gcErr error
 			for len(pa.free) <= f.cfg.GCFreeBlockLow && len(pa.full) > 0 {
 				before := len(pa.free)
-				var err error
-				ready, err = f.collectPlane(pa, ready)
+				ready, gcErr = f.collectPlane(pa, ready)
 				// Stop when collection fails or frees nothing net (every
 				// remaining victim is fully valid): further passes would
 				// only shuffle pages forever.
-				if err != nil || len(pa.free) <= before {
+				if gcErr != nil || len(pa.free) <= before {
 					break
 				}
 			}
 			// Keep one free block in reserve so GC relocation always has
 			// somewhere to write; without it the plane can wedge with
-			// garbage present but unreachable.
+			// garbage present but unreachable. An injected fault that
+			// stopped GC must not be flattened into "device full" — a
+			// transient plane outage is retryable, a dead plane is not,
+			// and neither means the capacity is gone.
 			if len(pa.free) < 2 && len(pa.full) > 0 {
+				if gcErr != nil && flash.AsFaultError(gcErr) != nil {
+					return flash.PageAddr{}, 0, gcErr
+				}
 				return flash.PageAddr{}, 0, ErrDeviceFull
 			}
 			f.maybeStaticWL(pa, ready)
@@ -536,33 +576,149 @@ func (f *FTL) padToFreshWordline(pa *planeAlloc, at sim.Time) error {
 	return nil
 }
 
+// undoAlloc rolls the allocator cursor back onto addr after its program
+// failed. The fault check fires before any cell mutates, so the physical
+// page is still erased and programmable; without the rollback the
+// allocator would leak the slot and later hand out the wordline's MSB
+// with its LSB unprogrammed — an ordering violation the array rejects.
+// Only the slot whose program failed may be undone: earlier siblings of a
+// multi-page attempt are physically programmed and must stay consumed.
+func (f *FTL) undoAlloc(pa *planeAlloc, addr flash.PageAddr) {
+	if pa.active != addr.Block {
+		// The failed slot sealed the block; un-seal it.
+		for i, b := range pa.full {
+			if b == addr.Block {
+				pa.full = append(pa.full[:i], pa.full[i+1:]...)
+				break
+			}
+		}
+		pa.active = addr.Block
+	}
+	pa.nextWL = addr.WL
+	pa.nextKind = addr.Kind
+}
+
+// retireBlock pulls blk out of circulation on pa: any valid pages it
+// still holds migrate to healthy blocks (so no acknowledged data is
+// lost), then the block joins the bad list for good. The block is first
+// removed from whichever allocator list holds it; if the migration fails
+// the block is sealed back into the full list so every page stays
+// reachable and GC can retry later. Idempotent for already-bad blocks.
+func (f *FTL) retireBlock(pa *planeAlloc, blk int, at sim.Time) (sim.Time, error) {
+	for _, b := range pa.bad {
+		if b == blk {
+			return at, nil
+		}
+	}
+	if pa.active == blk {
+		pa.active = -1
+	}
+	for i, b := range pa.free {
+		if b == blk {
+			pa.free = append(pa.free[:i], pa.free[i+1:]...)
+			break
+		}
+	}
+	for i, b := range pa.full {
+		if b == blk {
+			pa.full = append(pa.full[:i], pa.full[i+1:]...)
+			break
+		}
+	}
+	now := at
+	for wl := 0; wl < f.geo.WordlinesPerBlock && pa.valid[blk] > 0; wl++ {
+		for kind := flash.LSBPage; int(kind) < f.geo.CellBits; kind++ {
+			addr := flash.PageAddr{
+				WordlineAddr: flash.WordlineAddr{PlaneAddr: pa.addr, Block: blk, WL: wl},
+				Kind:         kind,
+			}
+			lpn, ok := f.p2l[f.geo.PPN(addr)]
+			if !ok {
+				continue
+			}
+			data, readDone, err := f.array.Read(addr, now)
+			if err != nil {
+				pa.full = append(pa.full, blk)
+				return now, fmt.Errorf("ftl: retire read: %w", err)
+			}
+			target := f.relocationTarget(pa)
+			if target == nil {
+				pa.full = append(pa.full, blk)
+				return now, ErrDeviceFull
+			}
+			done, err := f.writeTo(target, lpn, data, readDone, false)
+			if err != nil {
+				pa.full = append(pa.full, blk)
+				return now, fmt.Errorf("ftl: retire write: %w", err)
+			}
+			now = done
+			f.stats.ExtraPagesWritten++
+			f.stats.RetirePagesMoved++
+		}
+	}
+	pa.bad = append(pa.bad, blk)
+	f.stats.BlocksRetired++
+	f.cRetired.Add(1)
+	f.retireTrack.Span("retire", at, now)
+	return now, nil
+}
+
+// withResteer runs one write attempt and, when it fails with an injected
+// program fault, retires the failed block and re-issues the attempt on a
+// fresh one — the datasheet contract for program-status failures. fn must
+// be restartable: it may only map pages after every program it issues has
+// succeeded, so a retried attempt never observes half-applied state. The
+// attempt count is bounded by the plane's block count; every retry
+// permanently removes one block, so the loop cannot spin.
+func (f *FTL) withResteer(pa *planeAlloc, at sim.Time, fn func(at sim.Time) (sim.Time, error)) (sim.Time, error) {
+	for attempt := 0; ; attempt++ {
+		done, err := fn(at)
+		if err == nil || !flash.IsProgramFault(err) || attempt >= f.geo.BlocksPerPlane {
+			return done, err
+		}
+		fe := flash.AsFaultError(err)
+		f.stats.ProgramFails++
+		f.cProgFails.Add(1)
+		now, rerr := f.retireBlock(pa, fe.Block, at)
+		if rerr != nil {
+			return 0, fmt.Errorf("ftl: retire block %d after program fault: %w", fe.Block, rerr)
+		}
+		f.stats.ResteeredWrites++
+		f.cResteer.Add(1)
+		at = now
+	}
+}
+
 // writeTo programs data at a fresh slot on pa and maps it to lpn. The old
-// copy is invalidated *before* allocating, so an overwrite's garbage is
-// already collectible if the allocation has to run GC.
+// copy is invalidated only after the program succeeds, so a failed or
+// faulted write never loses the previously acknowledged version.
 func (f *FTL) writeTo(pa *planeAlloc, lpn uint64, data []byte, at sim.Time, allowGC bool) (sim.Time, error) {
-	f.invalidate(lpn)
-	addr, ready, err := f.allocSlot(pa, at, allowGC)
-	if err != nil {
-		return 0, err
-	}
-	done, err := f.array.Program(addr, data, ready)
-	if err != nil {
-		return 0, fmt.Errorf("ftl: program %v: %w", addr, err)
-	}
-	f.mapPage(lpn, addr)
-	return done, nil
+	return f.withResteer(pa, at, func(at sim.Time) (sim.Time, error) {
+		addr, ready, err := f.allocSlot(pa, at, allowGC)
+		if err != nil {
+			return 0, err
+		}
+		done, err := f.array.Program(addr, data, ready)
+		if err != nil {
+			f.undoAlloc(pa, addr)
+			return 0, fmt.Errorf("ftl: program %v: %w", addr, err)
+		}
+		f.invalidate(lpn)
+		f.mapPage(lpn, addr)
+		return done, nil
+	})
 }
 
 // writeStriped programs one page at the round-robin cursor's plane,
 // retrying the remaining planes when the first choice is wedged (no free
-// or active block even after GC). A single full plane must not fail the
-// whole device while its siblings still have room; only when every plane
-// rejects the allocation is the device genuinely full.
+// or active block even after GC) or faulted (a dead or transiently
+// unresponsive plane, or a failed retirement). A single broken plane must
+// not fail the whole device while its siblings still have room; only when
+// every plane rejects the write does the error surface — and if any
+// rejection was transient, that error is preferred so the layer above
+// knows a later retry can still succeed.
 func (f *FTL) writeStriped(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
-	// Release the old copy once, up front, so GC on any candidate plane
-	// can already collect it.
-	f.invalidate(lpn)
-	var firstErr error
+	var firstErr, transientErr error
 	for i, n := 0, len(f.order); i < n; i++ {
 		idx := f.cursor
 		pa := f.planes[f.order[idx]]
@@ -571,8 +727,13 @@ func (f *FTL) writeStriped(lpn uint64, data []byte, at sim.Time) (sim.Time, erro
 		if err == nil {
 			return done, nil
 		}
-		if !errors.Is(err, ErrDeviceFull) {
+		// Wedged or faulted planes fall through to the next candidate;
+		// anything else (a programming bug, a bad LPN) surfaces at once.
+		if !errors.Is(err, ErrDeviceFull) && flash.AsFaultError(err) == nil {
 			return 0, err
+		}
+		if transientErr == nil && flash.IsTransientFault(err) {
+			transientErr = err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -582,6 +743,9 @@ func (f *FTL) writeStriped(lpn uint64, data []byte, at sim.Time) (sim.Time, erro
 		// park it one past that plane so the retry visits each remaining
 		// plane exactly once instead of hammering the wedged one.
 		f.cursor = (idx + 1) % n
+	}
+	if transientErr != nil {
+		return 0, transientErr
 	}
 	return 0, firstErr
 }
@@ -611,37 +775,47 @@ func (f *FTL) WritePaired(lpnLSB, lpnMSB uint64, dataLSB, dataMSB []byte, at sim
 		return flash.WordlineAddr{}, 0, err
 	}
 	pa := f.nextPlane()
-	f.invalidate(lpnLSB)
-	f.invalidate(lpnMSB)
-	// Align to a fresh wordline: discard dangling sibling slots.
-	if err := f.padToFreshWordline(pa, at); err != nil {
-		return flash.WordlineAddr{}, 0, err
-	}
-	addrL, ready, err := f.allocSlot(pa, at, true)
+	var wlAddr flash.WordlineAddr
+	done, err := f.withResteer(pa, at, func(at sim.Time) (sim.Time, error) {
+		// Align to a fresh wordline: discard dangling sibling slots.
+		if err := f.padToFreshWordline(pa, at); err != nil {
+			return 0, err
+		}
+		addrL, ready, err := f.allocSlot(pa, at, true)
+		if err != nil {
+			return 0, err
+		}
+		doneL, err := f.array.Program(addrL, dataLSB, ready)
+		if err != nil {
+			f.undoAlloc(pa, addrL)
+			return 0, fmt.Errorf("ftl: paired LSB program: %w", err)
+		}
+		addrM, _, err := f.allocSlot(pa, at, true)
+		if err != nil {
+			return 0, err
+		}
+		doneM, err := f.array.Program(addrM, dataMSB, doneL)
+		if err != nil {
+			f.undoAlloc(pa, addrM)
+			return 0, fmt.Errorf("ftl: paired MSB program: %w", err)
+		}
+		if addrL.WordlineAddr != addrM.WordlineAddr {
+			// allocSlot hands out LSB then MSB of one wordline by
+			// construction; anything else is an allocator bug.
+			panic(fmt.Sprintf("ftl: paired pages split across wordlines: %v vs %v", addrL, addrM))
+		}
+		f.invalidate(lpnLSB)
+		f.invalidate(lpnMSB)
+		f.mapPage(lpnLSB, addrL)
+		f.mapPage(lpnMSB, addrM)
+		wlAddr = addrL.WordlineAddr
+		return doneM, nil
+	})
 	if err != nil {
 		return flash.WordlineAddr{}, 0, err
 	}
-	doneL, err := f.array.Program(addrL, dataLSB, ready)
-	if err != nil {
-		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: paired LSB program: %w", err)
-	}
-	addrM, _, err := f.allocSlot(pa, at, true)
-	if err != nil {
-		return flash.WordlineAddr{}, 0, err
-	}
-	doneM, err := f.array.Program(addrM, dataMSB, doneL)
-	if err != nil {
-		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: paired MSB program: %w", err)
-	}
-	if addrL.WordlineAddr != addrM.WordlineAddr {
-		// allocSlot hands out LSB then MSB of one wordline by
-		// construction; anything else is an allocator bug.
-		panic(fmt.Sprintf("ftl: paired pages split across wordlines: %v vs %v", addrL, addrM))
-	}
-	f.mapPage(lpnLSB, addrL)
-	f.mapPage(lpnMSB, addrM)
 	f.stats.HostPagesWritten += 2
-	return addrL.WordlineAddr, doneM, nil
+	return wlAddr, done, nil
 }
 
 // WriteRelocation is Write for device-initiated writes (operand
@@ -682,33 +856,42 @@ func (f *FTL) WriteTriple(lpns [3]uint64, data [3][]byte, at sim.Time) (flash.Wo
 		}
 	}
 	pa := f.nextPlane()
-	for _, lpn := range lpns {
-		f.invalidate(lpn)
-	}
-	if err := f.padToFreshWordline(pa, at); err != nil {
+	var wl flash.WordlineAddr
+	done, err := f.withResteer(pa, at, func(at sim.Time) (sim.Time, error) {
+		if err := f.padToFreshWordline(pa, at); err != nil {
+			return 0, err
+		}
+		var addrs [3]flash.PageAddr
+		now := at
+		for i := 0; i < 3; i++ {
+			addr, ready, err := f.allocSlot(pa, now, true)
+			if err != nil {
+				return 0, err
+			}
+			end, err := f.array.Program(addr, data[i], ready)
+			if err != nil {
+				f.undoAlloc(pa, addr)
+				return 0, fmt.Errorf("ftl: triple program: %w", err)
+			}
+			if i == 0 {
+				wl = addr.WordlineAddr
+			} else if addr.WordlineAddr != wl {
+				panic(fmt.Sprintf("ftl: triple split across wordlines: %v vs %v", addr.WordlineAddr, wl))
+			}
+			addrs[i] = addr
+			now = end
+		}
+		for i, lpn := range lpns {
+			f.invalidate(lpn)
+			f.mapPage(lpn, addrs[i])
+		}
+		return now, nil
+	})
+	if err != nil {
 		return flash.WordlineAddr{}, 0, err
 	}
-	var wl flash.WordlineAddr
-	now := at
-	for i := 0; i < 3; i++ {
-		addr, ready, err := f.allocSlot(pa, now, true)
-		if err != nil {
-			return flash.WordlineAddr{}, 0, err
-		}
-		end, err := f.array.Program(addr, data[i], ready)
-		if err != nil {
-			return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: triple program: %w", err)
-		}
-		if i == 0 {
-			wl = addr.WordlineAddr
-		} else if addr.WordlineAddr != wl {
-			panic(fmt.Sprintf("ftl: triple split across wordlines: %v vs %v", addr.WordlineAddr, wl))
-		}
-		f.mapPage(lpns[i], addr)
-		now = end
-	}
 	f.stats.HostPagesWritten += 3
-	return wl, now, nil
+	return wl, done, nil
 }
 
 // WriteLSBPair stores two logical pages into the LSB pages of two
@@ -724,28 +907,30 @@ func (f *FTL) WriteLSBPair(lpnM, lpnN uint64, dataM, dataN []byte, at sim.Time) 
 		return
 	}
 	pa := f.nextPlane()
-	f.invalidate(lpnM)
-	f.invalidate(lpnN)
 	writeLSB := func(lpn uint64, data []byte, when sim.Time) (flash.WordlineAddr, sim.Time, error) {
-		// Skip dangling sibling slots so we land on a fresh wordline's LSB.
-		if err := f.padToFreshWordline(pa, when); err != nil {
-			return flash.WordlineAddr{}, 0, err
-		}
-		addr, ready, err := f.allocSlot(pa, when, true)
-		if err != nil {
-			return flash.WordlineAddr{}, 0, err
-		}
-		end, err := f.array.Program(addr, data, ready)
-		if err != nil {
-			return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: lsb-pair program: %w", err)
-		}
-		f.mapPage(lpn, addr)
-		// Pad this wordline's remaining slots so nothing else lands next
-		// to the operand (and the layout stays pure LSB).
-		if err := f.padToFreshWordline(pa, end); err != nil {
-			return flash.WordlineAddr{}, 0, err
-		}
-		return addr.WordlineAddr, end, nil
+		var wl flash.WordlineAddr
+		end, err := f.withResteer(pa, when, func(at sim.Time) (sim.Time, error) {
+			// Skip dangling sibling slots so we land on a fresh wordline's LSB.
+			if err := f.padToFreshWordline(pa, at); err != nil {
+				return 0, err
+			}
+			addr, ready, err := f.allocSlot(pa, at, true)
+			if err != nil {
+				return 0, err
+			}
+			end, err := f.array.Program(addr, data, ready)
+			if err != nil {
+				f.undoAlloc(pa, addr)
+				return 0, fmt.Errorf("ftl: lsb-pair program: %w", err)
+			}
+			f.invalidate(lpn)
+			f.mapPage(lpn, addr)
+			wl = addr.WordlineAddr
+			// Pad this wordline's remaining slots so nothing else lands next
+			// to the operand (and the layout stays pure LSB).
+			return end, f.padToFreshWordline(pa, end)
+		})
+		return wl, end, err
 	}
 	m, done, err = writeLSB(lpnM, dataM, at)
 	if err != nil {
@@ -778,23 +963,27 @@ func (f *FTL) WriteLSBGroup(lpns []uint64, data [][]byte, at sim.Time) ([]flash.
 	wls := make([]flash.WordlineAddr, len(lpns))
 	now := at
 	for i, lpn := range lpns {
-		f.invalidate(lpn)
-		if err := f.padToFreshWordline(pa, now); err != nil {
-			return nil, 0, err
-		}
-		addr, ready, err := f.allocSlot(pa, now, true)
+		end, err := f.withResteer(pa, now, func(at sim.Time) (sim.Time, error) {
+			if err := f.padToFreshWordline(pa, at); err != nil {
+				return 0, err
+			}
+			addr, ready, err := f.allocSlot(pa, at, true)
+			if err != nil {
+				return 0, err
+			}
+			end, err := f.array.Program(addr, data[i], ready)
+			if err != nil {
+				f.undoAlloc(pa, addr)
+				return 0, fmt.Errorf("ftl: lsb-group program: %w", err)
+			}
+			f.invalidate(lpn)
+			f.mapPage(lpn, addr)
+			wls[i] = addr.WordlineAddr
+			return end, f.padToFreshWordline(pa, end)
+		})
 		if err != nil {
 			return nil, 0, err
 		}
-		end, err := f.array.Program(addr, data[i], ready)
-		if err != nil {
-			return nil, 0, fmt.Errorf("ftl: lsb-group program: %w", err)
-		}
-		f.mapPage(lpn, addr)
-		if err := f.padToFreshWordline(pa, end); err != nil {
-			return nil, 0, err
-		}
-		wls[i] = addr.WordlineAddr
 		now = end
 		f.stats.HostPagesWritten++
 	}
@@ -815,20 +1004,26 @@ func (f *FTL) WriteLSBOnPlane(plane flash.PlaneAddr, lpn uint64, data []byte, at
 		return flash.WordlineAddr{}, 0, err
 	}
 	pa := f.planes[f.array.Geometry().PlaneIndex(plane)]
-	f.invalidate(lpn)
-	if err := f.padToFreshWordline(pa, at); err != nil {
-		return flash.WordlineAddr{}, 0, err
-	}
-	addr, ready, err := f.allocSlot(pa, at, true)
+	var wl flash.WordlineAddr
+	end, err := f.withResteer(pa, at, func(at sim.Time) (sim.Time, error) {
+		if err := f.padToFreshWordline(pa, at); err != nil {
+			return 0, err
+		}
+		addr, ready, err := f.allocSlot(pa, at, true)
+		if err != nil {
+			return 0, err
+		}
+		end, err := f.array.Program(addr, data, ready)
+		if err != nil {
+			f.undoAlloc(pa, addr)
+			return 0, fmt.Errorf("ftl: lsb-on-plane program: %w", err)
+		}
+		f.invalidate(lpn)
+		f.mapPage(lpn, addr)
+		wl = addr.WordlineAddr
+		return end, f.padToFreshWordline(pa, end)
+	})
 	if err != nil {
-		return flash.WordlineAddr{}, 0, err
-	}
-	end, err := f.array.Program(addr, data, ready)
-	if err != nil {
-		return flash.WordlineAddr{}, 0, fmt.Errorf("ftl: lsb-on-plane program: %w", err)
-	}
-	f.mapPage(lpn, addr)
-	if err := f.padToFreshWordline(pa, end); err != nil {
 		return flash.WordlineAddr{}, 0, err
 	}
 	if host {
@@ -836,7 +1031,7 @@ func (f *FTL) WriteLSBOnPlane(plane flash.PlaneAddr, lpn uint64, data []byte, at
 	} else {
 		f.stats.ExtraPagesWritten++
 	}
-	return addr.WordlineAddr, end, nil
+	return wl, end, nil
 }
 
 // collectPlane garbage-collects one plane: pick the full block with the
@@ -893,6 +1088,23 @@ func (f *FTL) collectPlane(pa *planeAlloc, at sim.Time) (sim.Time, error) {
 	}
 	end, err := f.array.Erase(pa.addr, victim, now)
 	if err != nil {
+		if flash.IsEraseFault(err) {
+			// The victim wore out: its valid pages are already relocated,
+			// so retire it and report the pass as successful — the plane
+			// lost a block, not its data.
+			f.stats.EraseFails++
+			f.cEraseFails.Add(1)
+			now, err = f.retireBlock(pa, victim, now)
+			if err != nil {
+				return now, fmt.Errorf("ftl: gc retire: %w", err)
+			}
+			f.gcTrack.Span("gc", at, now)
+			return now, nil
+		}
+		// A transient (or otherwise non-retiring) erase failure leaves the
+		// drained victim sealed so nothing dangles; the next GC pass
+		// retries the erase.
+		pa.full = append(pa.full, victim)
 		return now, fmt.Errorf("ftl: gc erase: %w", err)
 	}
 	pa.free = append(pa.free, victim)
@@ -932,6 +1144,15 @@ func (f *FTL) FreeBlocks() int {
 // MappedPages reports how many logical pages currently hold data.
 func (f *FTL) MappedPages() int { return len(f.l2p) }
 
+// BadBlocks reports the total blocks retired from circulation.
+func (f *FTL) BadBlocks() int {
+	n := 0
+	for _, pa := range f.planes {
+		n += len(pa.bad)
+	}
+	return n
+}
+
 // CheckInvariants verifies the FTL's internal bookkeeping and returns the
 // first violation found, or nil. The invariants it asserts are the ones
 // every allocation path (striped writes, paired writes, GC, read reclaim,
@@ -939,9 +1160,10 @@ func (f *FTL) MappedPages() int { return len(f.l2p) }
 //
 //   - l2p and p2l are inverse maps of each other;
 //   - on every plane, each block appears in exactly one of the free list,
-//     the active slot, or the full list (and never twice);
+//     the active slot, the full list, or the retired bad list (and never
+//     twice);
 //   - a block's valid-page counter equals the number of p2l entries that
-//     point into it, and free blocks hold no valid pages.
+//     point into it, and free and retired blocks hold no valid pages.
 //
 // Tests — in particular the concurrent scheduler stress tests — call it
 // after hammering a device to prove the shared state stayed coherent.
@@ -991,6 +1213,11 @@ func (f *FTL) CheckInvariants() error {
 				return err
 			}
 		}
+		for _, b := range pa.bad {
+			if err := note(b, "bad"); err != nil {
+				return err
+			}
+		}
 		for b := 0; b < f.geo.BlocksPerPlane; b++ {
 			if _, ok := where[b]; !ok {
 				return fmt.Errorf("ftl: plane %d block %d on no list", i, b)
@@ -999,8 +1226,8 @@ func (f *FTL) CheckInvariants() error {
 				return fmt.Errorf("ftl: plane %d block %d valid=%d but %d mapped pages",
 					i, b, pa.valid[b], counts[i][b])
 			}
-			if where[b] == "free" && pa.valid[b] != 0 {
-				return fmt.Errorf("ftl: plane %d free block %d holds %d valid pages", i, b, pa.valid[b])
+			if (where[b] == "free" || where[b] == "bad") && pa.valid[b] != 0 {
+				return fmt.Errorf("ftl: plane %d %s block %d holds %d valid pages", i, where[b], b, pa.valid[b])
 			}
 		}
 	}

@@ -1,0 +1,109 @@
+package latch
+
+import (
+	"strings"
+	"testing"
+)
+
+// encodeSteps flattens a step list to one byte per step for the fuzzer;
+// decodeSteps is its inverse. Only the kind matters to Validate, and the
+// low nibble covers both every defined kind and undefined ones past
+// StepM3, so the fuzzer reaches the unknown-kind rejection path too.
+func encodeSteps(steps []Step) []byte {
+	b := make([]byte, len(steps))
+	for i, st := range steps {
+		b[i] = byte(st.Kind)
+	}
+	return b
+}
+
+func decodeSteps(b []byte) []Step {
+	steps := make([]Step, len(b))
+	for i, k := range b {
+		steps[i] = Step{Kind: StepKind(k & 0x0f)}
+	}
+	return steps
+}
+
+// referenceValidate is an independent restatement of the Validate rules,
+// written as a direct transcription of the doc comment rather than a copy
+// of the implementation, so the fuzzer compares two derivations.
+func referenceValidate(steps []Step) bool {
+	if len(steps) == 0 || len(steps) > MaxSteps {
+		return false
+	}
+	if steps[0].Kind != StepInit && steps[0].Kind != StepInitInv {
+		return false
+	}
+	sawInit, senseSinceInit := false, false
+	for _, st := range steps {
+		switch st.Kind {
+		case StepInit, StepInitInv, StepReinitL1, StepReinitL1Inv:
+			sawInit, senseSinceInit = true, false
+		case StepSense:
+			senseSinceInit = true
+		case StepM1, StepM2:
+			if !senseSinceInit {
+				return false
+			}
+		case StepM3:
+			if !sawInit {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tableSequences returns every control program the simulator actually
+// runs: the baseline page reads plus the basic and location-free
+// sequences for all operations.
+func tableSequences() []Sequence {
+	seqs := []Sequence{ReadLSB, ReadMSB}
+	for _, op := range Ops {
+		seqs = append(seqs, ForOp(op), ForOpLocFree(op))
+	}
+	return seqs
+}
+
+// FuzzLatchSequenceValidate asserts Validate never panics on arbitrary
+// step lists and agrees with an independently written reference
+// validator. The corpus is seeded with every real table sequence, so the
+// accept path is always exercised alongside fuzzer-found reject paths.
+func FuzzLatchSequenceValidate(f *testing.F) {
+	for _, s := range tableSequences() {
+		f.Add(encodeSteps(s.Steps))
+	}
+	f.Add([]byte{})                                // empty
+	f.Add([]byte{byte(StepSense)})                 // bad first step
+	f.Add([]byte{byte(StepInit), 0x0e})            // unknown kind
+	f.Add(make([]byte, MaxSteps+1))                // too long
+	f.Add([]byte{byte(StepInitInv), byte(StepM1)}) // combine before sense
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4*MaxSteps {
+			raw = raw[:4*MaxSteps]
+		}
+		seq := Sequence{Name: "fuzz", Steps: decodeSteps(raw)}
+		err := seq.Validate() // must not panic
+		if legal := referenceValidate(seq.Steps); legal == (err != nil) {
+			t.Fatalf("Validate = %v but reference says legal=%v for %d steps %v",
+				err, legal, len(seq.Steps), seq.Steps)
+		}
+		if err != nil && !strings.Contains(err.Error(), "fuzz") {
+			t.Fatalf("error does not name the sequence: %v", err)
+		}
+	})
+}
+
+// TestTableSequencesValidate pins the accept path outside the fuzzer:
+// every sequence the simulator ships must pass Validate as-is.
+func TestTableSequencesValidate(t *testing.T) {
+	for _, s := range tableSequences() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("table sequence %s rejected: %v", s.Name, err)
+		}
+	}
+}

@@ -32,6 +32,7 @@ package sched
 import (
 	"sync"
 
+	"parabit/internal/flash"
 	"parabit/internal/latch"
 	"parabit/internal/nvme"
 	"parabit/internal/sim"
@@ -192,6 +193,36 @@ type Stats struct {
 	MaxBatch int
 	// Horizon is the virtual clock after the last dispatched batch.
 	Horizon sim.Time
+	// Retries counts command re-executions after a transient device
+	// fault; RetriesExhausted counts commands that still failed with a
+	// transient fault after the last allowed attempt.
+	Retries          int64
+	RetriesExhausted int64
+}
+
+// RetryPolicy bounds the scheduler's automatic re-execution of commands
+// that fail with a transient device fault (flash.IsTransientFault). All
+// waiting happens in simulated time: each retry re-issues the command at
+// the previous issue instant plus the current backoff, so a transient
+// plane outage costs virtual latency, never host-visible errors — unless
+// the outage outlasts every attempt, in which case the transient fault
+// surfaces to the caller.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions allowed, including
+	// the first. Values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// Backoff is the simulated delay before the first retry.
+	Backoff sim.Duration
+	// Multiplier grows the backoff after each retry. Values below 1
+	// mean 1 (constant backoff).
+	Multiplier int
+}
+
+// DefaultRetryPolicy retries three times over roughly 6 ms of simulated
+// time (200 µs, 1 ms, 5 ms) — long enough to ride out the short plane
+// outages fault plans script, short enough not to mask a dead plane.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 200 * sim.Microsecond, Multiplier: 5}
 }
 
 // Submitted totals accepted commands across queues.
@@ -239,6 +270,7 @@ type Scheduler struct {
 	now     sim.Time // issue cursor for the next batch
 	pending []*Ticket
 	depth   [numKinds]int // pending commands per kind
+	retry   RetryPolicy
 	stats   Stats
 	tele    schedTele
 }
@@ -250,7 +282,10 @@ type schedTele struct {
 	depthGauges [numKinds]*telemetry.Gauge
 	latency     [numKinds]*telemetry.Histogram
 	batchTrack  *telemetry.Track
+	retryTrack  *telemetry.Track
 	cBatches    *telemetry.Counter
+	cRetries    *telemetry.Counter
+	cExhausted  *telemetry.Counter
 }
 
 // SetTelemetry attaches (or, with nil, detaches) a telemetry sink. Every
@@ -269,13 +304,23 @@ func (s *Scheduler) SetTelemetry(sink *telemetry.Sink) {
 		s.tele.latency[k] = sink.Histogram("sched.latency." + kindNames[k])
 	}
 	s.tele.batchTrack = tr.Track("sched", "batches")
+	s.tele.retryTrack = tr.Track("sched", "retries")
 	s.tele.cBatches = sink.Counter("sched.batches")
+	s.tele.cRetries = sink.Counter("sched.retries")
+	s.tele.cExhausted = sink.Counter("sched.retries_exhausted")
 }
 
 // New wraps a device. The scheduler assumes sole ownership: bypassing it
 // with direct device calls while commands are in flight races.
 func New(dev *ssd.Device) *Scheduler {
-	return &Scheduler{dev: dev}
+	return &Scheduler{dev: dev, retry: DefaultRetryPolicy()}
+}
+
+// SetRetryPolicy replaces the transient-fault retry policy.
+func (s *Scheduler) SetRetryPolicy(p RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retry = p
 }
 
 // Submit enqueues a command. It never blocks on device work; the command
@@ -330,7 +375,7 @@ func (s *Scheduler) dispatchLocked() {
 		s.stats.MaxBatch = len(batch)
 	}
 	for _, t := range batch {
-		t.res = s.exec(&t.cmd, issue)
+		t.res = s.execRetry(&t.cmd, issue)
 		k := t.cmd.Kind
 		s.depth[k]--
 		s.stats.Queues[k].Completed++
@@ -350,6 +395,36 @@ func (s *Scheduler) dispatchLocked() {
 	s.stats.Horizon = horizon
 	s.tele.cBatches.Add(1)
 	s.tele.batchTrack.Span("batch", issue, horizon)
+}
+
+// execRetry runs one command, re-issuing it after a simulated backoff
+// while it keeps failing with a transient fault and the retry policy has
+// attempts left. Permanent faults (a dead plane, an exhausted device)
+// surface immediately: only flash.IsTransientFault errors retry. The
+// returned result's Start is the first issue instant, so service-time
+// accounting includes the backoff the command sat out.
+func (s *Scheduler) execRetry(c *Command, issue sim.Time) Result {
+	r := s.exec(c, issue)
+	backoff := s.retry.Backoff
+	at := issue
+	for attempt := 1; attempt < s.retry.MaxAttempts && flash.IsTransientFault(r.Err); attempt++ {
+		retryAt := at.Add(backoff)
+		s.stats.Retries++
+		s.tele.cRetries.Add(1)
+		s.tele.retryTrack.Span("backoff-"+kindNames[c.Kind], at, retryAt)
+		r = s.exec(c, retryAt)
+		at = retryAt
+		if s.retry.Multiplier > 1 {
+			backoff *= sim.Duration(s.retry.Multiplier)
+		}
+	}
+	if flash.IsTransientFault(r.Err) {
+		s.stats.RetriesExhausted++
+		s.tele.cExhausted.Add(1)
+		s.tele.retryTrack.Instant("exhausted-"+kindNames[c.Kind], at)
+	}
+	r.Start = issue
+	return r
 }
 
 // exec runs one command against the device at the given issue time.

@@ -25,6 +25,7 @@ import (
 	"io"
 	"time"
 
+	"parabit/internal/faults"
 	"parabit/internal/flash"
 	"parabit/internal/latch"
 	"parabit/internal/reliability"
@@ -112,9 +113,10 @@ type Result struct {
 type Device struct {
 	// dev is the raw single-threaded device; it must only be touched
 	// through sched (or inside sched.Exclusive).
-	dev   *ssd.Device
-	sched *sched.Scheduler
-	sink  *telemetry.Sink
+	dev    *ssd.Device
+	sched  *sched.Scheduler
+	sink   *telemetry.Sink
+	faults *faults.Engine
 }
 
 // Option configures a Device.
@@ -350,6 +352,121 @@ func (d *Device) Reclaim() {
 	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { dev.ReclaimInternal() })
 }
 
+// CheckInvariants drains the command queue and audits the FTL's internal
+// bookkeeping: every block accounted exactly once across active, full,
+// free, reallocation-pool and retired-bad lists, and valid-page counts
+// consistent with the mapping. It returns the first violation found, or
+// nil. Chaos and fault-injection tests call it after hostile workloads to
+// prove degradation never corrupted the translation layer.
+func (d *Device) CheckInvariants() error {
+	var err error
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { err = dev.FTL().CheckInvariants() })
+	return err
+}
+
+// InstallFaultPlan parses a JSON fault plan (see internal/faults for the
+// schema: seeded plane outages, stuck blocks, program/erase failure
+// rates, latency jitter) and arms it on the device. Faults inject
+// deterministically: the same plan, seed and workload reproduce the same
+// failures. The FTL absorbs what a real controller would (bad-block
+// retirement, write re-steering) and the scheduler retries transient
+// outages with simulated-time backoff; only unrecoverable failures
+// surface to callers. Installing a plan replaces any previous one; the
+// queue drains first.
+func (d *Device) InstallFaultPlan(data []byte) error {
+	plan, err := faults.ParsePlan(data)
+	if err != nil {
+		return err
+	}
+	return d.installFaultPlan(plan)
+}
+
+// InstallFaultPlanFile is InstallFaultPlan for a plan file on disk.
+func (d *Device) InstallFaultPlanFile(path string) error {
+	plan, err := faults.LoadPlan(path)
+	if err != nil {
+		return err
+	}
+	return d.installFaultPlan(plan)
+}
+
+func (d *Device) installFaultPlan(plan faults.Plan) error {
+	var eng *faults.Engine
+	var err error
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		eng, err = faults.NewEngine(plan, dev.Array().Geometry())
+		if err != nil {
+			return
+		}
+		dev.Array().SetFaultInjector(eng)
+	})
+	if err != nil {
+		return err
+	}
+	if d.sink != nil {
+		eng.SetTelemetry(d.sink)
+	}
+	d.faults = eng
+	return nil
+}
+
+// ClearFaultPlan disarms fault injection. Damage already done (retired
+// blocks, surfaced errors) persists, and FaultStats keeps reporting the
+// disarmed plan's injection counts; only future injections stop.
+func (d *Device) ClearFaultPlan() {
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		dev.Array().SetFaultInjector(nil)
+	})
+}
+
+// FaultStats reports fault-injection activity and the graceful-degradation
+// work it triggered. All zeros when no plan was ever installed.
+type FaultStats struct {
+	// Injection counts, by class (from the armed plan's engine).
+	Injected       int64 // total structural faults injected
+	PlaneTransient int64
+	PlaneDead      int64
+	ProgramFails   int64
+	EraseFails     int64
+	StuckBlock     int64
+	JitterEvents   int64
+	// Scheduler recovery: commands re-issued after a transient fault,
+	// and commands that still failed after the last attempt.
+	Retries          int64
+	RetriesExhausted int64
+	// FTL degradation: blocks pulled from circulation, pages migrated to
+	// save their data, and writes re-steered onto healthy blocks.
+	BlocksRetired    int64
+	RetirePagesMoved int64
+	ResteeredWrites  int64
+}
+
+// FaultStats returns a snapshot of fault and recovery counters. It drains
+// the command queue first.
+func (d *Device) FaultStats() FaultStats {
+	var fs FaultStats
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		ft := dev.FTL().Stats()
+		fs.BlocksRetired = ft.BlocksRetired
+		fs.RetirePagesMoved = ft.RetirePagesMoved
+		fs.ResteeredWrites = ft.ResteeredWrites
+	})
+	if d.faults != nil {
+		es := d.faults.Stats()
+		fs.Injected = es.Faults()
+		fs.PlaneTransient = es.PlaneTransient
+		fs.PlaneDead = es.PlaneDead
+		fs.ProgramFails = es.ProgramFails
+		fs.EraseFails = es.EraseFails
+		fs.StuckBlock = es.StuckBlock
+		fs.JitterEvents = es.JitterEvents
+	}
+	ss := d.sched.Stats()
+	fs.Retries = ss.Retries
+	fs.RetriesExhausted = ss.RetriesExhausted
+	return fs
+}
+
 // EnableTelemetry attaches a fresh telemetry sink to every layer of the
 // device: scheduler queues, controller bitwise paths, FTL maintenance,
 // plane/channel occupancy, and the host link. With trace true the sink
@@ -363,6 +480,9 @@ func (d *Device) EnableTelemetry(trace bool) *telemetry.Sink {
 	}
 	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) { dev.SetTelemetry(sink) })
 	d.sched.SetTelemetry(sink)
+	if d.faults != nil {
+		d.faults.SetTelemetry(sink)
+	}
 	d.sink = sink
 	return sink
 }
@@ -408,6 +528,9 @@ type Stats struct {
 	Programs      int64
 	Erases        int64
 	InjectedFlips int64
+	// InjectedFaults counts structural faults (failed programs/erases,
+	// plane outages) injected by an installed fault plan.
+	InjectedFaults int64
 	// FTL maintenance activity: garbage collection, read reclaim and
 	// static wear leveling runs, with the pages each migrated, plus MSB
 	// slots padded to keep paired writes aligned.
@@ -448,6 +571,7 @@ func (d *Device) Stats() Stats {
 			Programs:           fl.Programs,
 			Erases:             fl.Erases,
 			InjectedFlips:      fl.InjectedFlips,
+			InjectedFaults:     fl.InjectedFaults,
 			GCRuns:             ft.GCRuns,
 			GCPagesMoved:       ft.GCPagesMoved,
 			ReadReclaims:       ft.ReadReclaims,

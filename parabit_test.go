@@ -348,3 +348,51 @@ func TestRunExperimentCSV(t *testing.T) {
 		t.Fatal("unknown id accepted")
 	}
 }
+
+func TestInstallFaultPlanPublicAPI(t *testing.T) {
+	d := newTestDevice(t)
+	if err := d.InstallFaultPlan([]byte(`{"rules": [{"type": "warp-core-breach"}]}`)); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if err := d.InstallFaultPlan([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	plan := `{"seed": 11, "rules": [{"type": "stuck-block", "plane": 0, "block": 0}]}`
+	if err := d.InstallFaultPlan([]byte(plan)); err != nil {
+		t.Fatal(err)
+	}
+	sink := d.EnableTelemetry(false)
+	// Enough writes that one allocation lands on plane 0 block 0.
+	for lpn := uint64(0); lpn < 16; lpn++ {
+		if err := d.Write(lpn, pageOf(d, int64(lpn))); err != nil {
+			t.Fatalf("write %d: %v", lpn, err)
+		}
+	}
+	fs := d.FaultStats()
+	if fs.StuckBlock == 0 || fs.Injected == 0 {
+		t.Errorf("stuck block never hit: %+v", fs)
+	}
+	if fs.BlocksRetired == 0 || fs.ResteeredWrites == 0 {
+		t.Errorf("no graceful degradation recorded: %+v", fs)
+	}
+	if st := d.Stats(); st.InjectedFaults == 0 {
+		t.Errorf("Stats.InjectedFaults = 0 after injections")
+	}
+	// The injection counters mirror into the telemetry sink.
+	if got := sink.Counter("faults.stuck_block").Value(); got == 0 {
+		t.Error("telemetry counter faults.stuck_block never incremented")
+	}
+	if got := sink.Counter("ftl.bad_blocks.retired").Value(); got == 0 {
+		t.Error("telemetry counter ftl.bad_blocks.retired never incremented")
+	}
+	d.ClearFaultPlan()
+	before := d.FaultStats().Injected
+	for lpn := uint64(16); lpn < 24; lpn++ {
+		if err := d.Write(lpn, pageOf(d, int64(lpn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := d.FaultStats().Injected; after != before {
+		t.Errorf("disarmed plan kept injecting: %d -> %d", before, after)
+	}
+}
