@@ -12,6 +12,11 @@
 //	parabit-bench -hammer -faults plan.json
 //	                                hammer with a fault-injection plan armed;
 //	                                ends with a fault/recovery summary
+//	parabit-bench -planner          query-planner benchmark: the same query
+//	                                workload fused (planner + cache) and
+//	                                unfused (op-by-op with write-backs)
+//	parabit-bench -planner -planner-check BENCH_planner.json
+//	                                CI gate: fail on >10% fused-p99 regression
 package main
 
 import (
@@ -69,7 +74,18 @@ func main() {
 	tracePath := flag.String("trace", "", "hammer mode: write a Chrome trace-event JSON file here")
 	metrics := flag.Bool("metrics", false, "hammer mode: print the telemetry metrics summary")
 	faultsPath := flag.String("faults", "", "hammer mode: arm this JSON fault-injection plan")
+	planner := flag.Bool("planner", false, "run the query-planner benchmark: fused vs unfused p99")
+	plannerOut := flag.String("planner-out", "", "planner mode: write the JSON report here (the BENCH_planner.json format)")
+	plannerCheck := flag.String("planner-check", "", "planner mode: compare against this JSON report; fail on >10% fused-p99 regression")
 	flag.Parse()
+
+	if *planner {
+		if err := runPlanner(*plannerOut, *plannerCheck, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if hammer.n > 0 {
 		n := hammer.n
@@ -170,7 +186,7 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 				}
 				pending := make([]*parabit.Pending, 0, burst)
 				for j := 0; j < burst; j++ {
-					switch rng.Intn(4) {
+					switch rng.Intn(5) {
 					case 0:
 						rng.Read(page)
 						pending = append(pending, dev.WriteAsync(base+uint64(rng.Intn(16)), page))
@@ -184,6 +200,13 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 					case 3:
 						rng.Read(page)
 						pending = append(pending, dev.WriteOperandAsync(base+uint64(rng.Intn(16)), page))
+					case 4:
+						a := uint64(2 * rng.Intn(shared/2))
+						b := uint64(2 * rng.Intn(shared/2))
+						q := parabit.QueryOr(
+							parabit.QueryAnd(parabit.QueryLPN(a), parabit.QueryLPN(a+1)),
+							parabit.QueryXor(parabit.QueryLPN(b), parabit.QueryLPN(b+1)))
+						pending = append(pending, dev.QueryAsync(q, parabit.Reallocated))
 					}
 				}
 				i += burst
@@ -218,6 +241,10 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 	fmt.Fprintf(w, "  plane overlap      %.2fx (summed service / makespan)\n", st.Utilization)
 	fmt.Fprintf(w, "  bitwise ops        %d (%d fallbacks, %d reallocations)\n",
 		st.BitwiseOps, st.Fallbacks, st.Reallocations)
+	if qs := dev.QueryStats(); qs.Queries > 0 {
+		fmt.Fprintf(w, "  queries            %d (%d plan steps, %d fused chains, %d cache hits, %d invalidations)\n",
+			qs.Queries, qs.PlanSteps, qs.FusedChains, qs.CacheHits, qs.CacheInvalidations)
+	}
 	fmt.Fprintf(w, "  write amplification %.3f\n", st.WriteAmplification)
 	fmt.Fprintln(w, "  per-queue: kind submitted maxdepth busy")
 	for k, q := range ss.Queues {

@@ -99,7 +99,7 @@ func TestRunHammerWithTraceAndMetrics(t *testing.T) {
 		"queue-write", "queue-write-operand", "queue-write-pair",
 		"queue-write-group", "queue-write-on-plane", "queue-write-triple",
 		"queue-read", "queue-bitwise", "queue-bitwise-triple",
-		"queue-reduce", "queue-formula", "queue-barrier",
+		"queue-reduce", "queue-formula", "queue-query", "queue-barrier",
 		"gc", "read-reclaim", "static-wl", "batches", "bitwise",
 	} {
 		if !lanes[want] {
@@ -142,6 +142,76 @@ func TestRunHammerWithFaults(t *testing.T) {
 	}
 	if err := runHammer(1, 1, "", filepath.Join(t.TempDir(), "missing.json"), false, &out); err == nil {
 		t.Error("missing plan file accepted")
+	}
+}
+
+// TestRunPlannerReportAndGate runs the planner benchmark end to end: the
+// fused run must beat the unfused baseline at the tail, the JSON report
+// must round-trip, the gate must pass against the report it just wrote
+// and fail against a doctored one claiming a much faster past.
+func TestRunPlannerReportAndGate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	var buf bytes.Buffer
+	if err := runPlanner(out, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep plannerReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Queries != plannerQueries {
+		t.Errorf("report covers %d queries, want %d", rep.Queries, plannerQueries)
+	}
+	if rep.Fused.P99US >= rep.Unfused.P99US {
+		t.Errorf("fusion must win at the tail: fused p99 %.1fus vs unfused %.1fus",
+			rep.Fused.P99US, rep.Unfused.P99US)
+	}
+	if rep.FusedChains == 0 || rep.CacheHits == 0 {
+		t.Errorf("workload exercised no fusion or caching: %+v", rep)
+	}
+
+	if err := checkPlannerReport(rep, out); err != nil {
+		t.Errorf("gate fails against its own report: %v", err)
+	}
+	doctored := rep
+	doctored.Fused.P99US = rep.Fused.P99US / 2 // pretend the past was 2x faster
+	blob, err = json.Marshal(doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := filepath.Join(dir, "fake.json")
+	if err := os.WriteFile(fake, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPlannerReport(rep, fake); err == nil {
+		t.Error("gate accepted a >10% fused-p99 regression")
+	}
+	doctored = rep
+	doctored.Seed = rep.Seed + 1
+	blob, _ = json.Marshal(doctored)
+	if err := os.WriteFile(fake, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPlannerReport(rep, fake); err == nil {
+		t.Error("gate accepted a workload drift")
+	}
+}
+
+// TestHammerMixesQueries pins the hammer's query traffic: the report must
+// show planner activity from the query clients.
+func TestHammerMixesQueries(t *testing.T) {
+	var out bytes.Buffer
+	if err := runHammer(3, 60, "", "", false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !regexp.MustCompile(`queries\s+[1-9]\d*\s+\(\d+ plan steps, \d+ fused chains`).MatchString(text) {
+		t.Errorf("hammer report lacks query-planner line:\n%s", text)
 	}
 }
 

@@ -1,0 +1,353 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"parabit"
+)
+
+// The planner benchmark runs one deterministic multi-op query workload two
+// ways and compares per-query latency tails:
+//
+//   - fused: through Device.Query — the planner fuses associative chains
+//     into single multi-operand latch programs, shares repeated
+//     sub-queries, and serves hot intermediates from the controller-DRAM
+//     result cache;
+//   - unfused: every internal node as a separate two-operand command, with
+//     each intermediate written back to flash before it can participate in
+//     the next operation — the baseline an SSD without the planner pays.
+//
+// Both runs execute the identical query list on identically loaded
+// devices, so the p99 gap is the planner's doing. The simulation is
+// deterministic: the same binary produces the same JSON report every run,
+// which is what lets CI diff it against the checked-in BENCH_planner.json.
+
+const (
+	plannerSeed    = 1
+	plannerQueries = 160
+	// plannerGroup is the size of each aligned LSB operand group; the
+	// workload draws chains from within a group so location-free fusion
+	// has its aligned wordlines.
+	plannerGroup = 8
+	// plannerScratchBase is where the unfused baseline parks write-back
+	// intermediates, clear of the operand groups.
+	plannerScratchBase = 1000
+	// plannerP99Tolerance is the CI gate: the measured fused p99 may
+	// exceed the checked-in report's by at most this factor.
+	plannerP99Tolerance = 1.10
+)
+
+// qnode is the benchmark's own expression shape, convertible both to a
+// parabit.Query (fused run) and to the serial op-by-op schedule of the
+// unfused baseline.
+type qnode struct {
+	leaf bool
+	lpn  uint64
+	op   parabit.Op
+	kids []*qnode
+}
+
+func qleaf(lpn uint64) *qnode { return &qnode{leaf: true, lpn: lpn} }
+
+func qop(op parabit.Op, kids ...*qnode) *qnode { return &qnode{op: op, kids: kids} }
+
+func (n *qnode) query() parabit.Query {
+	if n.leaf {
+		return parabit.QueryLPN(n.lpn)
+	}
+	qs := make([]parabit.Query, len(n.kids))
+	for i, k := range n.kids {
+		qs[i] = k.query()
+	}
+	switch n.op {
+	case parabit.And:
+		return parabit.QueryAnd(qs...)
+	case parabit.Or:
+		return parabit.QueryOr(qs...)
+	default:
+		return parabit.QueryXor(qs...)
+	}
+}
+
+// plannerWorkload builds the deterministic query list: fusable chains of
+// several lengths, nested trees, and a recurring hot conjunction that
+// gives the result cache something to serve.
+func plannerWorkload(rng *rand.Rand) []*qnode {
+	group := func(g int) func() uint64 {
+		base := uint64(g * plannerGroup)
+		return func() uint64 { return base + uint64(rng.Intn(plannerGroup)) }
+	}
+	// Distinct LPNs from one group, so chains fold distinct wordlines.
+	pick := func(g, k int) []*qnode {
+		next := group(g)
+		seen := map[uint64]bool{}
+		var out []*qnode
+		for len(out) < k {
+			lpn := next()
+			if seen[lpn] {
+				continue
+			}
+			seen[lpn] = true
+			out = append(out, qleaf(lpn))
+		}
+		return out
+	}
+	assoc := []parabit.Op{parabit.And, parabit.Or, parabit.Xor}
+	queries := make([]*qnode, 0, plannerQueries)
+	for len(queries) < plannerQueries {
+		switch rng.Intn(5) {
+		case 0:
+			// The hot sub-query: identical every time it appears, so after
+			// its first computation the cache answers.
+			queries = append(queries, qop(parabit.And, qleaf(0), qleaf(1), qleaf(2), qleaf(3)))
+		case 1:
+			queries = append(queries, qop(parabit.And, pick(rng.Intn(2), 3+rng.Intn(4))...))
+		case 2:
+			queries = append(queries, qop(parabit.Or, pick(rng.Intn(2), 3+rng.Intn(2))...))
+		case 3:
+			queries = append(queries, qop(parabit.Xor, pick(rng.Intn(2), 3)...))
+		case 4:
+			op := assoc[rng.Intn(len(assoc))]
+			queries = append(queries, qop(op,
+				qop(parabit.And, pick(0, 3)...),
+				qop(parabit.Or, pick(1, 2)...)))
+		}
+	}
+	return queries
+}
+
+// plannerDevice builds one device with the two operand groups loaded.
+func plannerDevice(rng *rand.Rand) (*parabit.Device, error) {
+	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < 2; g++ {
+		lpns := make([]uint64, plannerGroup)
+		data := make([][]byte, plannerGroup)
+		for i := range lpns {
+			lpns[i] = uint64(g*plannerGroup + i)
+			page := make([]byte, dev.PageSize())
+			rng.Read(page)
+			data[i] = page
+		}
+		if err := dev.WriteOperandGroup(lpns, data); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+// unfusedRunner executes a query as the planner-less baseline would: one
+// two-operand command per internal fold, every intermediate written back
+// to a scratch operand page first.
+type unfusedRunner struct {
+	dev     *parabit.Device
+	scratch uint64
+}
+
+func (u *unfusedRunner) park(data []byte) (uint64, time.Duration, error) {
+	u.scratch++
+	r, err := u.dev.WriteOperandAsync(u.scratch, data).Wait()
+	if err != nil {
+		return 0, 0, err
+	}
+	return u.scratch, r.Latency, nil
+}
+
+func (u *unfusedRunner) eval(n *qnode, scheme parabit.Scheme) ([]byte, time.Duration, error) {
+	if n.leaf {
+		return nil, 0, fmt.Errorf("planner bench: bare-leaf query in workload")
+	}
+	var lat time.Duration
+	lpns := make([]uint64, 0, len(n.kids))
+	for _, k := range n.kids {
+		if k.leaf {
+			lpns = append(lpns, k.lpn)
+			continue
+		}
+		data, l, err := u.eval(k, scheme)
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += l
+		lpn, wl, err := u.park(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += wl
+		lpns = append(lpns, lpn)
+	}
+	cur, err := u.dev.Bitwise(n.op, lpns[0], lpns[1], scheme)
+	if err != nil {
+		return nil, 0, err
+	}
+	lat += cur.Latency
+	for _, lpn := range lpns[2:] {
+		s, wl, err := u.park(cur.Data)
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += wl
+		cur, err = u.dev.Bitwise(n.op, s, lpn, scheme)
+		if err != nil {
+			return nil, 0, err
+		}
+		lat += cur.Latency
+	}
+	return cur.Data, lat, nil
+}
+
+// plannerSide is one run's latency shape in the JSON report.
+type plannerSide struct {
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// plannerReport is the BENCH_planner.json schema.
+type plannerReport struct {
+	Queries       int         `json:"queries"`
+	Scheme        string      `json:"scheme"`
+	Seed          int64       `json:"seed"`
+	Fused         plannerSide `json:"fused"`
+	Unfused       plannerSide `json:"unfused"`
+	P99SpeedupX   float64     `json:"p99_speedup_x"`
+	FusedChains   int64       `json:"fused_chains"`
+	FusedOperands int64       `json:"fused_operands"`
+	CacheHits     int64       `json:"cache_hits"`
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func side(lats []time.Duration) plannerSide {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return plannerSide{
+		MeanUS: us(sum / time.Duration(len(sorted))),
+		P50US:  us(quantile(sorted, 0.50)),
+		P99US:  us(quantile(sorted, 0.99)),
+	}
+}
+
+// runPlanner measures the workload both ways, cross-checks the results
+// bit-for-bit, prints the comparison, and optionally writes the JSON
+// report or gates against a checked-in one.
+func runPlanner(outPath, checkPath string, w io.Writer) error {
+	scheme := parabit.LocationFree
+	queries := plannerWorkload(rand.New(rand.NewSource(plannerSeed)))
+
+	fusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed + 1)))
+	if err != nil {
+		return err
+	}
+	unfusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed + 1)))
+	if err != nil {
+		return err
+	}
+	baseline := &unfusedRunner{dev: unfusedDev, scratch: plannerScratchBase}
+
+	fusedLats := make([]time.Duration, 0, len(queries))
+	unfusedLats := make([]time.Duration, 0, len(queries))
+	for i, q := range queries {
+		fr, err := fusedDev.Query(q.query(), scheme)
+		if err != nil {
+			return fmt.Errorf("fused query %d: %w", i, err)
+		}
+		ud, ul, err := baseline.eval(q, scheme)
+		if err != nil {
+			return fmt.Errorf("unfused query %d: %w", i, err)
+		}
+		if !bytes.Equal(fr.Data, ud) {
+			return fmt.Errorf("query %d: fused and unfused runs disagree (%q)", i, q.query())
+		}
+		fusedLats = append(fusedLats, fr.Latency)
+		unfusedLats = append(unfusedLats, ul)
+	}
+
+	qs := fusedDev.QueryStats()
+	rep := plannerReport{
+		Queries:       len(queries),
+		Scheme:        scheme.String(),
+		Seed:          plannerSeed,
+		Fused:         side(fusedLats),
+		Unfused:       side(unfusedLats),
+		FusedChains:   qs.FusedChains,
+		FusedOperands: qs.FusedOperands,
+		CacheHits:     qs.CacheHits,
+	}
+	if rep.Fused.P99US > 0 {
+		rep.P99SpeedupX = rep.Unfused.P99US / rep.Fused.P99US
+	}
+
+	fmt.Fprintf(w, "planner: %d queries, scheme %v (virtual time)\n", rep.Queries, scheme)
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s\n", "", "mean", "p50", "p99")
+	fmt.Fprintf(w, "  %-8s %9.1fus %9.1fus %9.1fus\n", "fused", rep.Fused.MeanUS, rep.Fused.P50US, rep.Fused.P99US)
+	fmt.Fprintf(w, "  %-8s %9.1fus %9.1fus %9.1fus\n", "unfused", rep.Unfused.MeanUS, rep.Unfused.P50US, rep.Unfused.P99US)
+	fmt.Fprintf(w, "  p99 speedup %.2fx; %d fused chains over %d operands, %d cache hits\n",
+		rep.P99SpeedupX, rep.FusedChains, rep.FusedOperands, rep.CacheHits)
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", outPath)
+	}
+	if checkPath != "" {
+		if err := checkPlannerReport(rep, checkPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report matches %s (within %.0f%% on fused p99)\n",
+			checkPath, (plannerP99Tolerance-1)*100)
+	}
+	return nil
+}
+
+// checkPlannerReport is the CI gate: the fused p99 must not regress more
+// than the tolerance over the checked-in report, and fusion must still be
+// a win over the unfused baseline at the tail.
+func checkPlannerReport(got plannerReport, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want plannerReport
+	if err := json.Unmarshal(blob, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if got.Queries != want.Queries || got.Seed != want.Seed {
+		return fmt.Errorf("workload drifted from %s: %d queries seed %d vs recorded %d queries seed %d (regenerate with -planner -planner-out)",
+			path, got.Queries, got.Seed, want.Queries, want.Seed)
+	}
+	if limit := want.Fused.P99US * plannerP99Tolerance; got.Fused.P99US > limit {
+		return fmt.Errorf("fused p99 regressed: %.1fus measured vs %.1fus recorded (limit %.1fus)",
+			got.Fused.P99US, want.Fused.P99US, limit)
+	}
+	if got.Fused.P99US >= got.Unfused.P99US {
+		return fmt.Errorf("fusion no longer wins at the tail: fused p99 %.1fus vs unfused %.1fus",
+			got.Fused.P99US, got.Unfused.P99US)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	group   <lpn1,lpn2,...> <hex1,hex2,...> # aligned LSB group
 //	bitwise <op> <scheme> <lpnA> <lpnB>
 //	reduce  <op> <scheme> <lpn1,lpn2,...>
+//	query   <scheme> <expr>                 # planned query, e.g. (1 & 2) | !3
 //	flush                                   # drain the queue, print the clock
 //	stats                                   # print a mid-trace stats snapshot
 //	faults  <plan.json>                     # arm a fault-injection plan
@@ -46,6 +47,8 @@ bitwise XOR prealloc 0 1
 group 10,11,12,13 ff,0f,33,55
 reduce AND locfree 10,11,12,13
 reduce XOR locfree 10,11,12,13
+query locfree (10 & 11 & 12) | 13
+query locfree (10 & 11 & 12) | 13
 flush
 stats
 `
@@ -252,6 +255,26 @@ func execute(dev *parabit.Device, line string) error {
 		}
 		fmt.Printf("faults  plan %s armed\n", fields[1])
 		return nil
+	case "query":
+		if len(fields) < 3 {
+			return fmt.Errorf("query wants <scheme> <expr>")
+		}
+		scheme, err := parseScheme(fields[1])
+		if err != nil {
+			return err
+		}
+		q, err := parabit.ParseQuery(strings.Join(fields[2:], " "))
+		if err != nil {
+			return err
+		}
+		r, err := dev.Query(q, scheme)
+		if err != nil {
+			return err
+		}
+		qs := dev.QueryStats()
+		fmt.Printf("query   %-16v %s -> %x... in %v (%d fused chains, %d cache hits so far)\n",
+			scheme, q, r.Data[:4], r.Latency, qs.FusedChains, qs.CacheHits)
+		return nil
 	case "reduce":
 		if len(fields) != 4 {
 			return fmt.Errorf("reduce wants <op> <scheme> <lpns>")
@@ -286,15 +309,23 @@ func parseOpScheme(opStr, schemeStr string) (parabit.Op, parabit.Scheme, error) 
 	if !found {
 		return 0, 0, fmt.Errorf("unknown op %q", opStr)
 	}
-	switch strings.ToLower(schemeStr) {
-	case "prealloc", "parabit":
-		return op, parabit.PreAllocated, nil
-	case "realloc":
-		return op, parabit.Reallocated, nil
-	case "locfree":
-		return op, parabit.LocationFree, nil
+	scheme, err := parseScheme(schemeStr)
+	if err != nil {
+		return 0, 0, err
 	}
-	return 0, 0, fmt.Errorf("unknown scheme %q", schemeStr)
+	return op, scheme, nil
+}
+
+func parseScheme(s string) (parabit.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "prealloc", "parabit":
+		return parabit.PreAllocated, nil
+	case "realloc":
+		return parabit.Reallocated, nil
+	case "locfree":
+		return parabit.LocationFree, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
 }
 
 func parseLPNs(s string) ([]uint64, error) {

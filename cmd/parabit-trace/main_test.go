@@ -46,7 +46,9 @@ func TestExecuteRejectsMalformedLines(t *testing.T) {
 		"pair 1 2 a5",          // missing operand
 		"bitwise AND nope 0 1", // bad scheme
 		"bitwise WAT prealloc 0 1",
-		"reduce AND locfree 0", // parses but single-lpn reduce fails
+		"query locfree",    // missing expression
+		"query nope 1 & 2", // bad scheme
+		"query locfree 1 & & 2",
 		"frobnicate 1 2 3",
 		"group 1,2 a5", // count mismatch
 	}
@@ -80,6 +82,35 @@ func TestTraceSequencesCompose(t *testing.T) {
 		if err := execute(d, line); err != nil {
 			t.Fatalf("%q: %v", line, err)
 		}
+	}
+}
+
+// TestQueryDirective drives the planner through the trace language: a
+// multi-op expression with spaces, repeated so the second run can hit the
+// result cache.
+func TestQueryDirective(t *testing.T) {
+	d := traceDevice(t)
+	script := []string{
+		"group 4,5,6,7 ff,f0,cc,aa",
+		"query locfree (4 & 5 & 6) | 7",
+		"query locfree (4 & 5 & 6) | 7",
+	}
+	for _, line := range script {
+		if err := execute(d, line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	qs := d.QueryStats()
+	if qs.Queries != 2 || qs.FusedChains == 0 {
+		t.Errorf("query directive bypassed the planner: %+v", qs)
+	}
+	if qs.CacheHits == 0 {
+		t.Errorf("repeated query never hit the cache: %+v", qs)
+	}
+
+	// Single-operand degenerate query: resolves to a plain read.
+	if err := execute(d, "query locfree 4"); err != nil {
+		t.Errorf("leaf query rejected: %v", err)
 	}
 }
 

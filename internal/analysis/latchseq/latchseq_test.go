@@ -17,6 +17,17 @@ func TestLegalSequences(t *testing.T) {
 	analysistest.Run(t, latchseq.Analyzer, "b")
 }
 
+// Planner-emitted chains: plan.FusedSequence builds long, non-paper-named
+// control programs; the analyzer must accept every legal chain shape (c)
+// and flag the mistakes a broken chain builder would make (d).
+func TestPlannerChainSequences(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "c")
+}
+
+func TestPlannerChainViolations(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "d")
+}
+
 // TestDiagnosticPosition pins the exact position and message of the
 // missing-init diagnostic, beyond the line-based // want matching.
 func TestDiagnosticPosition(t *testing.T) {

@@ -1,0 +1,101 @@
+// Package c holds legal planner-emitted sequences: the chained
+// location-free shapes plan.FusedSequence builds for multi-operand
+// queries. Their names are not in the paper's table (so no shape pin
+// applies) and their step counts grow with the chain length; latchseq
+// must stay silent on all of them.
+package c
+
+import "parabit/internal/latch"
+
+func sense(wl int) latch.Step {
+	return latch.Step{Kind: latch.StepSense, V: latch.VRead2, WL: wl}
+}
+
+func senseInv(wl int) latch.Step {
+	return latch.Step{Kind: latch.StepSense, V: latch.VRead2, WL: wl, Inverted: true}
+}
+
+var (
+	init0   = latch.Step{Kind: latch.StepInit}
+	initInv = latch.Step{Kind: latch.StepInitInv}
+	reinit  = latch.Step{Kind: latch.StepReinitL1}
+	m1      = latch.Step{Kind: latch.StepM1}
+	m2      = latch.Step{Kind: latch.StepM2}
+	m3      = latch.Step{Kind: latch.StepM3}
+)
+
+// A fused AND over five operands: one init, sense+M2 per operand, one
+// transfer. 12 steps — longer than any paper table, still legal.
+var chainAnd5 = latch.Sequence{
+	Name: "PLAN-CHAIN-AND-5",
+	Steps: []latch.Step{
+		init0,
+		sense(0), m2,
+		sense(1), m2,
+		sense(2), m2,
+		sense(3), m2,
+		sense(4), m2,
+		m3,
+	},
+}
+
+// A fused OR over three operands: L1 re-initialized between transfers,
+// each combine covered by the sense after its re-init.
+var chainOr3 = latch.Sequence{
+	Name: "PLAN-CHAIN-OR-3",
+	Steps: []latch.Step{
+		init0,
+		sense(0), m2, m3,
+		reinit,
+		sense(1), m2, m3,
+		reinit,
+		sense(2), m2, m3,
+	},
+}
+
+// A fused XOR over three operands: the two-phase complement base plus
+// one fold round with a normal and an inverted sense.
+var chainXor3 = latch.Sequence{
+	Name: "PLAN-CHAIN-XOR-3",
+	Steps: []latch.Step{
+		initInv,
+		sense(0), m1,
+		sense(1), m2,
+		m3,
+		reinit,
+		sense(0), m2,
+		senseInv(1), m2,
+		m3,
+		reinit,
+		sense(2), m2, m3,
+		reinit,
+		senseInv(2), m2, m3,
+	},
+}
+
+// Planner chains are also built incrementally with append, one operand
+// at a time, exactly as plan.FusedSequence grows its step slice.
+var chainAppend = latch.Sequence{
+	Name: "PLAN-CHAIN-AND-3",
+	Steps: append(
+		append([]latch.Step{init0}, sense(0), m2),
+		sense(1), m2, sense(2), m2, m3,
+	),
+}
+
+// The longest chain the planner will ever emit: 31 AND operands fill the
+// 64-step budget exactly (1 init + 31×2 + 1 transfer = 64).
+var chainAndMax = latch.Sequence{
+	Name: "PLAN-CHAIN-AND-31",
+	Steps: append(append(append(append([]latch.Step{init0},
+		sense(0), m2, sense(1), m2, sense(2), m2, sense(3), m2,
+		sense(4), m2, sense(5), m2, sense(6), m2, sense(7), m2),
+		sense(8), m2, sense(9), m2, sense(10), m2, sense(11), m2,
+		sense(12), m2, sense(13), m2, sense(14), m2, sense(15), m2),
+		sense(16), m2, sense(17), m2, sense(18), m2, sense(19), m2,
+		sense(20), m2, sense(21), m2, sense(22), m2, sense(23), m2),
+		sense(24), m2, sense(25), m2, sense(26), m2, sense(27), m2,
+		sense(28), m2, sense(29), m2, sense(30), m2, m3),
+}
+
+var _ = []latch.Sequence{chainAnd5, chainOr3, chainXor3, chainAppend, chainAndMax}

@@ -1,0 +1,61 @@
+// Package d holds illegal variants of the planner-emitted chain shapes:
+// the mistakes a broken FusedSequence builder would make. latchseq must
+// flag every one — these are exactly the bugs the analyzer exists to
+// stop before they silently latch garbage on the device.
+package d
+
+import "parabit/internal/latch"
+
+func sense(wl int) latch.Step {
+	return latch.Step{Kind: latch.StepSense, V: latch.VRead2, WL: wl}
+}
+
+var (
+	init0  = latch.Step{Kind: latch.StepInit}
+	reinit = latch.Step{Kind: latch.StepReinitL1}
+	m2     = latch.Step{Kind: latch.StepM2}
+	m3     = latch.Step{Kind: latch.StepM3}
+)
+
+// An OR chain whose builder re-initialized L1 but forgot the next
+// operand's sense: the M2 after the reinit combines nothing.
+var orMissingSense = latch.Sequence{
+	Name: "PLAN-CHAIN-OR-2",
+	Steps: []latch.Step{
+		init0,
+		sense(0), m2, m3,
+		reinit,
+		m2, m3, // want `StepM2 combine at step 6 has no StepSense`
+	},
+}
+
+// An AND chain that skipped initialization — a builder that emitted the
+// per-operand body without the prologue.
+var andNoInit = latch.Sequence{
+	Name:  "PLAN-CHAIN-AND-2",
+	Steps: []latch.Step{sense(0), m2, sense(1), m2, m3}, // want `must begin with StepInit or StepInitInv`
+}
+
+// A chain one operand past the step budget: 32 AND operands need 66
+// steps, over the 64 the circuit contract allows.
+var andOverBudget = latch.Sequence{
+	Name: "PLAN-CHAIN-AND-32",
+	Steps: append(append(append(append([]latch.Step{init0}, // want `latch sequence has 66 steps, more than the 64 any legal control program needs`
+		sense(0), m2, sense(1), m2, sense(2), m2, sense(3), m2,
+		sense(4), m2, sense(5), m2, sense(6), m2, sense(7), m2),
+		sense(8), m2, sense(9), m2, sense(10), m2, sense(11), m2,
+		sense(12), m2, sense(13), m2, sense(14), m2, sense(15), m2),
+		sense(16), m2, sense(17), m2, sense(18), m2, sense(19), m2,
+		sense(20), m2, sense(21), m2, sense(22), m2, sense(23), m2),
+		sense(24), m2, sense(25), m2, sense(26), m2, sense(27), m2,
+		sense(28), m2, sense(29), m2, sense(30), m2, sense(31), m2, m3),
+}
+
+// A fused chain must not reuse a paper name: the shape pin catches a
+// builder that labels its 3-operand chain as the paper's 2-operand AND.
+var mislabeledChain = latch.Sequence{
+	Name:  "AND",
+	Steps: []latch.Step{init0, sense(0), m2, sense(1), m2, sense(2), m2, m3}, // want `has 8 steps, but the paper's AND sequence has 4` `has 3 sense steps, but the paper's AND sequence issues 1`
+}
+
+var _ = []latch.Sequence{orMissingSense, andNoInit, andOverBudget, mislabeledChain}

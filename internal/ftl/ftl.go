@@ -100,11 +100,18 @@ type planeAlloc struct {
 
 // FTL maps logical page numbers to physical pages on a flash.Array.
 type FTL struct {
-	cfg    Config
-	array  *flash.Array
-	geo    flash.Geometry
-	l2p    map[uint64]uint64 // LPN -> PPN
-	p2l    map[uint64]uint64 // PPN -> LPN, for GC relocation
+	cfg   Config
+	array *flash.Array
+	geo   flash.Geometry
+	l2p   map[uint64]uint64 // LPN -> PPN
+	p2l   map[uint64]uint64 // PPN -> LPN, for GC relocation
+	// vers counts mapping changes per LPN: every overwrite, trim,
+	// GC/reclaim/wear-leveling migration and bad-block retirement bumps
+	// the page's version. Cached derived results (the query planner's
+	// controller-DRAM cache) snapshot operand versions and revalidate
+	// against them, so any event that could have changed — or moved —
+	// an operand invalidates dependents.
+	vers   map[uint64]uint64
 	planes []*planeAlloc
 	order  []int // striping order: channel varies fastest
 	cursor int   // round-robin position in order
@@ -147,6 +154,7 @@ func New(array *flash.Array, cfg Config) *FTL {
 		geo:    geo,
 		l2p:    make(map[uint64]uint64),
 		p2l:    make(map[uint64]uint64),
+		vers:   make(map[uint64]uint64),
 		planes: make([]*planeAlloc, geo.Planes()),
 	}
 	for i := range f.planes {
@@ -302,6 +310,7 @@ func (f *FTL) invalidate(lpn uint64) {
 	if !ok {
 		return
 	}
+	f.vers[lpn]++
 	delete(f.l2p, lpn)
 	delete(f.p2l, ppn)
 	addr := f.geo.PageAt(ppn)
@@ -310,12 +319,20 @@ func (f *FTL) invalidate(lpn uint64) {
 }
 
 func (f *FTL) mapPage(lpn uint64, addr flash.PageAddr) {
+	f.vers[lpn]++
 	ppn := f.geo.PPN(addr)
 	f.l2p[lpn] = ppn
 	f.p2l[ppn] = lpn
 	pa := f.planes[f.geo.PlaneIndex(addr.PlaneAddr)]
 	pa.valid[addr.Block]++
 }
+
+// Version returns the mapping version of a logical page: 0 until the page
+// is first mapped, then incremented on every overwrite, trim or internal
+// migration (GC, read reclaim, static wear leveling, bad-block
+// retirement). Consumers caching results derived from the page compare
+// versions to detect both data changes and physical moves.
+func (f *FTL) Version(lpn uint64) uint64 { return f.vers[lpn] }
 
 // Trim invalidates a logical page without writing.
 func (f *FTL) Trim(lpn uint64) { f.invalidate(lpn) }

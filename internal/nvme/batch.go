@@ -64,9 +64,13 @@ func EncodeFormula(f Formula, pageSize int) ([]Command, error) {
 // SubOp is one device-side sub-operation: a bound pair of page-granularity
 // operand reads (two "CMD"s of Fig. 11).
 type SubOp struct {
-	M, N         uint64 // logical page addresses of the operands
-	SectorOffset int    // byte offset (from sector fields), 0 = page start
-	Length       int    // byte length; pageSize when SectorCount was 0
+	M, N uint64 // logical page addresses of the operands
+	// SectorOffset and NSectorOffset are the byte offsets of the M and N
+	// operands within their pages (from each command's sector fields);
+	// 0 = page start. The two operands may start at different offsets.
+	SectorOffset  int
+	NSectorOffset int
+	Length        int // byte length; pageSize when SectorCount was 0
 }
 
 // Batch is the device-side structure the CMD Parse module builds for one
@@ -91,6 +95,11 @@ func ParseBatches(cmds []Command, pageSize int) ([]Batch, error) {
 		return nil, fmt.Errorf("%w: odd command count %d", ErrBadCommand, len(cmds))
 	}
 	byOrder := map[int]*Batch{}
+	// lastSecond remembers each batch's most recent tag-1 command so the
+	// sub-operation chain verifies per batch: batches may interleave in
+	// the stream, so the previous command in stream order is not
+	// necessarily this batch's predecessor.
+	lastSecond := map[int]Command{}
 	var orders []int
 	for i := 0; i < len(cmds); i += 2 {
 		first, second := cmds[i], cmds[i+1]
@@ -121,20 +130,26 @@ func ParseBatches(cmds []Command, pageSize int) ([]Batch, error) {
 			orders = append(orders, order)
 		}
 		sub := SubOp{M: first.LBA, N: second.LBA, Length: pageSize}
-		if first.SectorCount != 0 {
+		if first.SectorCount != 0 || second.SectorCount != 0 {
+			if first.SectorCount != second.SectorCount {
+				return nil, fmt.Errorf("%w: pair %d sector counts differ (%d vs %d)",
+					ErrBadCommand, i, first.SectorCount, second.SectorCount)
+			}
 			sector := SectorFor(pageSize)
 			sub.SectorOffset = int(first.SectorOffset) * sector
+			sub.NSectorOffset = int(second.SectorOffset) * sector
 			sub.Length = int(first.SectorCount) * sector
 		}
-		// Verify the sub-operation chain: the previous pair's second
-		// command must point at this pair's first operand.
+		// Verify the sub-operation chain: this batch's previous pair must
+		// have pointed its second command at this pair's first operand.
 		if len(b.Subs) > 0 {
-			prevSecond := cmds[i-1]
-			if !prevSecond.PointerValid || prevSecond.Pointer != first.LBA {
+			prev := lastSecond[order]
+			if !prev.PointerValid || prev.Pointer != first.LBA {
 				return nil, fmt.Errorf("%w: batch %d sub-op %d not chained",
 					ErrBadCommand, order, len(b.Subs))
 			}
 		}
+		lastSecond[order] = second
 		b.Subs = append(b.Subs, sub)
 	}
 	// Batches execute in order; later batches consume earlier results, so

@@ -33,11 +33,14 @@ import (
 const SectorSize = 512
 
 // SectorFor returns the sector granularity for a page size: 512 bytes
-// when the page divides evenly into 8-bit-addressable 512-byte sectors,
-// otherwise pageSize/16 so the DWord 13 offset/count fields (8 bits each)
-// still cover the page. Small test geometries use sub-512-byte pages.
+// when the page divides evenly into at most 256 addressable 512-byte
+// sectors (the DWord 13 offset/count fields are 8 bits each, with count
+// 0 meaning the whole page), otherwise pageSize/16 so the fields still
+// cover the page. Small test geometries use sub-512-byte pages; pages
+// beyond 128 KB would overflow the 8-bit sector fields at 512-byte
+// granularity and get the coarser /16 sectors instead.
 func SectorFor(pageSize int) int {
-	if pageSize >= SectorSize && pageSize%SectorSize == 0 {
+	if pageSize >= SectorSize && pageSize%SectorSize == 0 && pageSize/SectorSize <= 256 {
 		return SectorSize
 	}
 	s := pageSize / 16
@@ -165,7 +168,11 @@ type Operand struct {
 	Length int    // byte length (sector aligned)
 }
 
-// Validate checks alignment.
+// Validate checks alignment. Operands spanning several pages must be
+// whole pages: the wire encoding chains page-sized sub-operations whose
+// commands have nowhere to carry a per-page offset, so a multi-page
+// operand with an offset or a partial tail page cannot be represented
+// (it would silently parse back as whole pages).
 func (o Operand) Validate(pageSize int) error {
 	if o.Length <= 0 {
 		return fmt.Errorf("%w: operand length %d", ErrBadCommand, o.Length)
@@ -176,6 +183,9 @@ func (o Operand) Validate(pageSize int) error {
 	}
 	if o.Offset < 0 || o.Offset >= pageSize {
 		return fmt.Errorf("%w: operand offset %d outside page", ErrBadCommand, o.Offset)
+	}
+	if o.Pages(pageSize) > 1 && (o.Offset != 0 || o.Length%pageSize != 0) {
+		return fmt.Errorf("%w: multi-page operand %+v must cover whole pages", ErrBadCommand, o)
 	}
 	return nil
 }
@@ -202,10 +212,18 @@ type Formula struct {
 	Combine []latch.Op
 }
 
+// MaxTerms bounds a formula's term count: the wire's batch-order field
+// is 8 bits, so a 257th term would wrap onto batch 0.
+const MaxTerms = 256
+
 // Validate checks the formula shape and operand alignment.
 func (f Formula) Validate(pageSize int) error {
 	if len(f.Terms) == 0 {
 		return fmt.Errorf("%w: no terms", ErrBadFormula)
+	}
+	if len(f.Terms) > MaxTerms {
+		return fmt.Errorf("%w: %d terms exceed the %d the batch-order field addresses",
+			ErrBadFormula, len(f.Terms), MaxTerms)
 	}
 	if len(f.Combine) != len(f.Terms)-1 {
 		return fmt.Errorf("%w: %d terms need %d combine ops, have %d",

@@ -1,0 +1,269 @@
+package nvme
+
+import (
+	"errors"
+	"testing"
+
+	"parabit/internal/latch"
+)
+
+// fuzzPageSizes includes the paper's 8 KB page plus the shapes that have
+// broken the encoding before: tiny test pages, pages that don't divide
+// into 512-byte sectors, and pages large enough to overflow 8-bit sector
+// fields at 512-byte granularity.
+var fuzzPageSizes = []int{64, 256, 512, 3000, 4096, 8192, 1 << 17, 1 << 20}
+
+// formulaFromBytes deterministically decodes a formula from fuzz input.
+// It deliberately produces both valid and invalid shapes: duplicate and
+// overlapping LPNs, sub-page operands at differing offsets, multi-page
+// operands, zero terms, and term counts past the batch-order field.
+func formulaFromBytes(data []byte, pageSize int) Formula {
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return int(b)
+	}
+	nTerms := next()
+	if next()%8 == 0 {
+		nTerms += next() * 4 // occasionally overflow the 8-bit order field
+	}
+	sector := SectorFor(pageSize)
+	perPage := pageSize / sector
+	if perPage < 1 {
+		perPage = 1
+	}
+	f := Formula{}
+	for i := 0; i < nTerms; i++ {
+		operand := func() Operand {
+			o := Operand{LBA: uint64(next() % 8)} // small range → duplicates
+			switch next() % 4 {
+			case 0: // whole page
+				o.Length = pageSize
+			case 1: // sub-page, possibly offset
+				o.Offset = (next() % perPage) * sector
+				o.Length = (1 + next()%perPage) * sector
+			case 2: // multi-page
+				o.Length = (1 + next()%3) * pageSize
+			default: // deliberately askew
+				o.Offset = next()
+				o.Length = next()
+			}
+			return o
+		}
+		t := Term{M: operand(), N: operand(), Op: latch.Op(next() % int(len(latch.Ops)))}
+		f.Terms = append(f.Terms, t)
+		if i > 0 {
+			f.Combine = append(f.Combine, latch.Op(next()%int(len(latch.Ops))))
+		}
+	}
+	if next()%16 == 0 && len(f.Combine) > 0 {
+		f.Combine = f.Combine[:len(f.Combine)-1] // shape violation
+	}
+	return f
+}
+
+// FuzzRoundTrip asserts the encode→wire→parse pipeline is lossless for
+// every formula Validate accepts, and errors (rather than silently
+// mangling) for every formula it rejects.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 1}, 2)          // single whole-page term
+	f.Add([]byte{2, 1, 3, 0, 3, 0, 3, 1, 3, 1, 2, 5}, 4)    // duplicate LPNs across terms
+	f.Add([]byte{1, 1, 0, 1, 2, 3, 0, 1, 4, 2, 1}, 1)       // sub-page operands, differing offsets
+	f.Add([]byte{1, 1, 0, 2, 2, 0, 2, 1, 1}, 7)             // multi-page operands, 128 KB pages
+	f.Add([]byte{200, 0, 90, 0, 0, 0, 0, 0}, 3)             // term count past the order field
+	f.Add([]byte{3, 1, 0, 0, 1, 0, 2, 0, 0, 5, 5, 5, 5}, 5) // three-term chain
+	f.Fuzz(func(t *testing.T, data []byte, pageSel int) {
+		pageSize := fuzzPageSizes[((pageSel%len(fuzzPageSizes))+len(fuzzPageSizes))%len(fuzzPageSizes)]
+		formula := formulaFromBytes(data, pageSize)
+		batches, err := RoundTrip(formula, pageSize)
+		if verr := formula.Validate(pageSize); verr != nil {
+			if err == nil {
+				t.Fatalf("Validate rejects (%v) but RoundTrip accepted", verr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid formula failed round-trip: %v", err)
+		}
+		checkBatchesMatch(t, formula, batches, pageSize)
+	})
+}
+
+// checkBatchesMatch is the differential oracle: the parsed batches must
+// reproduce the formula exactly — term order, operations, per-page
+// operand addresses, and sub-page offsets for both operands.
+func checkBatchesMatch(t *testing.T, f Formula, batches []Batch, pageSize int) {
+	t.Helper()
+	if len(batches) != len(f.Terms) {
+		t.Fatalf("%d batches for %d terms", len(batches), len(f.Terms))
+	}
+	for i, b := range batches {
+		term := f.Terms[i]
+		if b.Order != i {
+			t.Fatalf("batch %d has order %d", i, b.Order)
+		}
+		if b.Op != term.Op {
+			t.Fatalf("batch %d op %v, term op %v", i, b.Op, term.Op)
+		}
+		wantNext := i < len(f.Terms)-1
+		if b.HasNext != wantNext {
+			t.Fatalf("batch %d HasNext=%v, want %v", i, b.HasNext, wantNext)
+		}
+		if wantNext && b.Extra != f.Combine[i] {
+			t.Fatalf("batch %d extra %v, combine %v", i, b.Extra, f.Combine[i])
+		}
+		subs := term.M.Pages(pageSize)
+		if n := term.N.Pages(pageSize); n > subs {
+			subs = n
+		}
+		if len(b.Subs) != subs {
+			t.Fatalf("batch %d has %d sub-ops, want %d", i, len(b.Subs), subs)
+		}
+		for si, sub := range b.Subs {
+			if sub.M != term.M.LBA+uint64(si) || sub.N != term.N.LBA+uint64(si) {
+				t.Fatalf("batch %d sub %d addresses (%d,%d), want (%d,%d)",
+					i, si, sub.M, sub.N, term.M.LBA+uint64(si), term.N.LBA+uint64(si))
+			}
+			wantOff, wantNOff, wantLen := 0, 0, pageSize
+			if subs == 1 && (term.M.Offset != 0 || term.M.Length < pageSize) {
+				wantOff, wantNOff, wantLen = term.M.Offset, term.N.Offset, term.M.Length
+			}
+			if sub.SectorOffset != wantOff || sub.NSectorOffset != wantNOff || sub.Length != wantLen {
+				t.Fatalf("batch %d sub %d span %d+%d/%d@N, want %d+%d/%d@N (len %d vs %d)",
+					i, si, sub.SectorOffset, sub.Length, sub.NSectorOffset,
+					wantOff, wantLen, wantNOff, sub.Length, wantLen)
+			}
+		}
+	}
+}
+
+// The regressions the fuzzer flushed out, pinned as plain tests.
+
+func TestFormulaRejectsOrderFieldOverflow(t *testing.T) {
+	f := Formula{}
+	for i := 0; i < MaxTerms+1; i++ {
+		f.Terms = append(f.Terms, Term{
+			M:  Operand{LBA: uint64(2 * i), Length: 512},
+			N:  Operand{LBA: uint64(2*i + 1), Length: 512},
+			Op: latch.OpAnd,
+		})
+		if i > 0 {
+			f.Combine = append(f.Combine, latch.OpOr)
+		}
+	}
+	if _, err := RoundTrip(f, 512); !errors.Is(err, ErrBadFormula) {
+		t.Fatalf("257-term formula round-tripped: %v (the 8-bit order field wraps)", err)
+	}
+	f.Terms = f.Terms[:MaxTerms]
+	f.Combine = f.Combine[:MaxTerms-1]
+	if _, err := RoundTrip(f, 512); err != nil {
+		t.Fatalf("256-term formula must fit the order field: %v", err)
+	}
+}
+
+func TestSectorFieldsCoverLargePages(t *testing.T) {
+	// 1 MB pages have 2048 512-byte sectors — past the 8-bit fields.
+	// SectorFor must coarsen the granularity instead of overflowing.
+	const pageSize = 1 << 20
+	sector := SectorFor(pageSize)
+	if pageSize/sector > 256 {
+		t.Fatalf("sector %d leaves %d addressable units, field is 8 bits", sector, pageSize/sector)
+	}
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 0, Offset: 3 * sector, Length: 2 * sector},
+		N:  Operand{LBA: 1, Offset: 5 * sector, Length: 2 * sector},
+		Op: latch.OpXor,
+	}}}
+	batches, err := RoundTrip(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := batches[0].Subs[0]
+	if sub.SectorOffset != 3*sector || sub.NSectorOffset != 5*sector || sub.Length != 2*sector {
+		t.Fatalf("sub-page span lost on large page: %+v", sub)
+	}
+}
+
+func TestMultiPageOperandWithOffsetRejected(t *testing.T) {
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 0, Offset: 512, Length: 2 * 4096},
+		N:  Operand{LBA: 4, Length: 2 * 4096, Offset: 512},
+		Op: latch.OpAnd,
+	}}}
+	if _, err := RoundTrip(f, 4096); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("offset multi-page operand round-tripped: %v (offset is silently dropped on the wire)", err)
+	}
+	// A partial tail page is equally unrepresentable.
+	f.Terms[0].M = Operand{LBA: 0, Length: 4096 + 512}
+	f.Terms[0].N = Operand{LBA: 4, Length: 4096 + 512}
+	if _, err := RoundTrip(f, 4096); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("partial-tail multi-page operand round-tripped: %v", err)
+	}
+}
+
+func TestSecondOperandOffsetSurvivesParse(t *testing.T) {
+	f := Formula{Terms: []Term{{
+		M:  Operand{LBA: 7, Offset: 0, Length: 1024},
+		N:  Operand{LBA: 7, Offset: 2048, Length: 1024}, // same page, shifted
+		Op: latch.OpOr,
+	}}}
+	batches, err := RoundTrip(f, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := batches[0].Subs[0]
+	if sub.NSectorOffset != 2048 {
+		t.Fatalf("N operand offset %d after parse, want 2048", sub.NSectorOffset)
+	}
+	if sub.SectorOffset != 0 || sub.Length != 1024 {
+		t.Fatalf("M span corrupted: %+v", sub)
+	}
+}
+
+func TestParseVerifiesChainsPerBatch(t *testing.T) {
+	// Two interleaved batches of two sub-operations each. Stream-adjacency
+	// chain checking rejects this legal interleaving (and, worse, accepts
+	// broken chains that happen to be adjacent); per-batch checking must
+	// accept it.
+	mk := func(tag uint8, lba uint64, order uint8, ptr uint64, valid bool, intra, extra OpCode) Command {
+		c := Command{LBA: lba, OperandTag: tag, BatchOrder: order, Pointer: ptr, PointerValid: valid,
+			IntraOp: intra, ExtraOp: extra}
+		return Decode(c.LBA, c.Encode())
+	}
+	const ps = 512
+	cmds := []Command{
+		// batch 0 sub 0: M=0,N=1, chain → 2
+		mk(0, 0, 0, 1, true, FromOp(latch.OpAnd), 0),
+		mk(1, 1, 0, 2, true, 0, FromOp(latch.OpXor)),
+		// batch 1 sub 0: M=10,N=11, chain → 12
+		mk(0, 10, 1, 11, true, FromOp(latch.OpOr), 0),
+		mk(1, 11, 1, 12, true, 0, 0),
+		// batch 0 sub 1: M=2,N=3
+		mk(0, 2, 0, 3, true, FromOp(latch.OpAnd), 0),
+		mk(1, 3, 0, 0, false, 0, FromOp(latch.OpXor)),
+		// batch 1 sub 1: M=12,N=13
+		mk(0, 12, 1, 13, true, FromOp(latch.OpOr), 0),
+		mk(1, 13, 1, 0, false, 0, 0),
+	}
+	batches, err := ParseBatches(cmds, ps)
+	if err != nil {
+		t.Fatalf("legal interleaved stream rejected: %v", err)
+	}
+	if len(batches) != 2 || len(batches[0].Subs) != 2 || len(batches[1].Subs) != 2 {
+		t.Fatalf("batch structure lost: %+v", batches)
+	}
+	if batches[0].Subs[1].M != 2 || batches[1].Subs[1].M != 12 {
+		t.Fatalf("sub-ops misassigned: %+v", batches)
+	}
+	// Break batch 1's chain (sub 0 points at 99, not 12): stream order
+	// hides this from adjacency checking, per-batch checking catches it.
+	cmds[3] = mk(1, 11, 1, 99, true, 0, 0)
+	if _, err := ParseBatches(cmds, ps); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("broken per-batch chain accepted: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package plan
+
+// The planner's result cache models the controller's DRAM holding hot
+// intermediate query results. A hit replaces a chained flash operation
+// (tens of microseconds of sensing plus reallocation programs) with a
+// DRAM fetch; the eviction policy keeps the entries whose loss would cost
+// the most to repair, priced the way the paper's Ambit comparison prices
+// data movement (internal/pim): a victim's retention value is its
+// measured recompute time plus the movement cost of its bytes, per byte
+// of DRAM it occupies.
+//
+// Correctness comes from FTL mapping versions: every entry snapshots the
+// version of each logical page its value was derived from, and a lookup
+// revalidates the snapshot. Any overwrite, trim, GC migration, read
+// reclaim, wear-leveling move or bad-block retirement bumps a version
+// (ftl.FTL.Version), so a stale intermediate can never be served — at
+// worst a content-preserving migration costs a spurious recompute.
+
+// Pricer prices data movement; *pim.Device satisfies it with the
+// Ambit-calibrated link model.
+type Pricer interface {
+	MovementSeconds(n int64) float64
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	// Bytes is the current occupancy; Entries the current entry count.
+	Bytes   int64
+	Entries int64
+}
+
+type entry struct {
+	key  string
+	data []byte
+	// deps and vers snapshot the FTL mapping versions of every logical
+	// page the value derives from, parallel slices.
+	deps []uint64
+	vers []uint64
+	// costSeconds is the measured time the device spent computing the
+	// value — what a miss would pay again.
+	costSeconds float64
+	lastUse     uint64
+}
+
+// Cache is a capacity-bounded result store keyed by canonical expression
+// keys. Not safe for concurrent use; the owning device serializes access.
+type Cache struct {
+	capacity int64
+	used     int64
+	entries  map[string]*entry
+	clock    uint64
+	pricer   Pricer
+	stats    CacheStats
+}
+
+// NewCache builds a cache bounded to capacity bytes of simulated
+// controller DRAM. A nil pricer prices movement at zero (pure
+// recompute-time eviction). capacity <= 0 disables the cache: every
+// lookup misses and stores are dropped.
+func NewCache(capacity int64, pricer Pricer) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*entry{},
+		pricer:   pricer,
+	}
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.stats
+	s.Bytes = c.used
+	s.Entries = int64(len(c.entries))
+	return s
+}
+
+// Get returns the cached value for key if present and still valid under
+// the current FTL mapping versions (verOf). The returned slice is the
+// caller's to keep.
+func (c *Cache) Get(key string, verOf func(lpn uint64) uint64) ([]byte, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	for i, lpn := range e.deps {
+		if verOf(lpn) != e.vers[i] {
+			// An operand was overwritten, trimmed or migrated since the
+			// value was computed: drop the entry and miss.
+			c.remove(e)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.stats.Hits++
+	return append([]byte(nil), e.data...), true
+}
+
+// Put stores a computed value: its canonical key, the logical pages it
+// derives from (whose versions are snapshotted via verOf), and the
+// measured seconds the computation took. Values larger than the whole
+// cache are not stored.
+func (c *Cache) Put(key string, data []byte, deps []uint64, verOf func(lpn uint64) uint64, costSeconds float64) {
+	size := int64(len(data))
+	if size == 0 || size > c.capacity {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		c.remove(old)
+	}
+	for c.used+size > c.capacity {
+		if !c.evictOne() {
+			return
+		}
+	}
+	vers := make([]uint64, len(deps))
+	for i, lpn := range deps {
+		vers[i] = verOf(lpn)
+	}
+	c.clock++
+	e := &entry{
+		key:         key,
+		data:        append([]byte(nil), data...),
+		deps:        append([]uint64(nil), deps...),
+		vers:        vers,
+		costSeconds: costSeconds,
+		lastUse:     c.clock,
+	}
+	c.entries[key] = e
+	c.used += size
+}
+
+// Invalidate drops every entry depending on the given logical page.
+// Callers with version tracking normally rely on Get's revalidation; this
+// is the eager path for events that bypass the FTL (e.g. test hooks).
+func (c *Cache) Invalidate(lpn uint64) int {
+	var victims []*entry
+	for _, e := range c.entries {
+		for _, dep := range e.deps {
+			if dep == lpn {
+				victims = append(victims, e)
+				break
+			}
+		}
+	}
+	for _, e := range victims {
+		c.remove(e)
+		c.stats.Invalidations++
+	}
+	return len(victims)
+}
+
+func (c *Cache) remove(e *entry) {
+	delete(c.entries, e.key)
+	c.used -= int64(len(e.data))
+}
+
+// score is the entry's retention value: seconds saved per byte held. The
+// movement term prices what shipping the bytes back in would cost on the
+// Ambit-calibrated link, so big cheap pages lose to small expensive
+// intermediates.
+func (c *Cache) score(e *entry) float64 {
+	move := 0.0
+	if c.pricer != nil {
+		move = c.pricer.MovementSeconds(int64(len(e.data)))
+	}
+	return (e.costSeconds + move) / float64(len(e.data))
+}
+
+// evictOne removes the lowest-value entry (least-recently-used breaks
+// ties deterministically: lastUse values are unique). Returns false when
+// the cache is already empty.
+func (c *Cache) evictOne() bool {
+	var victim *entry
+	var victimScore float64
+	for _, e := range c.entries {
+		s := c.score(e)
+		if victim == nil || s < victimScore ||
+			(s == victimScore && e.lastUse < victim.lastUse) {
+			victim, victimScore = e, s
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.remove(victim)
+	c.stats.Evictions++
+	return true
+}

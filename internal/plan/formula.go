@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"fmt"
+
+	"parabit/internal/latch"
+	"parabit/internal/nvme"
+)
+
+// The nvme bridge lowers planner expressions onto the paper's §4.3.1
+// command encoding and lifts parsed batches back, so a planned query can
+// ride the same host-interface round-trip ordinary formulas do. The wire
+// format expresses "(M0 ? N0) ! (M1 ? N1) ! ..." — binary terms over
+// pages combined left-to-right — which covers exactly the expressions
+// whose top-level node combines binary leaf-pair terms.
+
+// ToFormula lowers an expression to the NVMe formula shape. It succeeds
+// when the (normalized) expression is a binary operation over two leaves,
+// or an n-ary node whose arguments are all binary operations over two
+// leaves (each argument becomes a batch, the node's operation the
+// extra-batch combine). Returns ok=false for expressions the wire format
+// cannot carry — deeper nesting, NOT, or mixed leaf/term arguments.
+func ToFormula(e *Expr, pageSize int) (nvme.Formula, bool) {
+	if e == nil || e.leaf {
+		return nvme.Formula{}, false
+	}
+	pageOperand := func(lpn uint64) nvme.Operand {
+		return nvme.Operand{LBA: lpn, Length: pageSize}
+	}
+	leafTerm := func(t *Expr) (nvme.Term, bool) {
+		if t.leaf || len(t.Args) != 2 || !t.Args[0].leaf || !t.Args[1].leaf {
+			return nvme.Term{}, false
+		}
+		return nvme.Term{
+			M:  pageOperand(t.Args[0].LPN),
+			N:  pageOperand(t.Args[1].LPN),
+			Op: t.Op,
+		}, true
+	}
+	if t, ok := leafTerm(e); ok {
+		return nvme.Formula{Terms: []nvme.Term{t}}, true
+	}
+	switch e.Op {
+	case latch.OpAnd, latch.OpOr, latch.OpXor, latch.OpXnor, latch.OpNand, latch.OpNor:
+	default:
+		return nvme.Formula{}, false
+	}
+	f := nvme.Formula{}
+	for i, a := range e.Args {
+		t, ok := leafTerm(a)
+		if !ok {
+			return nvme.Formula{}, false
+		}
+		f.Terms = append(f.Terms, t)
+		if i > 0 {
+			f.Combine = append(f.Combine, e.Op)
+		}
+	}
+	return f, true
+}
+
+// FromBatches lifts device-parsed batches back into an expression,
+// inverting ToFormula: each single-page batch becomes a binary term, and
+// terms fold left-to-right with the extra-batch operations. It rejects
+// multi-sub-operation or sub-page batches — the planner only emits
+// whole-page single-sub terms.
+func FromBatches(batches []nvme.Batch, pageSize int) (*Expr, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("%w: no batches", ErrBadExpr)
+	}
+	var acc *Expr
+	for i, b := range batches {
+		if len(b.Subs) != 1 {
+			return nil, fmt.Errorf("%w: batch %d has %d sub-operations, planner terms have 1",
+				ErrBadExpr, i, len(b.Subs))
+		}
+		sub := b.Subs[0]
+		if sub.SectorOffset != 0 || sub.NSectorOffset != 0 || sub.Length != pageSize {
+			return nil, fmt.Errorf("%w: batch %d is sub-page (%d@%d), planner terms are whole pages",
+				ErrBadExpr, i, sub.Length, sub.SectorOffset)
+		}
+		term := node(b.Op, Leaf(sub.M), Leaf(sub.N))
+		if acc == nil {
+			acc = term
+			continue
+		}
+		// The previous batch's extra-batch op combines it with this term.
+		prev := batches[i-1]
+		if !prev.HasNext {
+			return nil, fmt.Errorf("%w: batch %d has no extra-batch op but batch %d follows",
+				ErrBadExpr, i-1, i)
+		}
+		acc = node(prev.Extra, acc, term)
+	}
+	if err := acc.check(); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// RoundTrip pushes an expression through the full host-interface path —
+// formula lowering, wire encoding, device-side parse, and lifting back —
+// and verifies the reconstruction is canonically identical to the
+// original. Returns the reconstructed expression and ok=true when the
+// expression is wire-expressible; ok=false (and no error) when it is
+// not. An error means the round-trip corrupted the query, which is a
+// bug, never an expected outcome.
+func RoundTrip(e *Expr, pageSize int) (*Expr, bool, error) {
+	n, err := Normalize(e)
+	if err != nil {
+		return nil, false, err
+	}
+	f, ok := ToFormula(n, pageSize)
+	if !ok {
+		return nil, false, nil
+	}
+	batches, err := nvme.RoundTrip(f, pageSize)
+	if err != nil {
+		return nil, false, fmt.Errorf("plan: formula round-trip: %w", err)
+	}
+	back, err := FromBatches(batches, pageSize)
+	if err != nil {
+		return nil, false, err
+	}
+	backN, err := Normalize(back)
+	if err != nil {
+		return nil, false, err
+	}
+	if backN.Key() != n.Key() {
+		return nil, false, fmt.Errorf("plan: query changed across the wire: %q became %q",
+			n.Key(), backN.Key())
+	}
+	return backN, true, nil
+}

@@ -1,0 +1,444 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parabit/internal/flash"
+	"parabit/internal/latch"
+)
+
+// StepKind classifies one planned execution step.
+type StepKind uint8
+
+const (
+	// StepRead is a plain page read: the whole query was a leaf.
+	StepRead StepKind = iota
+	// StepFused folds two or more operands with one associative operation
+	// (AND, OR or XOR) as a single chained latch operation — the fusion
+	// the planner exists to find.
+	StepFused
+	// StepOp applies a complementing binary operation (XNOR, NAND, NOR)
+	// to exactly two operands.
+	StepOp
+	// StepNot complements one operand.
+	StepNot
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepRead:
+		return "read"
+	case StepFused:
+		return "fused"
+	case StepOp:
+		return "op"
+	case StepNot:
+		return "not"
+	}
+	return "unknown"
+}
+
+// Ref names one input of a step: a logical page, or the result of an
+// earlier step.
+type Ref struct {
+	Leaf bool
+	LPN  uint64 // valid when Leaf
+	Step int    // index into Plan.Steps when !Leaf
+}
+
+// Step is one unit of device work. Steps are topologically ordered: a
+// step only references earlier steps.
+type Step struct {
+	Kind StepKind
+	Op   latch.Op
+	Args []Ref
+	// Key is the canonical cache key of the sub-expression this step
+	// computes (Expr.Key form).
+	Key string
+	// Leaves are the de-duplicated logical pages this step's value
+	// transitively depends on — the cache entry's invalidation set.
+	Leaves []uint64
+	// Seq is the validated chained latch control program for StepFused
+	// steps (the correctness rail: it passed latch.Sequence.Validate and
+	// its sense count matches flash.ChainCostLSB). Empty for other kinds.
+	Seq latch.Sequence
+}
+
+// Plan is a compiled query: steps in execution order, the last step
+// producing the query result.
+type Plan struct {
+	Steps []Step
+	// FusedChains counts StepFused steps — chains the planner fused
+	// instead of issuing pairwise.
+	FusedChains int
+	// FusedOperands counts operands covered by fused chains.
+	FusedOperands int
+}
+
+// Root returns the index of the final step.
+func (p *Plan) Root() int { return len(p.Steps) - 1 }
+
+// maxChainLen returns the largest operand count whose fused control
+// program fits the circuit's MaxSteps bound, derived from the same step
+// templates FusedSequence emits (AND grows 2 steps per operand, OR 4,
+// XOR 8 past its 12-step base).
+func maxChainLen(op latch.Op) int {
+	switch op {
+	case latch.OpAnd:
+		return (latch.MaxSteps - 2) / 2
+	case latch.OpOr:
+		return latch.MaxSteps / 4
+	case latch.OpXor:
+		return (latch.MaxSteps-12)/8 + 2
+	}
+	return 2
+}
+
+// FusedSequence builds the chained location-free control program folding k
+// aligned LSB operands with one associative operation — the latch-level
+// rendering of §4.2's chained execution, generalized from the two-operand
+// LF-LSB sequences:
+//
+//   - AND accumulates in L1: one extra sense+M2 per operand;
+//   - OR merges through L2: each operand is sensed, transferred, and L1
+//     re-initialized for the next;
+//   - XOR pays the two-phase complement per added operand (the partial
+//     result and its complement are reloaded from the controller buffer —
+//     register loads, not senses — then two senses fold the new operand).
+//
+// The sequence validates under latch.Sequence.Validate and its sense
+// count equals flash.ChainCostLSB's SRO count; Compile checks both and
+// refuses plans that violate either, so an illegal fusion can never reach
+// the device.
+func FusedSequence(op latch.Op, k int) (latch.Sequence, error) {
+	if k < 2 {
+		return latch.Sequence{}, fmt.Errorf("plan: fused chain of %d operands", k)
+	}
+	if k > maxChainLen(op) {
+		return latch.Sequence{}, fmt.Errorf("plan: %v chain of %d operands exceeds %d control steps",
+			op, k, latch.MaxSteps)
+	}
+	name := fmt.Sprintf("PLAN-CHAIN-%v-%d", op, k)
+	var steps []latch.Step
+	sense := func(wl int) latch.Step {
+		return latch.Step{Kind: latch.StepSense, V: latch.VRead2, WL: wl}
+	}
+	senseInv := func(wl int) latch.Step {
+		return latch.Step{Kind: latch.StepSense, V: latch.VRead2, WL: wl, Inverted: true}
+	}
+	step := func(kind latch.StepKind) latch.Step { return latch.Step{Kind: kind} }
+	switch op {
+	case latch.OpAnd:
+		steps = append(steps, step(latch.StepInit))
+		for wl := 0; wl < k; wl++ {
+			steps = append(steps, sense(wl), step(latch.StepM2))
+		}
+		steps = append(steps, step(latch.StepM3))
+	case latch.OpOr:
+		steps = append(steps, step(latch.StepInit))
+		for wl := 0; wl < k; wl++ {
+			if wl > 0 {
+				steps = append(steps, step(latch.StepReinitL1))
+			}
+			steps = append(steps, sense(wl), step(latch.StepM2), step(latch.StepM3))
+		}
+	case latch.OpXor:
+		// First pair: the LF-LSB-XOR shape.
+		steps = append(steps,
+			step(latch.StepInitInv),
+			sense(0), step(latch.StepM1),
+			sense(1), step(latch.StepM2),
+			step(latch.StepM3),
+			step(latch.StepReinitL1),
+			sense(0), step(latch.StepM2),
+			senseInv(1), step(latch.StepM2),
+			step(latch.StepM3),
+		)
+		// Each further operand: fold against the reloaded partial result
+		// (P AND NOT x) OR (NOT P AND x), one normal and one inverted
+		// sense. The partial and its complement arrive as register loads.
+		for wl := 2; wl < k; wl++ {
+			steps = append(steps,
+				step(latch.StepReinitL1),
+				sense(wl), step(latch.StepM2), step(latch.StepM3),
+				step(latch.StepReinitL1),
+				senseInv(wl), step(latch.StepM2), step(latch.StepM3),
+			)
+		}
+	default:
+		return latch.Sequence{}, fmt.Errorf("plan: op %v cannot fuse", op)
+	}
+	seq := latch.Sequence{Name: name, Steps: steps}
+	if err := seq.Validate(); err != nil {
+		return latch.Sequence{}, fmt.Errorf("plan: fused sequence invalid: %w", err)
+	}
+	cost, err := flash.ChainCostLSB(op, k)
+	if err != nil {
+		return latch.Sequence{}, err
+	}
+	if seq.SROs() != cost.SROs {
+		return latch.Sequence{}, fmt.Errorf("plan: fused %v/%d sequence senses %d times, cost model says %d",
+			op, k, seq.SROs(), cost.SROs)
+	}
+	return seq, nil
+}
+
+// Normalize rewrites an expression into the planner's canonical form:
+// nested chains of one associative operation flatten into a single n-ary
+// node, double complements cancel, complements fold into complementing
+// operations (NOT(AND(a,b)) becomes NAND(a,b) and vice versa NAND under a
+// NOT unfolds back to AND), and the complement pairs XNOR/NAND/NOR under
+// a NOT unwrap to their associative bases. The result is semantically
+// identical (same Eval) and maximally fusable.
+func Normalize(e *Expr) (*Expr, error) {
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	return normalize(e), nil
+}
+
+func normalize(e *Expr) *Expr {
+	if e.leaf {
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = normalize(a)
+	}
+	switch e.Op {
+	case latch.OpNotLSB, latch.OpNotMSB:
+		a := args[0]
+		if a.leaf {
+			return node(latch.OpNotLSB, a)
+		}
+		switch a.Op {
+		case latch.OpNotLSB, latch.OpNotMSB:
+			return a.Args[0]
+		case latch.OpAnd:
+			if len(a.Args) == 2 {
+				return node(latch.OpNand, a.Args...)
+			}
+		case latch.OpOr:
+			if len(a.Args) == 2 {
+				return node(latch.OpNor, a.Args...)
+			}
+		case latch.OpXor:
+			if len(a.Args) == 2 {
+				return node(latch.OpXnor, a.Args...)
+			}
+		case latch.OpNand:
+			return node(latch.OpAnd, a.Args...)
+		case latch.OpNor:
+			return node(latch.OpOr, a.Args...)
+		case latch.OpXnor:
+			return node(latch.OpXor, a.Args...)
+		}
+		return node(latch.OpNotLSB, a)
+	case latch.OpAnd, latch.OpOr, latch.OpXor:
+		// Flatten same-op children: And(And(a,b),c) = And(a,b,c).
+		var flat []*Expr
+		for _, a := range args {
+			if !a.leaf && a.Op == e.Op {
+				flat = append(flat, a.Args...)
+			} else {
+				flat = append(flat, a)
+			}
+		}
+		return node(e.Op, flat...)
+	}
+	return node(e.Op, args...)
+}
+
+// compiler accumulates steps with common-sub-expression sharing.
+type compiler struct {
+	steps []Step
+	memo  map[string]Ref // canonical key -> computed ref
+	plan  *Plan
+}
+
+// Compile lowers an expression to an executable plan: normalization,
+// common-sub-expression elimination (structurally equal sub-queries,
+// including reordered commutative ones, compile to one shared step), and
+// chain fusion with legality-bounded splitting. Every fused step carries
+// its validated control program.
+func Compile(e *Expr) (*Plan, error) {
+	n, err := Normalize(e)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{memo: map[string]Ref{}, plan: &Plan{}}
+	root, err := c.emit(n)
+	if err != nil {
+		return nil, err
+	}
+	if root.Leaf {
+		// The whole query is one page: a plain read step.
+		c.add(Step{
+			Kind:   StepRead,
+			Args:   []Ref{root},
+			Key:    n.Key(),
+			Leaves: []uint64{root.LPN},
+		})
+	}
+	c.plan.Steps = c.steps
+	return c.plan, nil
+}
+
+func (c *compiler) add(s Step) Ref {
+	c.steps = append(c.steps, s)
+	r := Ref{Step: len(c.steps) - 1}
+	c.memo[s.Key] = r
+	return r
+}
+
+func (c *compiler) refKey(r Ref) string {
+	if r.Leaf {
+		return Leaf(r.LPN).Key()
+	}
+	return c.steps[r.Step].Key
+}
+
+func (c *compiler) refLeaves(r Ref) []uint64 {
+	if r.Leaf {
+		return []uint64{r.LPN}
+	}
+	return c.steps[r.Step].Leaves
+}
+
+// nodeKey is the canonical key of an op over already-compiled refs.
+func (c *compiler) nodeKey(op latch.Op, refs []Ref) string {
+	keys := make([]string, len(refs))
+	for i, r := range refs {
+		keys[i] = c.refKey(r)
+	}
+	sort.Strings(keys)
+	var name string
+	switch op {
+	case latch.OpAnd:
+		name = "and"
+	case latch.OpOr:
+		name = "or"
+	case latch.OpXor:
+		name = "xor"
+	case latch.OpXnor:
+		name = "xnor"
+	case latch.OpNand:
+		name = "nand"
+	case latch.OpNor:
+		name = "nor"
+	case latch.OpNotLSB, latch.OpNotMSB:
+		name = "not"
+	}
+	return name + "(" + strings.Join(keys, ",") + ")"
+}
+
+func (c *compiler) leavesOf(refs []Ref) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, r := range refs {
+		for _, lpn := range c.refLeaves(r) {
+			if !seen[lpn] {
+				seen[lpn] = true
+				out = append(out, lpn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c *compiler) emit(e *Expr) (Ref, error) {
+	if e.leaf {
+		return Ref{Leaf: true, LPN: e.LPN}, nil
+	}
+	if r, ok := c.memo[e.Key()]; ok {
+		return r, nil
+	}
+	refs := make([]Ref, len(e.Args))
+	for i, a := range e.Args {
+		r, err := c.emit(a)
+		if err != nil {
+			return Ref{}, err
+		}
+		refs[i] = r
+	}
+	switch e.Op {
+	case latch.OpAnd, latch.OpOr, latch.OpXor:
+		r, err := c.emitFused(e.Op, refs)
+		if err == nil {
+			// Split chains register under nested segment keys; remember
+			// the flat n-ary key too, so an identical sub-query re-uses
+			// the compiled result.
+			c.memo[e.Key()] = r
+		}
+		return r, err
+	case latch.OpXnor, latch.OpNand, latch.OpNor:
+		return c.add(Step{
+			Kind:   StepOp,
+			Op:     e.Op,
+			Args:   refs,
+			Key:    c.nodeKey(e.Op, refs),
+			Leaves: c.leavesOf(refs),
+		}), nil
+	case latch.OpNotLSB, latch.OpNotMSB:
+		return c.add(Step{
+			Kind:   StepNot,
+			Op:     latch.OpNotLSB,
+			Args:   refs,
+			Key:    c.nodeKey(latch.OpNotLSB, refs),
+			Leaves: c.leavesOf(refs),
+		}), nil
+	}
+	return Ref{}, fmt.Errorf("%w: op %v", ErrBadExpr, e.Op)
+}
+
+// emitFused lowers an n-ary associative fold, splitting chains longer
+// than the circuit's legal control-program length into legal segments
+// whose results fold in a further fused step.
+func (c *compiler) emitFused(op latch.Op, refs []Ref) (Ref, error) {
+	maxK := maxChainLen(op)
+	for len(refs) > maxK {
+		var next []Ref
+		for lo := 0; lo < len(refs); lo += maxK {
+			hi := lo + maxK
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			// A single trailing operand cannot chain alone; carry it to
+			// the next level, where it folds with the segment results.
+			if hi-lo == 1 {
+				next = append(next, refs[lo])
+				continue
+			}
+			r, err := c.fuseStep(op, refs[lo:hi])
+			if err != nil {
+				return Ref{}, err
+			}
+			next = append(next, r)
+		}
+		refs = next
+	}
+	return c.fuseStep(op, refs)
+}
+
+func (c *compiler) fuseStep(op latch.Op, refs []Ref) (Ref, error) {
+	if r, ok := c.memo[c.nodeKey(op, refs)]; ok {
+		return r, nil
+	}
+	seq, err := FusedSequence(op, len(refs))
+	if err != nil {
+		return Ref{}, err
+	}
+	c.plan.FusedChains++
+	c.plan.FusedOperands += len(refs)
+	return c.add(Step{
+		Kind:   StepFused,
+		Op:     op,
+		Args:   append([]Ref(nil), refs...),
+		Key:    c.nodeKey(op, refs),
+		Leaves: c.leavesOf(refs),
+		Seq:    seq,
+	}), nil
+}

@@ -1,0 +1,496 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parabit/internal/flash"
+	"parabit/internal/latch"
+)
+
+// softRead builds a read function over deterministic per-LPN pages.
+func softRead(pageSize int) func(lpn uint64) ([]byte, error) {
+	return func(lpn uint64) ([]byte, error) {
+		p := make([]byte, pageSize)
+		r := rand.New(rand.NewSource(int64(lpn) + 17))
+		r.Read(p)
+		return p, nil
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical key
+	}{
+		{"1 & 2", "and(1,2)"},
+		{"2 & 1", "and(1,2)"},
+		{"1 & 2 & 3", "and(3,and(1,2))"}, // keys sort; Parse does not flatten
+		{"1 | 2 ^ 3 & 4", "or(1,xor(2,and(3,4)))"},
+		{"!(1 & 2)", "not(and(1,2))"},
+		{"!!7", "not(not(7))"},
+		{"1 ~& 2", "nand(1,2)"},
+		{"1 ~| 2", "nor(1,2)"},
+		{"1 ~^ 2", "xnor(1,2)"},
+		{"(1 | 2) & (3 | 4)", "and(or(1,2),or(3,4))"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := e.Key(); got != c.want {
+			t.Errorf("Parse(%q).Key() = %q, want %q", c.in, got, c.want)
+		}
+		// String must re-parse to the same canonical key.
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if back.Key() != e.Key() {
+			t.Errorf("String round-trip of %q: %q != %q", c.in, back.Key(), e.Key())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "1 &", "& 1", "(1 | 2", "1 2", "foo", "1 & & 2", "!(", "1)"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestNormalizeFoldsComplements(t *testing.T) {
+	cases := []struct {
+		in   *Expr
+		want string
+	}{
+		{Not(Not(Leaf(3))), "3"},
+		{Not(And(Leaf(1), Leaf(2))), "nand(1,2)"},
+		{Not(Or(Leaf(1), Leaf(2))), "nor(1,2)"},
+		{Not(Xor(Leaf(1), Leaf(2))), "xnor(1,2)"},
+		{Not(Nand(Leaf(1), Leaf(2))), "and(1,2)"},
+		{Not(Nor(Leaf(1), Leaf(2))), "or(1,2)"},
+		{Not(Xnor(Leaf(1), Leaf(2))), "xor(1,2)"},
+		{And(And(Leaf(1), Leaf(2)), And(Leaf(3), Leaf(4))), "and(1,2,3,4)"},
+		{Or(Leaf(1), Or(Leaf(2), Or(Leaf(3), Leaf(4)))), "or(1,2,3,4)"},
+		{Xor(Xor(Leaf(1), Leaf(2)), Leaf(3)), "xor(1,2,3)"},
+		// A 3-ary AND under NOT has no complement op; NOT survives.
+		{Not(And(Leaf(1), Leaf(2), Leaf(3))), "not(and(1,2,3))"},
+	}
+	for _, c := range cases {
+		n, err := Normalize(c.in)
+		if err != nil {
+			t.Fatalf("Normalize(%s): %v", c.in, err)
+		}
+		if got := n.Key(); got != c.want {
+			t.Errorf("Normalize(%s).Key() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizePreservesEval proves the rewrites are semantic no-ops by
+// differential evaluation over random expressions.
+func TestNormalizePreservesEval(t *testing.T) {
+	read := softRead(64)
+	rng := rand.New(rand.NewSource(42))
+	var gen func(depth int) *Expr
+	gen = func(depth int) *Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return Leaf(uint64(rng.Intn(6)))
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return Not(gen(depth - 1))
+		case 1:
+			return Nand(gen(depth-1), gen(depth-1))
+		case 2:
+			return Nor(gen(depth-1), gen(depth-1))
+		case 3:
+			return Xnor(gen(depth-1), gen(depth-1))
+		case 4:
+			return And(gen(depth-1), gen(depth-1))
+		case 5:
+			return Or(gen(depth-1), gen(depth-1))
+		default:
+			return Xor(gen(depth-1), gen(depth-1))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		e := gen(4)
+		n, err := Normalize(e)
+		if err != nil {
+			t.Fatalf("Normalize(%s): %v", e, err)
+		}
+		want, err := e.Eval(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := n.Eval(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("iteration %d: Normalize changed semantics of %s (-> %s)", i, e, n)
+		}
+	}
+}
+
+func TestFusedSequenceLegalAndCosted(t *testing.T) {
+	for _, op := range []latch.Op{latch.OpAnd, latch.OpOr, latch.OpXor} {
+		max := maxChainLen(op)
+		if max < 2 {
+			t.Fatalf("maxChainLen(%v) = %d", op, max)
+		}
+		for k := 2; k <= max; k++ {
+			seq, err := FusedSequence(op, k)
+			if err != nil {
+				t.Fatalf("FusedSequence(%v, %d): %v", op, k, err)
+			}
+			if err := seq.Validate(); err != nil {
+				t.Fatalf("FusedSequence(%v, %d) invalid: %v", op, k, err)
+			}
+			cost, err := flash.ChainCostLSB(op, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.SROs() != cost.SROs {
+				t.Fatalf("FusedSequence(%v, %d): %d SROs, cost model %d", op, k, seq.SROs(), cost.SROs)
+			}
+			if len(seq.Steps) > latch.MaxSteps {
+				t.Fatalf("FusedSequence(%v, %d): %d steps", op, k, len(seq.Steps))
+			}
+		}
+		// One past the cap must refuse.
+		if _, err := FusedSequence(op, max+1); err == nil {
+			t.Errorf("FusedSequence(%v, %d) succeeded past MaxSteps", op, max+1)
+		}
+	}
+	if _, err := FusedSequence(latch.OpNand, 3); err == nil {
+		t.Error("FusedSequence(NAND) succeeded; complements must not fuse")
+	}
+}
+
+func TestCompileFusesChains(t *testing.T) {
+	// Eight AND'd pages: one fused chain, one step.
+	args := make([]*Expr, 8)
+	for i := range args {
+		args[i] = Leaf(uint64(i))
+	}
+	p, err := Compile(And(args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Kind != StepFused || len(p.Steps[0].Args) != 8 {
+		t.Fatalf("want one 8-wide fused step, got %+v", p.Steps)
+	}
+	if p.FusedChains != 1 || p.FusedOperands != 8 {
+		t.Fatalf("fusion counters = %d/%d", p.FusedChains, p.FusedOperands)
+	}
+
+	// Nested same-op chains flatten into the same single step.
+	p2, err := Compile(And(And(Leaf(0), Leaf(1)), And(Leaf(2), And(Leaf(3), Leaf(4)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Steps) != 1 || len(p2.Steps[0].Args) != 5 {
+		t.Fatalf("nested AND did not flatten: %+v", p2.Steps)
+	}
+}
+
+func TestCompileSplitsOverlongChains(t *testing.T) {
+	// 40 OR operands exceed the 16-operand legal chain: expect multiple
+	// fused steps, each within bounds, combined by a final fused step.
+	args := make([]*Expr, 40)
+	for i := range args {
+		args[i] = Leaf(uint64(i))
+	}
+	p, err := Compile(Or(args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := maxChainLen(latch.OpOr)
+	covered := 0
+	for _, s := range p.Steps {
+		if s.Kind != StepFused {
+			t.Fatalf("unexpected step kind %v", s.Kind)
+		}
+		if len(s.Args) > max {
+			t.Fatalf("step arity %d exceeds legal chain %d", len(s.Args), max)
+		}
+		if err := s.Seq.Validate(); err != nil {
+			t.Fatalf("emitted sequence invalid: %v", err)
+		}
+		for _, r := range s.Args {
+			if r.Leaf {
+				covered++
+			}
+		}
+	}
+	if covered != 40 {
+		t.Fatalf("steps cover %d leaves, want 40", covered)
+	}
+	root := p.Steps[p.Root()]
+	if root.Kind != StepFused {
+		t.Fatalf("root step kind %v", root.Kind)
+	}
+	if len(root.Leaves) != 40 {
+		t.Fatalf("root leaf set %d, want 40", len(root.Leaves))
+	}
+}
+
+func TestCompileSharesCommonSubexpressions(t *testing.T) {
+	// (1&2) appears twice (once reordered); it must compile once.
+	e := Or(Xor(And(Leaf(1), Leaf(2)), Leaf(3)), And(Leaf(2), Leaf(1)))
+	p, err := Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ands := 0
+	for _, s := range p.Steps {
+		if s.Kind == StepFused && s.Op == latch.OpAnd {
+			ands++
+		}
+	}
+	if ands != 1 {
+		t.Fatalf("AND(1,2) compiled %d times, want 1 (steps: %+v)", ands, p.Steps)
+	}
+}
+
+func TestCompileTopoOrder(t *testing.T) {
+	e, err := Parse("!((1 & 2 & 3) ^ (4 | 5)) ~& (1 & 2 & 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range p.Steps {
+		for _, r := range s.Args {
+			if !r.Leaf && r.Step >= i {
+				t.Fatalf("step %d references step %d", i, r.Step)
+			}
+		}
+	}
+}
+
+func TestCacheHitMissInvalidate(t *testing.T) {
+	vers := map[uint64]uint64{1: 1, 2: 1}
+	verOf := func(lpn uint64) uint64 { return vers[lpn] }
+	c := NewCache(1024, nil)
+	if _, ok := c.Get("and(1,2)", verOf); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("and(1,2)", []byte{0xAA, 0xBB}, []uint64{1, 2}, verOf, 1e-4)
+	got, ok := c.Get("and(1,2)", verOf)
+	if !ok || got[0] != 0xAA {
+		t.Fatalf("miss after Put: %v %v", got, ok)
+	}
+	// Returned slice is a copy.
+	got[0] = 0
+	if again, _ := c.Get("and(1,2)", verOf); again[0] != 0xAA {
+		t.Fatal("Get returned shared storage")
+	}
+	// Bump a dependency version: entry must invalidate.
+	vers[2]++
+	if _, ok := c.Get("and(1,2)", verOf); ok {
+		t.Fatal("served stale entry after operand version bump")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Hits != 2 || st.Entries != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+type flatPricer float64
+
+func (p flatPricer) MovementSeconds(n int64) float64 { return float64(p) * float64(n) }
+
+func TestCacheEvictsCheapestPerByte(t *testing.T) {
+	verOf := func(uint64) uint64 { return 0 }
+	c := NewCache(2048, flatPricer(0)) // pure recompute pricing
+	cheap := make([]byte, 1024)
+	dear := make([]byte, 1024)
+	c.Put("cheap", cheap, nil, verOf, 1e-6)
+	c.Put("dear", dear, nil, verOf, 1e-2)
+	// Inserting a third page forces one eviction: the cheap entry goes.
+	c.Put("new", make([]byte, 1024), nil, verOf, 1e-3)
+	if _, ok := c.Get("dear", verOf); !ok {
+		t.Fatal("expensive entry evicted before cheap one")
+	}
+	if _, ok := c.Get("cheap", verOf); ok {
+		t.Fatal("cheap entry survived")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestCacheMovementPricing(t *testing.T) {
+	verOf := func(uint64) uint64 { return 0 }
+	// With a dominant movement price, the larger entry is worth more per
+	// byte only through recompute cost; equal costs make scores equal per
+	// byte, so LRU decides. Check the pricer is actually consulted by
+	// giving the small entry a huge movement value.
+	c := NewCache(1536, flatPricer(1e-3))
+	c.Put("small", make([]byte, 512), nil, verOf, 0)
+	c.Put("big", make([]byte, 1024), nil, verOf, 0)
+	// Both score identically per byte under a linear pricer; the small
+	// one is older, so it evicts first.
+	c.Put("next", make([]byte, 1024), nil, verOf, 0)
+	if _, ok := c.Get("big", verOf); ok {
+		t.Fatal("LRU tiebreak evicted the newer entry")
+	}
+	if _, ok := c.Get("next", verOf); !ok {
+		t.Fatal("inserted entry missing")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, nil)
+	verOf := func(uint64) uint64 { return 0 }
+	c.Put("k", []byte{1}, nil, verOf, 1)
+	if _, ok := c.Get("k", verOf); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestFormulaRoundTrip(t *testing.T) {
+	const pageSize = 512
+	exprs := []string{
+		"1 & 2",
+		"(1 & 2) | (3 & 4)",
+		"(1 ^ 2) & (3 | 4) & (5 ~^ 6)",
+		"(1 ~& 2) ^ (3 ~| 4)",
+		"!(1 & 2) | (3 & 4)", // normalizes to (1 ~& 2) | (3 & 4): two terms
+	}
+	for _, s := range exprs {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, ok, err := RoundTrip(e, pageSize)
+		if err != nil {
+			t.Fatalf("RoundTrip(%q): %v", s, err)
+		}
+		if !ok {
+			t.Fatalf("RoundTrip(%q): not expressible, want expressible", s)
+		}
+		n, _ := Normalize(e)
+		if back.Key() != n.Key() {
+			t.Fatalf("RoundTrip(%q) = %q, want %q", s, back.Key(), n.Key())
+		}
+	}
+	// Non-expressible shapes must return ok=false without error.
+	for _, s := range []string{"1 & 2 & 3", "!(1 & 2 & 3) | (4 & 5)", "((1&2)|(3&4)) ^ (5&6)"} {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := RoundTrip(e, pageSize); err != nil {
+			t.Fatalf("RoundTrip(%q): %v", s, err)
+		} else if ok {
+			t.Fatalf("RoundTrip(%q): expressible, want not", s)
+		}
+	}
+}
+
+func TestCompileEvalMatchesPlanSemantics(t *testing.T) {
+	// Walk a compiled plan in software and compare against direct Eval —
+	// proves splitting and CSE preserve semantics.
+	read := softRead(32)
+	exprs := []string{
+		"1 & 2 & 3 & 4",
+		"(1 | 2) ^ (3 & 4 & 5)",
+		"!(1 ^ 2) | (3 ~& 4)",
+		strings.Repeat("1 | ", 39) + "2", // forces chain splitting
+	}
+	for _, s := range exprs {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]byte, len(p.Steps))
+		argData := func(r Ref) []byte {
+			if r.Leaf {
+				d, _ := read(r.LPN)
+				return d
+			}
+			return append([]byte(nil), results[r.Step]...)
+		}
+		for i, st := range p.Steps {
+			switch st.Kind {
+			case StepRead:
+				results[i] = argData(st.Args[0])
+			case StepNot:
+				d := argData(st.Args[0])
+				for j := range d {
+					d[j] = ^d[j]
+				}
+				results[i] = d
+			default:
+				acc := argData(st.Args[0])
+				base, invert := baseOp(st.Op)
+				for _, r := range st.Args[1:] {
+					d := argData(r)
+					for j := range acc {
+						switch base {
+						case latch.OpAnd:
+							acc[j] &= d[j]
+						case latch.OpOr:
+							acc[j] |= d[j]
+						case latch.OpXor:
+							acc[j] ^= d[j]
+						}
+					}
+				}
+				if invert {
+					for j := range acc {
+						acc[j] = ^acc[j]
+					}
+				}
+				results[i] = acc
+			}
+		}
+		want, err := e.Eval(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(results[p.Root()]) != string(want) {
+			t.Fatalf("plan execution of %q diverges from Eval", s)
+		}
+	}
+}
+
+func TestLeafQueryCompilesToRead(t *testing.T) {
+	p, err := Compile(Leaf(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Kind != StepRead {
+		t.Fatalf("leaf plan: %+v", p.Steps)
+	}
+}
+
+func TestExprKeyOrderInsensitive(t *testing.T) {
+	a := And(Leaf(1), Or(Leaf(2), Leaf(3)))
+	b := And(Or(Leaf(3), Leaf(2)), Leaf(1))
+	if a.Key() != b.Key() {
+		t.Fatalf("commutative reorder changed key: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func ExampleParse() {
+	e, _ := Parse("(1 & 2) | !(3 ^ 4)")
+	n, _ := Normalize(e)
+	fmt.Println(n.Key())
+	// Output: or(and(1,2),xnor(3,4))
+}

@@ -35,6 +35,7 @@ import (
 	"parabit/internal/flash"
 	"parabit/internal/latch"
 	"parabit/internal/nvme"
+	"parabit/internal/plan"
 	"parabit/internal/sim"
 	"parabit/internal/ssd"
 	"parabit/internal/telemetry"
@@ -67,6 +68,8 @@ const (
 	KindReduce
 	// KindFormula executes a parsed bitwise formula end to end.
 	KindFormula
+	// KindQuery plans and executes a bitmap-query expression tree.
+	KindQuery
 	// KindBarrier performs no device work; it completes when the batch
 	// containing it issues, which makes Wait on it a drain point.
 	KindBarrier
@@ -77,7 +80,7 @@ const (
 var kindNames = [numKinds]string{
 	"write", "write-operand", "write-pair", "write-group", "write-on-plane",
 	"write-triple", "read", "bitwise", "bitwise-triple", "reduce", "formula",
-	"barrier",
+	"query", "barrier",
 }
 
 func (k Kind) String() string {
@@ -111,10 +114,13 @@ type Command struct {
 	// Scheme selects the execution scheme for bitwise kinds.
 	Scheme ssd.Scheme
 	// ToHost additionally ships the result over the host link, filling
-	// Result.HostDone (KindBitwise, KindReduce).
+	// Result.HostDone (KindBitwise, KindReduce, KindQuery).
 	ToHost bool
 	// Formula is the command stream for KindFormula.
 	Formula nvme.Formula
+	// Query is the expression tree for KindQuery. Expressions are
+	// immutable after construction, so they are not copied at Submit.
+	Query *plan.Expr
 }
 
 // Result is the outcome of one command.
@@ -483,6 +489,15 @@ func (s *Scheduler) exec(c *Command, issue sim.Time) Result {
 		r.Pages, r.Err = fr.Pages, err
 		if err == nil {
 			r.Done, r.HostDone = fr.Done, fr.HostDone
+		}
+	case KindQuery:
+		br, err := s.dev.ExecuteQuery(c.Query, c.Scheme, issue)
+		if err == nil && c.ToHost {
+			s.dev.ShipToHost(&br)
+		}
+		r.Data, r.Err = br.Data, err
+		if err == nil {
+			r.Done, r.HostDone = br.Done, br.HostDone
 		}
 	default:
 		panic("sched: unknown command kind")

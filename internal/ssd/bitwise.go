@@ -251,8 +251,18 @@ func (d *Device) storeResult(data []byte, at sim.Time) (uint64, sim.Time, error)
 //     family pays a buffer round-trip per step. Misaligned operands fall
 //     back to pairwise execution with plane-aligned result parking.
 func (d *Device) Reduce(op latch.Op, lpns []uint64, scheme Scheme, at sim.Time) (BitwiseResult, error) {
-	if len(lpns) < 2 {
+	if len(lpns) == 0 {
 		return BitwiseResult{}, ErrNeedOperands
+	}
+	if len(lpns) == 1 {
+		// A fold over one operand is the operand: planner-generated
+		// degenerate expressions (e.g. a chain whose other arms were
+		// cached) resolve to a plain read, not an error.
+		data, done, err := d.Read(lpns[0], at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		return BitwiseResult{Data: data, Done: done}, nil
 	}
 	switch op {
 	case latch.OpAnd, latch.OpOr, latch.OpXor:
@@ -274,48 +284,52 @@ func (d *Device) Reduce(op latch.Op, lpns []uint64, scheme Scheme, at sim.Time) 
 // operands sit in LSB pages of one plane, one chained operation does the
 // whole fold; otherwise same-plane runs chain and the partial results are
 // parked aligned with the next run.
+//
+// Layouts are resolved per run, immediately before sensing. The parking
+// writes between runs go through the FTL's fault-aware program path, and
+// a program fault (bad-block retirement), garbage collection, or block
+// reclaim triggered there migrates mapped pages — including this
+// reduction's own operands. A WordlineAddr captured before such a
+// migration is stale: the victim block is erased after its valid pages
+// move, so folding against it senses erased cells. Operands a migration
+// pushed out of a run's chain (off-plane, or no longer LSB) fold through
+// the buffered reallocation path instead.
 func (d *Device) reduceLocFree(op latch.Op, lpns []uint64, at sim.Time) (BitwiseResult, error) {
-	// Resolve layouts; any non-LSB operand forces the pairwise fallback.
-	wls := make([]flash.WordlineAddr, len(lpns))
-	allLSB := true
+	// Pre-scan for run grouping and the fallback decision only; the
+	// wordline addresses seen here are NOT reused for sensing.
+	planes := make([]flash.PlaneAddr, len(lpns))
 	for i, lpn := range lpns {
 		addr, err := d.operandLoc(lpn)
 		if err != nil {
 			return BitwiseResult{}, err
 		}
 		if addr.Kind != flash.LSBPage {
-			allLSB = false
-			break
+			d.stats.Fallbacks++
+			d.noteFallback(SchemeLocFree)
+			return d.reduceSerial(op, lpns, at)
 		}
-		wls[i] = addr.WordlineAddr
+		planes[i] = addr.WordlineAddr.PlaneAddr
 	}
-	if !allLSB {
-		d.stats.Fallbacks++
-		d.noteFallback(SchemeLocFree)
-		return d.reduceSerial(op, lpns, at)
-	}
-	// Split into same-plane runs, chain each, then park run results
-	// aligned and chain again until one remains.
+	// Split into same-plane runs of LPNs, chain each, then park run
+	// results aligned and chain again until one remains.
 	type run struct {
-		wls   []flash.WordlineAddr
-		ready sim.Time
+		lpns  []uint64
+		plane flash.PlaneAddr
 	}
 	var runs []run
-	cur := run{ready: at}
-	for i, wl := range wls {
-		if i > 0 && wl.PlaneAddr != cur.wls[0].PlaneAddr {
-			runs = append(runs, cur)
-			cur = run{ready: at}
+	for i, lpn := range lpns {
+		if i == 0 || planes[i] != runs[len(runs)-1].plane {
+			runs = append(runs, run{plane: planes[i]})
 		}
-		cur.wls = append(cur.wls, wl)
+		runs[len(runs)-1].lpns = append(runs[len(runs)-1].lpns, lpn)
 	}
-	runs = append(runs, cur)
 
 	var acc BitwiseResult
 	havePartial := false
-	for ri, r := range runs {
-		ready := r.ready
-		chainWLs := r.wls
+	for _, r := range runs {
+		ready := at
+		parked := false
+		var parkWL flash.WordlineAddr
 		if havePartial {
 			// Park the running result on this run's plane so it joins
 			// the chain.
@@ -323,37 +337,92 @@ func (d *Device) reduceLocFree(op latch.Op, lpns []uint64, at sim.Time) (Bitwise
 			if err != nil {
 				return BitwiseResult{}, err
 			}
-			wl, done, err := d.ftl.WriteLSBOnPlane(r.wls[0].PlaneAddr, lpn, acc.Data, sim.Max(acc.Done, ready), false)
+			_, done, err := d.ftl.WriteLSBOnPlane(r.plane, lpn, acc.Data, sim.Max(acc.Done, at), false)
 			if err != nil {
 				return BitwiseResult{}, err
 			}
 			d.plain[lpn] = true
-			chainWLs = append([]flash.WordlineAddr{wl}, chainWLs...)
 			ready = done
-		}
-		if len(chainWLs) == 1 {
-			// Only possible for the first run (afterwards the parked
-			// partial joins every chain): load the lone operand as the
-			// initial accumulator.
-			if ri != 0 {
-				return BitwiseResult{}, fmt.Errorf("ssd: internal: short chain at run %d", ri)
+			// The write itself re-steers around program faults, but
+			// verify where the page actually landed rather than trusting
+			// the requested plane.
+			if addr, ok := d.ftl.Lookup(lpn); ok &&
+				addr.Kind == flash.LSBPage && addr.WordlineAddr.PlaneAddr == r.plane {
+				parked, parkWL = true, addr.WordlineAddr
 			}
-			data, done, err := d.Read(lpns[0], ready)
+		}
+		// Resolve this run's layout NOW, after whatever maintenance the
+		// parking write triggered: still-aligned operands chain, migrated
+		// ones fold through the buffered path below.
+		type located struct {
+			lpn uint64
+			wl  flash.WordlineAddr
+		}
+		var aligned []located
+		var strays []uint64
+		for _, lpn := range r.lpns {
+			addr, err := d.operandLoc(lpn)
 			if err != nil {
 				return BitwiseResult{}, err
 			}
-			acc = BitwiseResult{Data: data, Done: done}
+			if addr.Kind == flash.LSBPage && addr.WordlineAddr.PlaneAddr == r.plane {
+				aligned = append(aligned, located{lpn, addr.WordlineAddr})
+			} else {
+				strays = append(strays, lpn)
+			}
+		}
+		var chain []flash.WordlineAddr
+		if parked {
+			chain = append(chain, parkWL)
+		}
+		for _, a := range aligned {
+			chain = append(chain, a.wl)
+		}
+		if len(chain) >= 2 {
+			res, err := d.array.BitwiseChainLSB(op, chain, ready)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.stats.BitwiseOps++
+			d.noteOp(op, SchemeLocFree, ready, res.Ready)
+			if havePartial && !parked {
+				// The chain ran without the partial (the parked page
+				// landed off-plane): merge the two buffered halves.
+				acc, err = d.senseAfterReallocBuffered(op, acc.Data, acc.Done, -1, res.Data, res.Ready, ready)
+				if err != nil {
+					return BitwiseResult{}, err
+				}
+			} else {
+				acc = BitwiseResult{Data: res.Data, Done: res.Ready}
+			}
 			havePartial = true
-			continue
+		} else {
+			// Too short to chain: a lone aligned operand folds like a
+			// stray; a parked-but-alone partial is already in acc.
+			for _, a := range aligned {
+				strays = append(strays, a.lpn)
+			}
 		}
-		res, err := d.array.BitwiseChainLSB(op, chainWLs, ready)
-		if err != nil {
-			return BitwiseResult{}, err
+		if len(strays) > 0 && havePartial {
+			d.stats.Fallbacks++
+			d.noteFallback(SchemeLocFree)
 		}
-		d.stats.BitwiseOps++
-		d.noteOp(op, SchemeLocFree, ready, res.Ready)
-		acc = BitwiseResult{Data: res.Data, Done: res.Ready}
-		havePartial = true
+		for _, lpn := range strays {
+			if !havePartial {
+				data, done, err := d.Read(lpn, ready)
+				if err != nil {
+					return BitwiseResult{}, err
+				}
+				acc = BitwiseResult{Data: data, Done: done}
+				havePartial = true
+				continue
+			}
+			res, err := d.senseAfterReallocBuffered(op, acc.Data, acc.Done, int64(lpn), nil, 0, sim.Max(ready, acc.Done))
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			acc = res
+		}
 	}
 	return acc, nil
 }

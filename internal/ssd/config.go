@@ -68,6 +68,21 @@ type Config struct {
 	// noise model it gives §5.8's configuration (raw errors corrected on
 	// ordinary reads, uncorrected on ParaBit results).
 	ECCSectorBytes int
+	// QueryCacheBytes bounds the controller-DRAM result cache the query
+	// planner keeps hot intermediates in. 0 selects the default of 64
+	// pages; negative values disable the cache.
+	QueryCacheBytes int64
+}
+
+// queryCacheBytes resolves the cache size policy.
+func (c Config) queryCacheBytes() int64 {
+	if c.QueryCacheBytes < 0 {
+		return 0
+	}
+	if c.QueryCacheBytes == 0 {
+		return 64 * int64(c.Geometry.PageSize)
+	}
+	return c.QueryCacheBytes
 }
 
 // DefaultConfig returns the paper's evaluated 512 GB SSD.

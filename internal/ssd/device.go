@@ -9,6 +9,8 @@ import (
 	"parabit/internal/ftl"
 	"parabit/internal/interconnect"
 	"parabit/internal/latch"
+	"parabit/internal/pim"
+	"parabit/internal/plan"
 	"parabit/internal/sim"
 )
 
@@ -20,8 +22,9 @@ var (
 	// ErrNotAligned reports a location-free operation whose operands are
 	// not aligned LSB pages on one plane.
 	ErrNotAligned = errors.New("ssd: operands not plane-aligned LSB pages")
-	// ErrNeedOperands reports a reduction with fewer than two operands.
-	ErrNeedOperands = errors.New("ssd: reduction needs at least two operands")
+	// ErrNeedOperands reports a reduction with no operands. (A
+	// single-operand reduction is legal: it resolves to a plain read.)
+	ErrNeedOperands = errors.New("ssd: reduction needs at least one operand")
 	// ErrNoSpace reports internal LPN exhaustion for reallocation targets.
 	ErrNoSpace = errors.New("ssd: no internal pages for reallocation")
 )
@@ -41,6 +44,10 @@ type Device struct {
 	lowInternal  uint64
 	stats        OpStats
 	tele         devTele
+	// qcache is the query planner's controller-DRAM result cache (nil
+	// when disabled); qstats counts planner activity.
+	qcache *plan.Cache
+	qstats QueryStats
 }
 
 // OpStats counts controller-level ParaBit activity.
@@ -71,7 +78,7 @@ func New(cfg Config) (*Device, error) {
 	// The top eighth of the logical space is the controller's private
 	// pool for reallocated operands and intermediate results.
 	low := logical - logical/8
-	return &Device{
+	d := &Device{
 		cfg:          cfg,
 		array:        array,
 		ftl:          f,
@@ -79,7 +86,14 @@ func New(cfg Config) (*Device, error) {
 		plain:        make(map[uint64]bool),
 		nextInternal: logical - 1,
 		lowInternal:  low,
-	}, nil
+	}
+	if bytes := cfg.queryCacheBytes(); bytes > 0 {
+		// Eviction is priced with the Ambit-calibrated movement model:
+		// what a victim's bytes would cost to ship back over the link,
+		// plus its measured recompute time (see internal/plan).
+		d.qcache = plan.NewCache(bytes, pim.New(pim.DefaultConfig(), nil))
+	}
+	return d, nil
 }
 
 // MustNew is New for configurations known valid at compile time.

@@ -343,10 +343,20 @@ func TestReduceSchemeCostOrdering(t *testing.T) {
 	}
 }
 
-func TestReduceNeedsTwoOperands(t *testing.T) {
+func TestReduceOperandCounts(t *testing.T) {
 	d := newDevice(t)
-	if _, err := d.Reduce(latch.OpAnd, []uint64{1}, SchemeReAlloc, 0); !errors.Is(err, ErrNeedOperands) {
-		t.Fatalf("err = %v", err)
+	if _, err := d.Reduce(latch.OpAnd, nil, SchemeReAlloc, 0); !errors.Is(err, ErrNeedOperands) {
+		t.Fatalf("empty reduce err = %v", err)
+	}
+	// A single-operand reduce is the identity: a plain read, not an error.
+	page := randPage(d, 77)
+	d.WriteOperand(9, page, 0)
+	res, err := d.Reduce(latch.OpAnd, []uint64{9}, SchemeReAlloc, 0)
+	if err != nil {
+		t.Fatalf("single-operand reduce err = %v", err)
+	}
+	if !bytes.Equal(res.Data, page) {
+		t.Fatal("single-operand reduce is not the identity")
 	}
 }
 

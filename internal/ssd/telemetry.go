@@ -46,6 +46,16 @@ type devTele struct {
 	cReallocPg  *telemetry.Counter
 	cDescramble *telemetry.Counter
 	cResult     *telemetry.Counter
+	// Query-planner stages: the qTrack lane carries plan spans, fuse
+	// spans and cache hit/evict instants.
+	qTrack       *telemetry.Track
+	cQPlans      *telemetry.Counter
+	cQSteps      *telemetry.Counter
+	cQFused      *telemetry.Counter
+	cQCacheHit   *telemetry.Counter
+	cQCacheMiss  *telemetry.Counter
+	cQCacheEvict *telemetry.Counter
+	cQRoundTrip  *telemetry.Counter
 }
 
 // SetTelemetry attaches (or, with nil, detaches) a telemetry sink to the
@@ -57,12 +67,19 @@ type devTele struct {
 func (d *Device) SetTelemetry(s *telemetry.Sink) {
 	d.ftl.SetTelemetry(s)
 	d.tele = devTele{
-		sink:        s,
-		cOps:        s.Counter(bitwiseOpsName),
-		cRealloc:    s.Counter("ssd.reallocations"),
-		cReallocPg:  s.Counter("ssd.realloc.pages"),
-		cDescramble: s.Counter("ssd.descrambled_reads"),
-		cResult:     s.Counter("ssd.result_bytes"),
+		sink:         s,
+		cOps:         s.Counter(bitwiseOpsName),
+		cRealloc:     s.Counter("ssd.reallocations"),
+		cReallocPg:   s.Counter("ssd.realloc.pages"),
+		cDescramble:  s.Counter("ssd.descrambled_reads"),
+		cResult:      s.Counter("ssd.result_bytes"),
+		cQPlans:      s.Counter("ssd.query.plans"),
+		cQSteps:      s.Counter("ssd.query.steps"),
+		cQFused:      s.Counter("ssd.query.fused_chains"),
+		cQCacheHit:   s.Counter("ssd.query.cache.hits"),
+		cQCacheMiss:  s.Counter("ssd.query.cache.misses"),
+		cQCacheEvict: s.Counter("ssd.query.cache.evictions"),
+		cQRoundTrip:  s.Counter("ssd.query.nvme_roundtrips"),
 	}
 	tr := s.Trace()
 	if tr == nil {
@@ -71,6 +88,7 @@ func (d *Device) SetTelemetry(s *telemetry.Sink) {
 		return
 	}
 	d.tele.opTrack = tr.Track("ssd", "bitwise")
+	d.tele.qTrack = tr.Track("ssd", "query")
 	// One occupancy lane per plane and per channel, registered eagerly so
 	// the lanes exist even before any traffic reaches them.
 	d.array.InstrumentResources(func(name string) sim.ReserveObserver {

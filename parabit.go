@@ -28,6 +28,7 @@ import (
 	"parabit/internal/faults"
 	"parabit/internal/flash"
 	"parabit/internal/latch"
+	"parabit/internal/plan"
 	"parabit/internal/reliability"
 	"parabit/internal/sched"
 	"parabit/internal/sim"
@@ -152,6 +153,13 @@ func WithScrambling(on bool) Option {
 // P/E count and sensing count. seed makes runs reproducible.
 func WithErrorModel(seed int64) Option {
 	return func(c *config) { c.noise = reliability.NewModel(seed) }
+}
+
+// WithQueryCache bounds the controller-DRAM result cache the query
+// planner keeps hot intermediates in, in bytes. Zero keeps the default
+// (64 pages); negative disables caching.
+func WithQueryCache(bytes int64) Option {
+	return func(c *config) { c.cfg.QueryCacheBytes = bytes }
 }
 
 // WithECC installs a SEC-DED codec over 512-byte sectors (or the page
@@ -294,6 +302,146 @@ func (d *Device) BitwiseToHost(op Op, first, second uint64, scheme Scheme) (Resu
 	}))
 }
 
+// Query is a bitmap-query expression tree over operand LPNs. Build one
+// with QueryLPN and the combinators, or parse the textual form
+// ("(1 & 2 & 3) | !(4 ^ 5)") with ParseQuery, then execute it with
+// Device.Query. The planner normalizes the tree, fuses associative
+// chains into single multi-operand latch programs, shares structurally
+// equal sub-queries, and caches hot intermediate results in controller
+// DRAM. The zero Query is invalid.
+type Query struct{ e *plan.Expr }
+
+// QueryLPN is the leaf query: the content of one operand page.
+func QueryLPN(lpn uint64) Query { return Query{plan.Leaf(lpn)} }
+
+// QueryAnd is the conjunction of two or more sub-queries.
+func QueryAnd(qs ...Query) Query { return Query{plan.And(exprs(qs)...)} }
+
+// QueryOr is the disjunction of two or more sub-queries.
+func QueryOr(qs ...Query) Query { return Query{plan.Or(exprs(qs)...)} }
+
+// QueryXor is the exclusive-or of two or more sub-queries.
+func QueryXor(qs ...Query) Query { return Query{plan.Xor(exprs(qs)...)} }
+
+// QueryXnor is the equivalence of exactly two sub-queries.
+func QueryXnor(a, b Query) Query { return Query{plan.Xnor(a.e, b.e)} }
+
+// QueryNand is the negated conjunction of exactly two sub-queries.
+func QueryNand(a, b Query) Query { return Query{plan.Nand(a.e, b.e)} }
+
+// QueryNor is the negated disjunction of exactly two sub-queries.
+func QueryNor(a, b Query) Query { return Query{plan.Nor(a.e, b.e)} }
+
+// QueryNot negates a sub-query. The planner folds negations into the
+// complement operations (NAND, NOR, XNOR) where the circuit has them.
+func QueryNot(q Query) Query { return Query{plan.Not(q.e)} }
+
+// ParseQuery parses the textual query language: decimal LPNs as leaves;
+// operators !, &, |, ^ plus the negated forms ~&, ~|, ~^; parentheses.
+// Precedence is ! over & over ^ over |, all left-associative.
+func ParseQuery(s string) (Query, error) {
+	e, err := plan.Parse(s)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{e}, nil
+}
+
+// String renders the query in the ParseQuery syntax.
+func (q Query) String() string {
+	if q.e == nil {
+		return "<invalid query>"
+	}
+	return q.e.String()
+}
+
+func exprs(qs []Query) []*plan.Expr {
+	es := make([]*plan.Expr, len(qs))
+	for i, q := range qs {
+		es[i] = q.e
+	}
+	return es
+}
+
+var errInvalidQuery = errors.New("parabit: invalid (zero) Query")
+
+// Query plans and executes a bitmap-query expression under the scheme:
+// associative chains fuse into single multi-operand latch programs,
+// repeated sub-queries compute once, and intermediate results are served
+// from the controller-DRAM cache while their operand pages are unchanged.
+// The result is bit-exact with evaluating the expression over the current
+// page contents.
+func (d *Device) Query(q Query, scheme Scheme) (Result, error) {
+	if q.e == nil {
+		return Result{}, errInvalidQuery
+	}
+	return wait(d.sched.Submit(sched.Command{
+		Kind:   sched.KindQuery,
+		Query:  q.e,
+		Scheme: scheme.ssd(),
+	}))
+}
+
+// QueryToHost executes Query and ships the result over the host link,
+// filling HostLatency.
+func (d *Device) QueryToHost(q Query, scheme Scheme) (Result, error) {
+	if q.e == nil {
+		return Result{}, errInvalidQuery
+	}
+	return wait(d.sched.Submit(sched.Command{
+		Kind:   sched.KindQuery,
+		Query:  q.e,
+		Scheme: scheme.ssd(),
+		ToHost: true,
+	}))
+}
+
+// QueryStats reports query-planner activity: how much fusion and result
+// caching the executed queries enjoyed.
+type QueryStats struct {
+	// Queries executed, plan steps run, fused chains among them, and the
+	// operands those chains covered.
+	Queries       int64
+	PlanSteps     int64
+	FusedChains   int64
+	FusedOperands int64
+	// NVMeRoundTrips counts queries that travelled the NVMe command
+	// encoding (wire-expressible shapes).
+	NVMeRoundTrips int64
+	// Result-cache activity. Invalidations are entries dropped because an
+	// operand page changed (overwrite, GC migration, block retirement)
+	// between queries.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheEvictions     int64
+	CacheInvalidations int64
+	CacheBytes         int64
+	CacheEntries       int64
+}
+
+// QueryStats returns a snapshot of planner counters. It drains the
+// command queue first.
+func (d *Device) QueryStats() QueryStats {
+	var qs QueryStats
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		st := dev.QueryStats()
+		qs = QueryStats{
+			Queries:            st.Queries,
+			PlanSteps:          st.PlanSteps,
+			FusedChains:        st.FusedChains,
+			FusedOperands:      st.FusedOperands,
+			NVMeRoundTrips:     st.NVMeRoundTrips,
+			CacheHits:          st.Cache.Hits,
+			CacheMisses:        st.Cache.Misses,
+			CacheEvictions:     st.Cache.Evictions,
+			CacheInvalidations: st.Cache.Invalidations,
+			CacheBytes:         st.Cache.Bytes,
+			CacheEntries:       st.Cache.Entries,
+		}
+	})
+	return qs
+}
+
 // Pending is a handle to a submitted but not yet awaited operation.
 // Submitting several operations before waiting on any of them queues them
 // into one dispatch batch: they share a virtual issue instant, so
@@ -326,6 +474,15 @@ func (d *Device) BitwiseAsync(op Op, first, second uint64, scheme Scheme) *Pendi
 		Kind:   sched.KindBitwise,
 		LPNs:   []uint64{first, second},
 		Op:     op.latch(),
+		Scheme: scheme.ssd(),
+	})}
+}
+
+// QueryAsync queues a Query without waiting for it.
+func (d *Device) QueryAsync(q Query, scheme Scheme) *Pending {
+	return &Pending{d.sched.Submit(sched.Command{
+		Kind:   sched.KindQuery,
+		Query:  q.e,
 		Scheme: scheme.ssd(),
 	})}
 }
