@@ -17,6 +17,17 @@
 //	                                unfused (op-by-op with write-backs)
 //	parabit-bench -planner -planner-check BENCH_planner.json
 //	                                CI gate: fail on >10% fused-p99 regression
+//	parabit-bench -cluster=4        deterministic sharded-cluster benchmark:
+//	                                a seeded query stream over a chunk-placed
+//	                                bitmap, with per-shard latency lanes and
+//	                                the route mix (local/wire/scatter)
+//	parabit-bench -cluster=4 -cluster-check BENCH_cluster.json
+//	                                CI gate: fail on >10% cluster-p99 regression
+//	parabit-bench -hammer=8 -cluster=4
+//	                                concurrent multi-tenant cluster hammer with
+//	                                QoS armed; reports per-kind outcome counts
+//	                                (ok/rejected/unavailable) separately from
+//	                                the latency percentiles
 package main
 
 import (
@@ -38,6 +49,33 @@ import (
 
 // defaultHammerClients is the client count a bare -hammer flag uses.
 const defaultHammerClients = 8
+
+// defaultClusterShards is the shard count a bare -cluster flag uses.
+const defaultClusterShards = 4
+
+// clusterFlag accepts -cluster (bare, meaning defaultClusterShards) and
+// -cluster=N.
+type clusterFlag struct{ n int }
+
+func (c *clusterFlag) String() string   { return strconv.Itoa(c.n) }
+func (c *clusterFlag) IsBoolFlag() bool { return true }
+
+func (c *clusterFlag) Set(v string) error {
+	switch v {
+	case "true":
+		c.n = defaultClusterShards
+		return nil
+	case "false":
+		c.n = 0
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return fmt.Errorf("want a positive shard count, got %q", v)
+	}
+	c.n = n
+	return nil
+}
 
 // hammerFlag accepts -hammer (bare, meaning defaultHammerClients),
 // -hammer=N, and — rescued from the positional arguments after parsing —
@@ -77,6 +115,16 @@ func main() {
 	planner := flag.Bool("planner", false, "run the query-planner benchmark: fused vs unfused p99")
 	plannerOut := flag.String("planner-out", "", "planner mode: write the JSON report here (the BENCH_planner.json format)")
 	plannerCheck := flag.String("planner-check", "", "planner mode: compare against this JSON report; fail on >10% fused-p99 regression")
+	var clusterShards clusterFlag
+	flag.Var(&clusterShards, "cluster", "cluster mode: shard count (bare flag: 4); combine with -hammer for the concurrent multi-tenant hammer")
+	users := flag.Int64("users", 2_000_000, "cluster mode: bitmap user count (column bits)")
+	days := flag.Int("days", 6, "cluster mode: bitmap day-column count")
+	skew := flag.Float64("skew", 1.2, "cluster mode: Zipf day-access skew (<=1 for uniform)")
+	tenants := flag.Int("tenants", 4, "cluster hammer: tenant count (odd tenants run QoS-capped)")
+	replicas := flag.Int("replicas", 2, "cluster mode: replicas per column")
+	clusterQueries := flag.Int("cluster-queries", 240, "cluster mode: deterministic query count")
+	clusterOut := flag.String("cluster-out", "", "cluster mode: write the JSON report here (the BENCH_cluster.json format)")
+	clusterCheck := flag.String("cluster-check", "", "cluster mode: compare against this JSON report; fail on >10% p99 regression")
 	flag.Parse()
 
 	if *planner {
@@ -100,7 +148,26 @@ func main() {
 				}
 			}
 		}
+		if clusterShards.n > 0 {
+			err := runClusterHammer(n, *hammerOps, clusterShards.n, *replicas, *tenants,
+				*users, *days, *skew, *tracePath, *metrics, os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runHammer(n, *hammerOps, *tracePath, *faultsPath, *metrics, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if clusterShards.n > 0 {
+		err := runClusterBench(clusterShards.n, *replicas, *users, *days, *skew,
+			*clusterQueries, *clusterOut, *clusterCheck, os.Stdout)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -148,9 +215,9 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 	if err != nil {
 		return err
 	}
-	if tracePath != "" || metrics {
-		dev.EnableTelemetry(tracePath != "")
-	}
+	// Telemetry is always on: the per-queue report needs the latency
+	// histograms even when no trace or metrics dump was requested.
+	sink := dev.EnableTelemetry(tracePath != "")
 	if faultsPath != "" {
 		if err := dev.InstallFaultPlanFile(faultsPath); err != nil {
 			return err
@@ -246,12 +313,19 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 			qs.Queries, qs.PlanSteps, qs.FusedChains, qs.CacheHits, qs.CacheInvalidations)
 	}
 	fmt.Fprintf(w, "  write amplification %.3f\n", st.WriteAmplification)
-	fmt.Fprintln(w, "  per-queue: kind submitted maxdepth busy")
+	fmt.Fprintln(w, "  per-queue: kind submitted errors maxdepth busy p50 p95 p99")
 	for k, q := range ss.Queues {
 		if q.Submitted == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "    %-14s %9d %8d %v\n", sched.Kind(k).String(), q.Submitted, q.MaxDepth, q.Busy.Std())
+		kind := sched.Kind(k).String()
+		// Errors count rejected/failed submissions per kind, reported
+		// apart from the latency percentiles: a queue that sheds load
+		// fast would otherwise look healthy on latency alone.
+		lat := sink.Histogram("sched.latency."+kind).Quantiles(0.50, 0.95, 0.99)
+		fmt.Fprintf(w, "    %-14s %9d %6d %8d %12v %9.1fus %9.1fus %9.1fus\n",
+			kind, q.Submitted, q.Errors, q.MaxDepth, q.Busy.Std(),
+			lat[0].Micros(), lat[1].Micros(), lat[2].Micros())
 	}
 	if faultsPath != "" {
 		fs := dev.FaultStats()

@@ -25,16 +25,17 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
 	Doc: "flag call statements that discard error results from the device stack " +
-		"(internal/ssd, internal/ftl, internal/sched): a dropped error silently " +
-		"desynchronizes the simulated device state",
+		"(internal/ssd, internal/ftl, internal/sched, internal/cluster): a dropped " +
+		"error silently desynchronizes the simulated device state",
 	Run: run,
 }
 
 // guardedPkgs are the packages whose error returns must not be dropped.
 var guardedPkgs = map[string]bool{
-	"parabit/internal/ssd":   true,
-	"parabit/internal/ftl":   true,
-	"parabit/internal/sched": true,
+	"parabit/internal/ssd":     true,
+	"parabit/internal/ftl":     true,
+	"parabit/internal/sched":   true,
+	"parabit/internal/cluster": true,
 }
 
 func run(pass *analysis.Pass) error {

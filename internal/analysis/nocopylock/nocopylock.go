@@ -26,9 +26,9 @@ import (
 // Analyzer is the nocopylock analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "nocopylock",
-	Doc: "flag by-value copies of telemetry/sched handle structs carrying mutexes or " +
-		"atomics (params, results, receivers, range copies, value assignments), which " +
-		"vet's copylocks misses for atomic-only structs",
+	Doc: "flag by-value copies of telemetry/sched/cluster handle structs carrying " +
+		"mutexes or atomics (params, results, receivers, range copies, value " +
+		"assignments), which vet's copylocks misses for atomic-only structs",
 	Run: run,
 }
 
@@ -36,7 +36,9 @@ var Analyzer = &analysis.Analyzer{
 // the shared-by-pointer discipline. Suffix matching lets analyzer
 // fixtures under testdata take the same path shape.
 func isGuardedPkg(path string) bool {
-	return strings.HasSuffix(path, "internal/telemetry") || strings.HasSuffix(path, "internal/sched")
+	return strings.HasSuffix(path, "internal/telemetry") ||
+		strings.HasSuffix(path, "internal/sched") ||
+		strings.HasSuffix(path, "internal/cluster")
 }
 
 type checker struct {

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parabit/internal/sim"
+	"parabit/internal/telemetry"
+)
+
+// Admission control runs per tenant: a token bucket shapes request rate
+// and a bound on in-flight requests caps queue depth, both on the
+// cluster's virtual clock. Rejections are typed (ErrAdmission) so callers
+// and benchmarks can separate back-pressure from real failures.
+
+// ErrAdmission is the class of typed admission rejections; match with
+// errors.Is.
+var ErrAdmission = errors.New("cluster: admission denied")
+
+// AdmissionError is a typed rejection: which tenant, and whether the rate
+// limit ("rate") or the in-flight bound ("queue") fired.
+type AdmissionError struct {
+	Tenant string
+	Reason string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("cluster: tenant %q rejected (%s limit)", e.Tenant, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrAdmission) true for every AdmissionError.
+func (e *AdmissionError) Is(target error) bool { return target == ErrAdmission }
+
+// QoS is one tenant's admission policy. Zero fields are unlimited.
+type QoS struct {
+	// OpsPerSec refills the tenant's token bucket, in operations per
+	// simulated second.
+	OpsPerSec float64
+	// Burst caps the bucket (default: OpsPerSec rounded up, minimum 1).
+	Burst int
+	// MaxInFlight bounds the tenant's concurrently admitted operations.
+	MaxInFlight int
+}
+
+func (q QoS) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	if q.OpsPerSec >= 1 {
+		return q.OpsPerSec
+	}
+	return 1
+}
+
+// tenant is one token bucket plus in-flight count.
+type tenant struct {
+	mu       sync.Mutex
+	qos      QoS
+	tokens   float64
+	last     sim.Time
+	inflight int
+}
+
+// admitter owns the tenant table.
+type admitter struct {
+	mu          sync.Mutex
+	def         QoS
+	tenants     map[string]*tenant
+	rejectRate  *telemetry.Counter
+	rejectQueue *telemetry.Counter
+}
+
+func (a *admitter) init(def QoS) {
+	a.def = def
+	a.tenants = make(map[string]*tenant)
+}
+
+func (a *admitter) setTelemetry(rate, queue *telemetry.Counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rejectRate = rate
+	a.rejectQueue = queue
+}
+
+func (a *admitter) set(name string, q QoS) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tenants[name] = &tenant{qos: q, tokens: q.burst()}
+}
+
+func (a *admitter) get(name string) *tenant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tenants[name]
+	if !ok {
+		t = &tenant{qos: a.def, tokens: a.def.burst()}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+// admit charges one operation against the tenant's QoS at the given
+// virtual instant. On success the returned release must be called when
+// the operation completes; on rejection the error matches ErrAdmission.
+func (a *admitter) admit(name string, now sim.Time) (release func(), err error) {
+	t := a.get(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.qos.OpsPerSec > 0 {
+		if now > t.last {
+			t.tokens += now.Sub(t.last).Seconds() * t.qos.OpsPerSec
+			if cap := t.qos.burst(); t.tokens > cap {
+				t.tokens = cap
+			}
+			t.last = now
+		}
+		if t.tokens < 1 {
+			a.count(a.rejectRate)
+			return nil, &AdmissionError{Tenant: name, Reason: "rate"}
+		}
+		t.tokens--
+	}
+	if t.qos.MaxInFlight > 0 {
+		if t.inflight >= t.qos.MaxInFlight {
+			a.count(a.rejectQueue)
+			return nil, &AdmissionError{Tenant: name, Reason: "queue"}
+		}
+	}
+	t.inflight++
+	return func() {
+		t.mu.Lock()
+		t.inflight--
+		t.mu.Unlock()
+	}, nil
+}
+
+func (a *admitter) count(c *telemetry.Counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// c may be nil when telemetry is detached; Counter.Add is nil-safe.
+	c.Add(1)
+}

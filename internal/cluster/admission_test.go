@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"parabit/internal/sim"
+)
+
+func TestAdmissionRateLimit(t *testing.T) {
+	var a admitter
+	a.init(QoS{})
+	a.set("limited", QoS{OpsPerSec: 2, Burst: 2})
+
+	// Burst admits two, then the bucket is dry.
+	for i := 0; i < 2; i++ {
+		release, err := a.admit("limited", 0)
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		release()
+	}
+	_, err := a.admit("limited", 0)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("dry-bucket error = %v, want ErrAdmission", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != "rate" || ae.Tenant != "limited" {
+		t.Fatalf("rejection = %+v, want rate rejection for limited", ae)
+	}
+
+	// Half a virtual second refills one token at 2 ops/s.
+	release, err := a.admit("limited", sim.Time(500*sim.Millisecond))
+	if err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	release()
+	if _, err := a.admit("limited", sim.Time(500*sim.Millisecond)); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("second post-refill admit = %v, want ErrAdmission", err)
+	}
+}
+
+func TestAdmissionQueueDepth(t *testing.T) {
+	var a admitter
+	a.init(QoS{})
+	a.set("bounded", QoS{MaxInFlight: 2})
+
+	r1, err := a.admit("bounded", 0)
+	if err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	r2, err := a.admit("bounded", 0)
+	if err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	_, err = a.admit("bounded", 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != "queue" {
+		t.Fatalf("over-depth error = %v, want queue rejection", err)
+	}
+	r1()
+	r3, err := a.admit("bounded", 0)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestAdmissionDefaultQoSAppliesToUnknownTenants(t *testing.T) {
+	var a admitter
+	a.init(QoS{MaxInFlight: 1})
+	r1, err := a.admit("anyone", 0)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := a.admit("anyone", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("default QoS not applied: %v", err)
+	}
+	// Tenants are isolated: another name has its own bucket.
+	r2, err := a.admit("other", 0)
+	if err != nil {
+		t.Fatalf("isolated tenant rejected: %v", err)
+	}
+	r2()
+	r1()
+}
+
+func TestClusterEndToEndAdmission(t *testing.T) {
+	c := MustNew(Config{Shards: 2, Replicas: 1})
+	c.SetTenantQoS("capped", QoS{OpsPerSec: 1, Burst: 1})
+	data := make([]byte, c.PageSize())
+	if _, err := c.WriteColumn("capped", 1, data); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// Virtual time has advanced microseconds at most; at 1 op/s the
+	// bucket cannot have refilled.
+	_, err := c.WriteColumn("capped", 2, data)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("second write = %v, want ErrAdmission", err)
+	}
+	// Other tenants are unaffected.
+	if _, err := c.WriteColumn("free", 2, data); err != nil {
+		t.Fatalf("unthrottled tenant: %v", err)
+	}
+}

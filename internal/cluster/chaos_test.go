@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parabit/internal/plan"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
+)
+
+// The chaos test kills a shard in the middle of live traffic and holds
+// the cluster to its replication contract: with Replicas=2 and one shard
+// down, every acknowledged write stays readable, queries keep serving
+// from surviving replicas, and Repair restores the replication factor.
+
+func TestChaosShardKillMidQuery(t *testing.T) {
+	c := MustNew(Config{Shards: 4, Replicas: 2})
+	pageSize := c.PageSize()
+
+	// Seed columns and remember exactly what was acknowledged.
+	var ackMu sync.Mutex
+	acked := make(map[uint64][]byte)
+	writeAcked := func(tenant string, key uint64, data []byte) error {
+		if _, err := c.WriteColumn(tenant, key, data); err != nil {
+			return err
+		}
+		ackMu.Lock()
+		acked[key] = data
+		ackMu.Unlock()
+		return nil
+	}
+	rng := rand.New(rand.NewSource(3))
+	for key := uint64(1); key <= 48; key++ {
+		data := make([]byte, pageSize)
+		rng.Read(data)
+		if err := writeAcked("seed", key, data); err != nil {
+			t.Fatalf("seed write %d: %v", key, err)
+		}
+	}
+
+	victim := -1
+	c.EachShard(func(sh *Shard) {
+		if victim < 0 && sh.Writes() > 0 {
+			victim = sh.ID()
+		}
+	})
+	if victim < 0 {
+		t.Fatal("no shard took writes")
+	}
+
+	// Traffic: three writers overwriting their own keys, three readers
+	// querying; the victim dies while all six run.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	var killOnce sync.Once
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for op := 0; op < 20; op++ {
+				key := uint64(1 + w*16 + rng.Intn(16))
+				data := make([]byte, pageSize)
+				rng.Read(data)
+				if err := writeAcked(fmt.Sprintf("writer%d", w), key, data); err != nil {
+					errs <- fmt.Errorf("writer%d: %w", w, err)
+					return
+				}
+				if op == 10 {
+					killOnce.Do(func() {
+						if err := c.KillShard(victim); err != nil {
+							errs <- fmt.Errorf("kill: %w", err)
+						}
+					})
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for op := 0; op < 20; op++ {
+				a := uint64(1 + rng.Intn(48))
+				b := uint64(1 + rng.Intn(48))
+				if a == b {
+					continue
+				}
+				if _, err := c.Query(fmt.Sprintf("reader%d", r), plan.Or(plan.Leaf(a), plan.Leaf(b)), ssd.SchemeReAlloc); err != nil {
+					errs <- fmt.Errorf("reader%d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if live, total := c.Shards(); live != 3 || total != 4 {
+		t.Fatalf("shards = %d/%d after kill, want 3 live of 4", live, total)
+	}
+
+	// Contract 1: no acknowledged write is lost — every acked version is
+	// what a post-kill read returns.
+	for key, want := range acked {
+		got, _, err := c.ReadColumn("audit", key)
+		if err != nil {
+			t.Fatalf("post-kill read %d: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %d lost its acknowledged write", key)
+		}
+	}
+
+	// Contract 2: repair restores the replication factor on survivors...
+	repaired, err := c.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if repaired == 0 {
+		t.Fatal("victim held replicas but repair fixed nothing")
+	}
+
+	// ...so the cluster now survives losing a second shard.
+	second := -1
+	c.EachShard(func(sh *Shard) {
+		if second < 0 && sh.Alive() {
+			second = sh.ID()
+		}
+	})
+	if err := c.KillShard(second); err != nil {
+		t.Fatalf("second kill: %v", err)
+	}
+	for key, want := range acked {
+		got, _, err := c.ReadColumn("audit", key)
+		if err != nil {
+			t.Fatalf("read %d after second kill: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %d lost after repair + second kill", key)
+		}
+	}
+
+	// The surviving devices' FTLs are still internally consistent.
+	c.EachShard(func(sh *Shard) {
+		if !sh.Alive() {
+			return
+		}
+		sh.Scheduler().Exclusive(func(dev *ssd.Device, _ sim.Time) {
+			if err := dev.FTL().CheckInvariants(); err != nil {
+				t.Errorf("shard %d FTL: %v", sh.ID(), err)
+			}
+		})
+	})
+}

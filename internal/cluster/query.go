@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+
+	"parabit/internal/latch"
+	"parabit/internal/nvme"
+	"parabit/internal/plan"
+	"parabit/internal/sched"
+	"parabit/internal/sim"
+	"parabit/internal/ssd"
+)
+
+// Query routing. Leaves of the expression are column keys. When every
+// operand column has a replica on one common live shard the whole
+// expression executes there — through the shard's NVMe queue pair when
+// the shape is wire-expressible, as a planner query otherwise. When the
+// operands are spread out, the front end recurses: each sub-expression
+// routes independently (and may itself run shard-locally), leaf pages are
+// read from replicas, and the host combines result pages in software with
+// the same base-op/complement folds the in-flash chains use — so the
+// result bytes are identical either way.
+
+// Route labels how a query executed.
+type Route string
+
+// Route values.
+const (
+	// RouteWire: one shard, expression crossed the NVMe wire encoding.
+	RouteWire Route = "wire"
+	// RouteLocal: one shard, planner query submitted directly.
+	RouteLocal Route = "local"
+	// RouteScatter: multiple shards plus host-side combine.
+	RouteScatter Route = "scatter"
+)
+
+// hostCombineCost models the front end folding result pages in host
+// memory: a conservative 4 bytes per simulated nanosecond per input page.
+func hostCombineCost(pages, bytes int) sim.Duration {
+	return sim.Duration(pages * bytes / 4)
+}
+
+// QueryResult is a routed query's outcome.
+type QueryResult struct {
+	// Data is the result page, byte-identical to a single-device
+	// execution of the same expression.
+	Data []byte
+	// Elapsed is the virtual service time: the slowest shard-side path
+	// plus any host-side combine cost.
+	Elapsed sim.Duration
+	// Route records how the query executed; scatter anywhere in the tree
+	// marks the whole query RouteScatter.
+	Route Route
+}
+
+// Query routes and executes a bitmap expression whose leaves are column
+// keys, under the tenant's QoS.
+func (c *Cluster) Query(tenant string, e *plan.Expr, scheme ssd.Scheme) (QueryResult, error) {
+	release, err := c.adm.admit(tenant, c.Now())
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer release()
+	c.tele.cQueries.Add(1)
+
+	n, err := plan.Normalize(e)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	res, err := c.route(n, scheme)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	c.tele.hQuery.Observe(res.Elapsed)
+	switch res.Route {
+	case RouteWire:
+		c.tele.cRouteWire.Add(1)
+	case RouteLocal:
+		c.tele.cRouteLocal.Add(1)
+	case RouteScatter:
+		c.tele.cRouteScat.Add(1)
+	}
+	return res, nil
+}
+
+// colocatedShard finds a live shard holding a replica of every key, or
+// nil. Preference follows liveLeastLoaded over the first key's replicas.
+func (c *Cluster) colocatedShard(keys []uint64) (*Shard, map[uint64]uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(keys) == 0 {
+		return nil, nil, fmt.Errorf("%w: no leaves", plan.ErrBadExpr)
+	}
+	// candidate shard id -> key -> local lpn
+	var candidates map[int]map[uint64]uint64
+	for i, key := range keys {
+		col := c.columns[key]
+		if col == nil {
+			return nil, nil, fmt.Errorf("%w: key %d", ErrUnknownColumn, key)
+		}
+		if len(col.live(c.shards)) == 0 {
+			c.tele.cUnavailable.Add(1)
+			return nil, nil, fmt.Errorf("%w: column %d", ErrUnavailable, key)
+		}
+		here := make(map[int]uint64)
+		for _, r := range col.replicas {
+			if sh := c.shards[r.shard]; sh != nil && sh.Alive() {
+				here[r.shard] = r.lpn
+			}
+		}
+		if i == 0 {
+			candidates = make(map[int]map[uint64]uint64)
+			for id, lpn := range here {
+				candidates[id] = map[uint64]uint64{key: lpn}
+			}
+			continue
+		}
+		for id, m := range candidates {
+			lpn, ok := here[id]
+			if !ok {
+				delete(candidates, id)
+				continue
+			}
+			m[key] = lpn
+		}
+		if len(candidates) == 0 {
+			return nil, nil, nil
+		}
+	}
+	reps := make([]replica, 0, len(candidates))
+	for id := range candidates {
+		reps = append(reps, replica{shard: id})
+	}
+	sh, _, ok := c.liveLeastLoaded(reps)
+	if !ok {
+		return nil, nil, nil
+	}
+	return sh, candidates[sh.id], nil
+}
+
+// rewriteLeaves rebuilds an expression with every leaf key mapped through f.
+func rewriteLeaves(e *plan.Expr, f func(uint64) uint64) (*plan.Expr, error) {
+	if e.IsLeaf() {
+		return plan.Leaf(f(e.LPN)), nil
+	}
+	args := make([]*plan.Expr, len(e.Args))
+	for i, a := range e.Args {
+		ra, err := rewriteLeaves(a, f)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ra
+	}
+	switch e.Op {
+	case latch.OpAnd:
+		return plan.And(args...), nil
+	case latch.OpOr:
+		return plan.Or(args...), nil
+	case latch.OpXor:
+		return plan.Xor(args...), nil
+	case latch.OpXnor:
+		return plan.Xnor(args[0], args[1]), nil
+	case latch.OpNand:
+		return plan.Nand(args[0], args[1]), nil
+	case latch.OpNor:
+		return plan.Nor(args[0], args[1]), nil
+	case latch.OpNotLSB, latch.OpNotMSB:
+		return plan.Not(args[0]), nil
+	default:
+		return nil, fmt.Errorf("%w: op %s", plan.ErrBadExpr, e.Op)
+	}
+}
+
+// route executes a (normalized) expression, preferring shard-local
+// execution and recursing into scatter/gather otherwise.
+func (c *Cluster) route(e *plan.Expr, scheme ssd.Scheme) (QueryResult, error) {
+	if e.IsLeaf() {
+		return c.routeLeaf(e.LPN)
+	}
+	keys := e.Leaves()
+	sh, local, err := c.colocatedShard(keys)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if sh != nil {
+		return c.execLocal(sh, e, local, scheme)
+	}
+	// Scatter: route each argument independently, gather, combine in
+	// host software.
+	pages := make([][]byte, len(e.Args))
+	var slowest sim.Duration
+	for i, a := range e.Args {
+		sub, err := c.route(a, scheme)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		pages[i] = sub.Data
+		if sub.Elapsed > slowest {
+			slowest = sub.Elapsed
+		}
+	}
+	out, err := plan.Combine(e.Op, pages)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Data:    out,
+		Elapsed: slowest + hostCombineCost(len(pages), len(out)),
+		Route:   RouteScatter,
+	}, nil
+}
+
+// routeLeaf serves a bare column read inside a scattered query.
+func (c *Cluster) routeLeaf(key uint64) (QueryResult, error) {
+	c.mu.RLock()
+	col := c.columns[key]
+	var sh *Shard
+	var rep replica
+	ok := false
+	if col != nil {
+		sh, rep, ok = c.liveLeastLoaded(col.replicas)
+	}
+	c.mu.RUnlock()
+	if col == nil {
+		return QueryResult{}, fmt.Errorf("%w: key %d", ErrUnknownColumn, key)
+	}
+	if !ok {
+		c.tele.cUnavailable.Add(1)
+		return QueryResult{}, fmt.Errorf("%w: column %d", ErrUnavailable, key)
+	}
+	sh.reads.Add(1)
+	res := sh.sched.Submit(sched.Command{Kind: sched.KindRead, LPN: rep.lpn, ToHost: true}).Wait()
+	if res.Err != nil {
+		return QueryResult{}, fmt.Errorf("cluster: read key %d shard %d: %w", key, sh.id, res.Err)
+	}
+	return QueryResult{Data: res.Data, Elapsed: resultEnd(res).Sub(res.Start), Route: RouteLocal}, nil
+}
+
+// execLocal runs the whole expression on one shard. Wire-expressible
+// shapes cross the shard's queue pair first — encode, bounded submit,
+// device-side parse — so what executes is exactly what survived the wire.
+func (c *Cluster) execLocal(sh *Shard, e *plan.Expr, local map[uint64]uint64, scheme ssd.Scheme) (QueryResult, error) {
+	le, err := rewriteLeaves(e, func(key uint64) uint64 { return local[key] })
+	if err != nil {
+		return QueryResult{}, err
+	}
+	route := RouteLocal
+	if f, ok := plan.ToFormula(le, c.PageSize()); ok {
+		wired, werr := c.throughWire(sh, f)
+		if werr != nil {
+			// Queue full or a wire anomaly: fall back to the direct
+			// planner path rather than failing the query.
+			c.tele.sink.Counter("cluster.wire.fallback").Add(1)
+		} else {
+			le, route = wired, RouteWire
+		}
+	}
+	sh.reads.Add(1)
+	res := sh.sched.Submit(sched.Command{
+		Kind: sched.KindQuery, Query: le, Scheme: scheme, ToHost: true,
+	}).Wait()
+	if res.Err != nil {
+		return QueryResult{}, fmt.Errorf("cluster: query shard %d: %w", sh.id, res.Err)
+	}
+	return QueryResult{Data: res.Data, Elapsed: resultEnd(res).Sub(res.Start), Route: route}, nil
+}
+
+// throughWire pushes a formula through the shard's NVMe queue pair and
+// lifts the device-side parse back into an expression.
+func (c *Cluster) throughWire(sh *Shard, f nvme.Formula) (*plan.Expr, error) {
+	cmds, err := nvme.EncodeFormula(f, c.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := sh.qp.Exchange(cmds)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := nvme.ParseBatches(parsed, c.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	return plan.FromBatches(batches, c.PageSize())
+}
+
+// resultEnd returns a command's completion instant (host transfer
+// included when it shipped bytes).
+func resultEnd(r sched.Result) sim.Time { return sim.Max(r.Done, r.HostDone) }

@@ -1,0 +1,130 @@
+package nvme
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The transport layer promotes the command encoding from a pure
+// pack/unpack exercise to the boundary a host-facing front end actually
+// crosses: a bounded submission/completion queue pair per device. What
+// travels on the submission queue is the wire form — the LBA plus the
+// three reserved DWords of Fig. 10, nothing else — so anything the host
+// side knows that does not survive Encode/Decode is gone by the time the
+// device side parses, exactly as with real firmware.
+
+// ErrQueueFull reports a submission that would overflow the queue's
+// depth: the serving layer's back-pressure signal.
+var ErrQueueFull = errors.New("nvme: submission queue full")
+
+// WireCommand is one submission-queue entry as it crosses the host/device
+// boundary.
+type WireCommand struct {
+	LBA uint64
+	DW  DWords
+}
+
+// QueuePairStats counts transport activity.
+type QueuePairStats struct {
+	// Submitted counts entries accepted onto the submission queue,
+	// Drained those consumed by the device side, Rejected submissions
+	// bounced for lack of queue slots.
+	Submitted int64
+	Drained   int64
+	Rejected  int64
+	// MaxDepth is the high-water mark of entries queued at once.
+	MaxDepth int
+}
+
+// QueuePair is a bounded submission queue between a host front end and
+// one device. Safe for concurrent use; Exchange keeps one command
+// stream's entries contiguous so interleaved submitters cannot shear a
+// formula apart.
+type QueuePair struct {
+	mu    sync.Mutex
+	depth int
+	sq    []WireCommand
+	stats QueuePairStats
+}
+
+// NewQueuePair builds a queue pair with the given submission depth.
+// Depths below 1 get the NVMe-typical default of 1024.
+func NewQueuePair(depth int) *QueuePair {
+	if depth < 1 {
+		depth = 1024
+	}
+	return &QueuePair{depth: depth}
+}
+
+// Depth returns the submission queue's capacity.
+func (q *QueuePair) Depth() int { return q.depth }
+
+// Stats returns a snapshot of transport counters.
+func (q *QueuePair) Stats() QueuePairStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// submitLocked encodes commands onto the submission queue.
+func (q *QueuePair) submitLocked(cmds []Command) error {
+	if len(cmds) > q.depth-len(q.sq) {
+		q.stats.Rejected += int64(len(cmds))
+		return fmt.Errorf("%w: %d entries for %d free slots",
+			ErrQueueFull, len(cmds), q.depth-len(q.sq))
+	}
+	for _, c := range cmds {
+		q.sq = append(q.sq, WireCommand{LBA: c.LBA, DW: c.Encode()})
+	}
+	q.stats.Submitted += int64(len(cmds))
+	if len(q.sq) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.sq)
+	}
+	return nil
+}
+
+// drainLocked consumes and decodes every queued entry.
+func (q *QueuePair) drainLocked() []Command {
+	out := make([]Command, len(q.sq))
+	for i, wc := range q.sq {
+		out[i] = Decode(wc.LBA, wc.DW)
+	}
+	q.stats.Drained += int64(len(out))
+	q.sq = q.sq[:0]
+	return out
+}
+
+// Submit encodes the host-side commands onto the submission queue,
+// failing with ErrQueueFull when the stream does not fit the free slots.
+func (q *QueuePair) Submit(cmds []Command) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.submitLocked(cmds)
+}
+
+// Drain is the device side: it consumes every queued entry, decoding the
+// wire form back into commands in submission order.
+func (q *QueuePair) Drain() []Command {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drainLocked()
+}
+
+// Exchange pushes one command stream across the boundary atomically:
+// submit, device-side drain, decode. The returned commands are what the
+// device firmware sees — everything that did not survive the wire
+// encoding is gone. Concurrent exchanges never interleave their streams.
+func (q *QueuePair) Exchange(cmds []Command) ([]Command, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.sq) != 0 {
+		// A plain Submit left entries pending; drain them first so the
+		// exchange returns only its own stream.
+		return nil, fmt.Errorf("nvme: exchange with %d entries pending", len(q.sq))
+	}
+	if err := q.submitLocked(cmds); err != nil {
+		return nil, err
+	}
+	return q.drainLocked(), nil
+}

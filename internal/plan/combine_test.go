@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parabit/internal/latch"
+)
+
+// TestCombineMatchesEval pins the host-side fold to the software golden:
+// combining materialized operand pages must equal evaluating the same
+// n-ary node, for every op the planner emits.
+func TestCombineMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pages := make([][]byte, 4)
+	for i := range pages {
+		pages[i] = make([]byte, 64)
+		rng.Read(pages[i])
+	}
+	read := func(lpn uint64) ([]byte, error) { return pages[lpn], nil }
+	leaves := func(n int) []*Expr {
+		out := make([]*Expr, n)
+		for i := range out {
+			out[i] = Leaf(uint64(i))
+		}
+		return out
+	}
+	cases := []struct {
+		op    latch.Op
+		arity int
+		expr  *Expr
+	}{
+		{latch.OpAnd, 4, And(leaves(4)...)},
+		{latch.OpOr, 3, Or(leaves(3)...)},
+		{latch.OpXor, 4, Xor(leaves(4)...)},
+		{latch.OpXnor, 2, Xnor(Leaf(0), Leaf(1))},
+		{latch.OpNand, 2, Nand(Leaf(0), Leaf(1))},
+		{latch.OpNor, 2, Nor(Leaf(0), Leaf(1))},
+		{latch.OpNotLSB, 1, Not(Leaf(0))},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprint(tc.op), func(t *testing.T) {
+			want, err := tc.expr.Eval(read)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			got, err := Combine(tc.op, pages[:tc.arity])
+			if err != nil {
+				t.Fatalf("combine: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("combine diverges from eval")
+			}
+		})
+	}
+}
+
+func TestCombineRejectsBadShapes(t *testing.T) {
+	p := make([]byte, 8)
+	if _, err := Combine(latch.OpAnd, [][]byte{p}); !errors.Is(err, ErrBadExpr) {
+		t.Fatalf("1-page AND = %v, want ErrBadExpr", err)
+	}
+	if _, err := Combine(latch.OpNotLSB, [][]byte{p, p}); !errors.Is(err, ErrBadExpr) {
+		t.Fatalf("2-page NOT = %v, want ErrBadExpr", err)
+	}
+	if _, err := Combine(latch.OpAnd, [][]byte{p, make([]byte, 4)}); !errors.Is(err, ErrBadExpr) {
+		t.Fatalf("ragged pages = %v, want ErrBadExpr", err)
+	}
+}
+
+func TestCombineDoesNotAliasInputs(t *testing.T) {
+	a := []byte{0xff, 0x00}
+	b := []byte{0x0f, 0xf0}
+	out, err := Combine(latch.OpAnd, [][]byte{a, b})
+	if err != nil {
+		t.Fatalf("combine: %v", err)
+	}
+	out[0] = 0
+	if a[0] != 0xff {
+		t.Fatal("combine aliased its first input")
+	}
+}

@@ -521,6 +521,14 @@ func (s *Scheduler) Now() sim.Time {
 	return s.now
 }
 
+// Pending returns the number of submitted commands not yet dispatched —
+// the queue depth a load balancer steers around.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
 // Stats returns a snapshot of scheduler counters. It does not dispatch;
 // pending commands are reflected in Submitted but not Completed.
 func (s *Scheduler) Stats() Stats {

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScopePrefixesMetricNames(t *testing.T) {
+	s := New()
+	s0 := s.Scope("shard0")
+	s1 := s.Scope("shard1")
+	s0.Counter("reads").Add(3)
+	s1.Counter("reads").Add(5)
+	s.Counter("reads").Add(1)
+	got := map[string]int64{}
+	s.EachCounter(func(name string, v int64) { got[name] = v })
+	want := map[string]int64{"shard0.reads": 3, "shard1.reads": 5, "reads": 1}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("counter %q = %d, want %d (all: %v)", name, got[name], v, got)
+		}
+	}
+}
+
+func TestScopeNests(t *testing.T) {
+	s := New()
+	inner := s.Scope("cluster").Scope("shard2")
+	inner.Gauge("depth").Set(7)
+	found := false
+	s.EachGauge(func(name string, v int64) {
+		if name == "cluster.shard2.depth" && v == 7 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("nested scope did not compose prefixes")
+	}
+}
+
+func TestScopeSharesRootRegistry(t *testing.T) {
+	s := New()
+	a := s.Scope("x")
+	// Same name through the same scope is the same counter.
+	a.Counter("n").Add(1)
+	a.Counter("n").Add(1)
+	if v := s.Counter("x.n").Value(); v != 2 {
+		t.Fatalf("scoped counter = %d through root, want 2", v)
+	}
+	// Scoped views see the whole registry.
+	names := 0
+	a.EachCounter(func(string, int64) { names++ })
+	if names != 1 {
+		t.Fatalf("scoped EachCounter visited %d counters, want 1", names)
+	}
+}
+
+func TestScopedTraceTracks(t *testing.T) {
+	s := New()
+	s.EnableTrace()
+	s0 := s.Scope("shard0")
+	tr := s0.Trace()
+	tr.Track("sched", "queue-read").Span("read", 0, 10)
+	if s.Trace().Len() != 1 {
+		t.Fatalf("root trace has %d events, want 1", s.Trace().Len())
+	}
+	procs, _, _ := s.Trace().snapshot()
+	if len(procs) != 1 || !strings.HasPrefix(procs[0], "shard0.") {
+		t.Fatalf("trace processes = %v, want one shard0.-prefixed process", procs)
+	}
+}
+
+func TestScopeNilSafety(t *testing.T) {
+	var s *Sink
+	sc := s.Scope("shard0")
+	if sc != nil {
+		t.Fatal("nil sink should scope to nil")
+	}
+	sc.Counter("x").Add(1) // must not panic
+	sc.Gauge("y").Set(1)
+	sc.Histogram("z").Observe(1)
+	sc.Trace().Track("p", "l").Span("s", 0, 1)
+}

@@ -39,6 +39,32 @@ type Sink struct {
 	gaugeOrder   []string
 	histOrder    []string
 	trace        *Trace
+	// scope is the metric-name (and trace-process) prefix of a scoped
+	// view; base points at the registry owner. Both are zero at the root.
+	scope string
+	base  *Sink
+}
+
+// root returns the registry owner: the sink itself, or the base of a
+// scoped view.
+func (s *Sink) root() *Sink {
+	if s != nil && s.base != nil {
+		return s.base
+	}
+	return s
+}
+
+// Scope returns a view of the sink whose metric names and trace processes
+// are prefixed with "name." — the per-instance lanes a multi-device
+// system (one sink, N shards) uses to keep each shard's counters,
+// histograms and trace tracks apart. Scoped handles share the root
+// registry, so one WriteMetrics / WriteTrace call exports every scope.
+// Scopes nest; a nil sink scopes to nil.
+func (s *Sink) Scope(name string) *Sink {
+	if s == nil || name == "" {
+		return s
+	}
+	return &Sink{scope: s.scope + name + ".", base: s.root()}
 }
 
 // New returns an enabled sink with metrics only; call EnableTrace to also
@@ -51,30 +77,35 @@ func New() *Sink {
 	}
 }
 
-// EnableTrace turns on span recording and returns the trace recorder.
-// Idempotent; safe to call before any layer is attached.
+// EnableTrace turns on span recording and returns the trace recorder
+// (scoped like the sink). Idempotent; safe to call before any layer is
+// attached.
 func (s *Sink) EnableTrace() *Trace {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.trace == nil {
-		s.trace = newTrace()
+	r := s.root()
+	r.mu.Lock()
+	if r.trace == nil {
+		r.trace = newTrace()
 	}
-	return s.trace
+	tr := r.trace
+	r.mu.Unlock()
+	return tr.scoped(s.scope)
 }
 
-// Trace returns the trace recorder, or nil when the sink is nil or
-// tracing was never enabled. The nil result is itself a valid disabled
-// recorder.
+// Trace returns the trace recorder (scoped like the sink), or nil when
+// the sink is nil or tracing was never enabled. The nil result is itself
+// a valid disabled recorder.
 func (s *Sink) Trace() *Trace {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.trace
+	r := s.root()
+	r.mu.Lock()
+	tr := r.trace
+	r.mu.Unlock()
+	return tr.scoped(s.scope)
 }
 
 // Counter returns the named counter, registering it on first use.
@@ -83,13 +114,15 @@ func (s *Sink) Counter(name string) *Counter {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.counters[name]
+	r := s.root()
+	name = s.scope + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{name: name}
-		s.counters[name] = c
-		s.counterOrder = append(s.counterOrder, name)
+		r.counters[name] = c
+		r.counterOrder = append(r.counterOrder, name)
 	}
 	return c
 }
@@ -99,13 +132,15 @@ func (s *Sink) Gauge(name string) *Gauge {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	g, ok := s.gauges[name]
+	r := s.root()
+	name = s.scope + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{name: name}
-		s.gauges[name] = g
-		s.gaugeOrder = append(s.gaugeOrder, name)
+		r.gauges[name] = g
+		r.gaugeOrder = append(r.gaugeOrder, name)
 	}
 	return g
 }
@@ -116,29 +151,33 @@ func (s *Sink) Histogram(name string) *Histogram {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, ok := s.hists[name]
+	r := s.root()
+	name = s.scope + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
 	if !ok {
 		h = newHistogram(name)
-		s.hists[name] = h
-		s.histOrder = append(s.histOrder, name)
+		r.hists[name] = h
+		r.histOrder = append(r.histOrder, name)
 	}
 	return h
 }
 
 // EachCounter visits every registered counter in registration order.
+// Scoped views visit the whole registry, every scope included.
 func (s *Sink) EachCounter(f func(name string, value int64)) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	names := append([]string(nil), s.counterOrder...)
-	s.mu.Unlock()
+	r := s.root()
+	r.mu.Lock()
+	names := append([]string(nil), r.counterOrder...)
+	r.mu.Unlock()
 	for _, n := range names {
-		s.mu.Lock()
-		c := s.counters[n]
-		s.mu.Unlock()
+		r.mu.Lock()
+		c := r.counters[n]
+		r.mu.Unlock()
 		f(n, c.Value())
 	}
 }
@@ -148,13 +187,14 @@ func (s *Sink) EachGauge(f func(name string, value int64)) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	names := append([]string(nil), s.gaugeOrder...)
-	s.mu.Unlock()
+	r := s.root()
+	r.mu.Lock()
+	names := append([]string(nil), r.gaugeOrder...)
+	r.mu.Unlock()
 	for _, n := range names {
-		s.mu.Lock()
-		g := s.gauges[n]
-		s.mu.Unlock()
+		r.mu.Lock()
+		g := r.gauges[n]
+		r.mu.Unlock()
 		f(n, g.Value())
 	}
 }
@@ -164,13 +204,14 @@ func (s *Sink) EachHistogram(f func(name string, h *Histogram)) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	names := append([]string(nil), s.histOrder...)
-	s.mu.Unlock()
+	r := s.root()
+	r.mu.Lock()
+	names := append([]string(nil), r.histOrder...)
+	r.mu.Unlock()
 	for _, n := range names {
-		s.mu.Lock()
-		h := s.hists[n]
-		s.mu.Unlock()
+		r.mu.Lock()
+		h := r.hists[n]
+		r.mu.Unlock()
 		f(n, h)
 	}
 }

@@ -21,6 +21,28 @@ type Trace struct {
 	tracks map[trackKey]*Track
 	order  []*Track
 	events []traceSample
+	// scope prefixes process names of a scoped view; base points at the
+	// recording root. Both are zero at the root.
+	scope string
+	base  *Trace
+}
+
+// root returns the recording owner: the trace itself, or the base of a
+// scoped view.
+func (t *Trace) root() *Trace {
+	if t != nil && t.base != nil {
+		return t.base
+	}
+	return t
+}
+
+// scoped returns a view whose Track process names carry the prefix.
+// Events recorded through it land in the root recorder.
+func (t *Trace) scoped(scope string) *Trace {
+	if t == nil || scope == "" {
+		return t
+	}
+	return &Trace{scope: scope, base: t.root()}
 }
 
 type trackKey struct{ process, lane string }
@@ -48,27 +70,29 @@ func (t *Trace) Track(process, lane string) *Track {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	r := t.root()
+	process = t.scope + process
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := trackKey{process, lane}
-	if tk, ok := t.tracks[key]; ok {
+	if tk, ok := r.tracks[key]; ok {
 		return tk
 	}
-	pid, ok := t.pids[process]
+	pid, ok := r.pids[process]
 	if !ok {
-		pid = len(t.procs) + 1
-		t.pids[process] = pid
-		t.procs = append(t.procs, process)
+		pid = len(r.procs) + 1
+		r.pids[process] = pid
+		r.procs = append(r.procs, process)
 	}
 	tid := 1
-	for _, tk := range t.order {
+	for _, tk := range r.order {
 		if tk.pid == pid {
 			tid++
 		}
 	}
-	tk := &Track{tr: t, process: process, lane: lane, pid: pid, tid: tid}
-	t.tracks[key] = tk
-	t.order = append(t.order, tk)
+	tk := &Track{tr: r, process: process, lane: lane, pid: pid, tid: tid}
+	r.tracks[key] = tk
+	r.order = append(r.order, tk)
 	return tk
 }
 
@@ -115,17 +139,19 @@ func (t *Trace) Len() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	r := t.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
 }
 
 // snapshot copies the recorder state for export.
 func (t *Trace) snapshot() (procs []string, tracks []*Track, events []traceSample) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	procs = append([]string(nil), t.procs...)
-	tracks = append([]*Track(nil), t.order...)
-	events = append([]traceSample(nil), t.events...)
+	r := t.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	procs = append([]string(nil), r.procs...)
+	tracks = append([]*Track(nil), r.order...)
+	events = append([]traceSample(nil), r.events...)
 	return
 }

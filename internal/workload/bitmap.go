@@ -15,12 +15,36 @@ type BitmapSpec struct {
 	// DaysPerMonth fixes the column count (30 in the paper's 33.99 GB
 	// at 12 months over 800 M users).
 	DaysPerMonth int
+	// HotSkew shapes which day columns queries touch when the bitmap is
+	// served live: the s parameter of a Zipf distribution over columns
+	// (day 0 hottest). Values <= 1 mean uniform — every column equally
+	// likely. The paper's batch experiment reduces over every column, so
+	// only the serving layer reads this.
+	HotSkew float64
 }
 
 // PaperBitmap returns the paper-scale configuration: 800 million users,
 // m months (1-12 in Fig. 14b).
 func PaperBitmap(months int) BitmapSpec {
 	return BitmapSpec{Users: 800_000_000, Months: months, DaysPerMonth: 30}
+}
+
+// CustomBitmap returns a serving-sized configuration: users and day count
+// free, query skew set by the Zipf s parameter (<= 1 for uniform).
+func CustomBitmap(users int64, days int, skew float64) BitmapSpec {
+	return BitmapSpec{Users: users, Months: 1, DaysPerMonth: days, HotSkew: skew}
+}
+
+// DaySampler returns a sampler over day-column indices following the
+// spec's HotSkew: Zipf-distributed (day 0 hottest) when HotSkew > 1,
+// uniform otherwise. Deterministic for a seeded rng.
+func (s BitmapSpec) DaySampler(rng *rand.Rand) func() int {
+	days := s.Days()
+	if s.HotSkew > 1 {
+		z := rand.NewZipf(rng, s.HotSkew, 1, uint64(days-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(days) }
 }
 
 // Days returns the number of day columns (reduction operands).

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDaySamplerUniform(t *testing.T) {
+	spec := CustomBitmap(1000, 10, 0)
+	sample := spec.DaySampler(rand.New(rand.NewSource(1)))
+	counts := make([]int, spec.Days())
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		d := sample()
+		if d < 0 || d >= spec.Days() {
+			t.Fatalf("sample %d out of range", d)
+		}
+		counts[d]++
+	}
+	for d, n := range counts {
+		if n < draws/spec.Days()/2 || n > draws/spec.Days()*2 {
+			t.Fatalf("uniform sampler skewed: day %d drawn %d of %d", d, n, draws)
+		}
+	}
+}
+
+func TestDaySamplerZipfSkewsHot(t *testing.T) {
+	spec := CustomBitmap(1000, 30, 1.5)
+	sample := spec.DaySampler(rand.New(rand.NewSource(2)))
+	counts := make([]int, spec.Days())
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[sample()]++
+	}
+	// Day 0 is the hot column: it must dominate the tail decisively.
+	if counts[0] < 4*counts[spec.Days()-1] && counts[spec.Days()-1] > 0 {
+		t.Fatalf("skew 1.5 not hot-skewed: day0=%d tail=%d", counts[0], counts[spec.Days()-1])
+	}
+	if counts[0] < draws/10 {
+		t.Fatalf("hot day drew only %d of %d", counts[0], draws)
+	}
+}
+
+func TestDaySamplerDeterministic(t *testing.T) {
+	spec := CustomBitmap(1000, 15, 1.2)
+	a := spec.DaySampler(rand.New(rand.NewSource(9)))
+	b := spec.DaySampler(rand.New(rand.NewSource(9)))
+	for i := 0; i < 100; i++ {
+		if x, y := a(), b(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestCustomBitmapSpecVolumes(t *testing.T) {
+	spec := CustomBitmap(1<<20, 7, 1.1)
+	if spec.Days() != 7 {
+		t.Fatalf("days = %d", spec.Days())
+	}
+	if spec.ColumnBytes() != 1<<17 {
+		t.Fatalf("column bytes = %d", spec.ColumnBytes())
+	}
+	if spec.HotSkew != 1.1 {
+		t.Fatalf("skew = %v", spec.HotSkew)
+	}
+}
