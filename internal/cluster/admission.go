@@ -107,6 +107,12 @@ func (a *admitter) admit(name string, now sim.Time) (release func(), err error) 
 	t := a.get(name)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Check the in-flight bound before charging the bucket, so a request
+	// bounced for queue depth doesn't also burn rate budget.
+	if t.qos.MaxInFlight > 0 && t.inflight >= t.qos.MaxInFlight {
+		a.count(a.rejectQueue)
+		return nil, &AdmissionError{Tenant: name, Reason: "queue"}
+	}
 	if t.qos.OpsPerSec > 0 {
 		if now > t.last {
 			t.tokens += now.Sub(t.last).Seconds() * t.qos.OpsPerSec
@@ -120,12 +126,6 @@ func (a *admitter) admit(name string, now sim.Time) (release func(), err error) 
 			return nil, &AdmissionError{Tenant: name, Reason: "rate"}
 		}
 		t.tokens--
-	}
-	if t.qos.MaxInFlight > 0 {
-		if t.inflight >= t.qos.MaxInFlight {
-			a.count(a.rejectQueue)
-			return nil, &AdmissionError{Tenant: name, Reason: "queue"}
-		}
 	}
 	t.inflight++
 	return func() {

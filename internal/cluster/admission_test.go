@@ -67,6 +67,30 @@ func TestAdmissionQueueDepth(t *testing.T) {
 	r2()
 }
 
+// TestQueueRejectionDoesNotChargeRateToken pins the check order: a
+// request bounced for queue depth must leave the rate bucket untouched,
+// not double-penalize the tenant.
+func TestQueueRejectionDoesNotChargeRateToken(t *testing.T) {
+	var a admitter
+	a.init(QoS{})
+	a.set("both", QoS{OpsPerSec: 1, Burst: 2, MaxInFlight: 1})
+	r1, err := a.admit("both", 0)
+	if err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	var ae *AdmissionError
+	if _, err := a.admit("both", 0); !errors.As(err, &ae) || ae.Reason != "queue" {
+		t.Fatalf("over-depth error = %v, want queue rejection", err)
+	}
+	r1()
+	// The second burst token must have survived the queue rejection.
+	r2, err := a.admit("both", 0)
+	if err != nil {
+		t.Fatalf("admit after queue rejection: %v", err)
+	}
+	r2()
+}
+
 func TestAdmissionDefaultQoSAppliesToUnknownTenants(t *testing.T) {
 	var a admitter
 	a.init(QoS{MaxInFlight: 1})

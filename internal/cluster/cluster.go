@@ -43,6 +43,8 @@ var (
 	ErrUnavailable = errors.New("cluster: column unavailable")
 	// ErrNoSpace reports shard LPN exhaustion.
 	ErrNoSpace = errors.New("cluster: shard out of pages")
+	// ErrTooLarge reports a column write bigger than the shard page size.
+	ErrTooLarge = errors.New("cluster: column exceeds page size")
 )
 
 // Config parameterizes a cluster.
@@ -106,6 +108,10 @@ type Shard struct {
 	mu      sync.Mutex
 	nextLPN uint64
 	maxLPN  uint64
+	// free recycles LPNs of replicas dropped by rebalance, so shard
+	// add/remove churn doesn't permanently leak pages off the bump
+	// allocator.
+	free []uint64
 }
 
 // ID returns the shard's cluster-wide id.
@@ -126,16 +132,29 @@ func (sh *Shard) Reads() int64 { return sh.reads.Load() }
 // Writes returns the number of write-side commands routed to this shard.
 func (sh *Shard) Writes() int64 { return sh.writes.Load() }
 
-// allocLPN hands out the shard's next free logical page.
+// allocLPN hands out the shard's next free logical page, recycled pages
+// first.
 func (sh *Shard) allocLPN() (uint64, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if n := len(sh.free); n > 0 {
+		lpn := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return lpn, nil
+	}
 	if sh.nextLPN >= sh.maxLPN {
 		return 0, fmt.Errorf("%w: shard %d", ErrNoSpace, sh.id)
 	}
 	lpn := sh.nextLPN
 	sh.nextLPN++
 	return lpn, nil
+}
+
+// freeLPN returns a no-longer-referenced page to the allocator.
+func (sh *Shard) freeLPN(lpn uint64) {
+	sh.mu.Lock()
+	sh.free = append(sh.free, lpn)
+	sh.mu.Unlock()
 }
 
 // replica is one stored copy of a column.
@@ -355,14 +374,15 @@ func (c *Cluster) liveLeastLoaded(reps []replica) (*Shard, replica, bool) {
 }
 
 // placeLocked creates the directory entry for a new key: ring lookup on
-// the placement group, one LPN per replica shard.
-func (c *Cluster) placeLocked(key uint64, size int) (*column, error) {
+// the placement group, one LPN per replica shard. The entry starts at
+// size zero; the writer commits the real size after its replicas ack.
+func (c *Cluster) placeLocked(key uint64) (*column, error) {
 	group := c.cfg.PlacementOf(key)
 	owners := c.ring.lookup(group, c.cfg.Replicas)
 	if len(owners) == 0 {
 		return nil, ErrNoShards
 	}
-	col := &column{key: key, size: size}
+	col := &column{key: key}
 	for _, id := range owners {
 		lpn, err := c.shards[id].allocLPN()
 		if err != nil {
@@ -382,6 +402,9 @@ func planeOf(group uint64) int { return int(group & 0x3fffffff) }
 // of them completed — a dead shard's replica is skipped and repaired
 // later, but a failure on a live replica fails the write.
 func (c *Cluster) WriteColumn(tenant string, key uint64, data []byte) (sim.Time, error) {
+	if ps := c.PageSize(); len(data) > ps {
+		return 0, fmt.Errorf("%w: column %d: %d bytes > page size %d", ErrTooLarge, key, len(data), ps)
+	}
 	release, err := c.adm.admit(tenant, c.Now())
 	if err != nil {
 		return 0, err
@@ -392,13 +415,15 @@ func (c *Cluster) WriteColumn(tenant string, key uint64, data []byte) (sim.Time,
 	c.mu.Lock()
 	col := c.columns[key]
 	if col == nil {
-		col, err = c.placeLocked(key, len(data))
+		// Placed with size 0: the directory commits the real size only
+		// once every replica write succeeds, so a failed first write
+		// reads back as an empty column, never as garbage.
+		col, err = c.placeLocked(key)
 		if err != nil {
 			c.mu.Unlock()
 			return 0, err
 		}
 	}
-	col.size = len(data)
 	group := c.cfg.PlacementOf(key)
 	type target struct {
 		sh  *Shard
@@ -434,6 +459,12 @@ func (c *Cluster) WriteColumn(tenant string, key uint64, data []byte) (sim.Time,
 		}
 		done = sim.Max(done, res.Done)
 	}
+	// Every replica acknowledged: commit the new size to the directory.
+	// Until here concurrent readers see the previous size against the
+	// previous data, never a new size over old bytes.
+	c.mu.Lock()
+	col.size = len(data)
+	c.mu.Unlock()
 	return done, nil
 }
 
@@ -451,8 +482,12 @@ func (c *Cluster) ReadColumn(tenant string, key uint64) ([]byte, sim.Time, error
 	col := c.columns[key]
 	var sh *Shard
 	var rep replica
+	var size int
 	ok := false
 	if col != nil {
+		// Snapshot the size under the lock: WriteColumn mutates col.size
+		// under c.mu, so reading it after RUnlock would race.
+		size = col.size
 		sh, rep, ok = c.liveLeastLoaded(col.replicas)
 	}
 	c.mu.RUnlock()
@@ -469,7 +504,7 @@ func (c *Cluster) ReadColumn(tenant string, key uint64) ([]byte, sim.Time, error
 	if res.Err != nil {
 		return nil, 0, fmt.Errorf("cluster: read key %d shard %d: %w", key, sh.id, res.Err)
 	}
-	return res.Data[:col.size], res.Done, nil
+	return res.Data[:size], res.Done, nil
 }
 
 // AddShard brings a new empty shard into the ring and rebalances: every
@@ -569,6 +604,10 @@ func (c *Cluster) rebalanceLocked() (migrated int, err error) {
 			sh := c.shards[r.shard]
 			if want[r.shard] || (sh != nil && !sh.Alive()) {
 				kept = append(kept, r)
+				continue
+			}
+			if sh != nil {
+				sh.freeLPN(r.lpn)
 			}
 		}
 		col.replicas = kept

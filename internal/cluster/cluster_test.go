@@ -40,6 +40,105 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWriteColumnRejectsOversizedData(t *testing.T) {
+	c := MustNew(Config{Shards: 2, Replicas: 1})
+	big := make([]byte, c.PageSize()+1)
+	if _, err := c.WriteColumn("t", 1, big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized write = %v, want ErrTooLarge", err)
+	}
+	// The rejected key never entered the directory.
+	if _, _, err := c.ReadColumn("t", 1); !errors.Is(err, ErrUnknownColumn) {
+		t.Fatalf("read after rejected write = %v, want ErrUnknownColumn", err)
+	}
+}
+
+// TestFailedWriteDoesNotCommitSize holds the directory to its ordering
+// contract: a write that fails after placement must not advance col.size,
+// or a later read would slice fresh size over stale bytes.
+func TestFailedWriteDoesNotCommitSize(t *testing.T) {
+	c := MustNew(Config{Shards: 2, Replicas: 1})
+	data := make([]byte, c.PageSize())
+	if _, err := c.WriteColumn("t", 1, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.EachShard(func(sh *Shard) {
+		if err := c.KillShard(sh.ID()); err != nil {
+			t.Fatalf("kill shard %d: %v", sh.ID(), err)
+		}
+	})
+	if _, err := c.WriteColumn("t", 1, data[:8]); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("write with all shards dead = %v, want ErrUnavailable", err)
+	}
+	c.mu.RLock()
+	size := c.columns[1].size
+	c.mu.RUnlock()
+	if size != len(data) {
+		t.Fatalf("failed write moved col.size to %d, want %d unchanged", size, len(data))
+	}
+}
+
+func TestShardRecyclesFreedLPNs(t *testing.T) {
+	sh := &Shard{maxLPN: 2}
+	a, err := sh.allocLPN()
+	if err != nil {
+		t.Fatalf("alloc a: %v", err)
+	}
+	if _, err := sh.allocLPN(); err != nil {
+		t.Fatalf("alloc b: %v", err)
+	}
+	if _, err := sh.allocLPN(); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted alloc = %v, want ErrNoSpace", err)
+	}
+	sh.freeLPN(a)
+	got, err := sh.allocLPN()
+	if err != nil || got != a {
+		t.Fatalf("post-free alloc = (%d, %v), want recycled page %d", got, err, a)
+	}
+}
+
+// TestRebalanceRecyclesDroppedReplicaPages churns the topology and then
+// audits every shard's allocator against the directory: pages in use must
+// equal replicas resident, so add/remove cycles cannot leak toward
+// ErrNoSpace.
+func TestRebalanceRecyclesDroppedReplicaPages(t *testing.T) {
+	c := MustNew(Config{Shards: 2, Replicas: 1})
+	pageSize := c.PageSize()
+	rng := rand.New(rand.NewSource(4))
+	for key := uint64(1); key <= 64; key++ {
+		data := make([]byte, pageSize)
+		rng.Read(data)
+		if _, err := c.WriteColumn("t", key, data); err != nil {
+			t.Fatalf("write %d: %v", key, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		id, _, err := c.AddShard()
+		if err != nil {
+			t.Fatalf("churn %d add: %v", i, err)
+		}
+		if _, err := c.RemoveShard(id); err != nil {
+			t.Fatalf("churn %d remove: %v", i, err)
+		}
+	}
+	resident := map[int]uint64{}
+	c.mu.RLock()
+	for _, col := range c.columns {
+		for _, r := range col.replicas {
+			resident[r.shard]++
+		}
+	}
+	c.mu.RUnlock()
+	c.EachShard(func(sh *Shard) {
+		sh.mu.Lock()
+		used := sh.nextLPN - uint64(len(sh.free))
+		sh.mu.Unlock()
+		if used != resident[sh.id] {
+			t.Errorf("shard %d: %d pages in use, %d replicas resident — leaked %d",
+				sh.id, used, resident[sh.id], used-resident[sh.id])
+		}
+	})
+}
+
 func TestReplicationFansInAndOut(t *testing.T) {
 	c := MustNew(Config{Shards: 4, Replicas: 2})
 	data := make([]byte, c.PageSize())
