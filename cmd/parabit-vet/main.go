@@ -11,6 +11,13 @@
 //     (internal/ssd, internal/ftl, internal/sched).
 //   - nocopylock: no by-value copies of telemetry/sched handle structs
 //     carrying mutex or atomic state.
+//   - guardedby: fields annotated `// guarded by mu` are only accessed
+//     with the named mutex held — writes need the write lock, *Locked
+//     helpers are only called under the lock, and the post-Unlock
+//     snapshot-after-release shape is flagged.
+//   - lockorder: the package lock-acquisition graph is free of cycles,
+//     same-instance re-acquisition, and inversions of declared
+//     //parabit:lockorder pragmas.
 //
 // Usage:
 //
@@ -38,14 +45,16 @@ import (
 
 	"parabit/internal/analysis"
 	"parabit/internal/analysis/errdrop"
+	"parabit/internal/analysis/guardedby"
 	"parabit/internal/analysis/latchseq"
+	"parabit/internal/analysis/lockorder"
 	"parabit/internal/analysis/nocopylock"
 	"parabit/internal/analysis/simtime"
 )
 
 // version participates in the go vet tool-identity handshake; bump it
 // when analyzer behavior changes so go vet's result cache invalidates.
-const version = "v1.0.0"
+const version = "v1.1.0"
 
 func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
@@ -53,6 +62,8 @@ func analyzers() []*analysis.Analyzer {
 		simtime.Analyzer,
 		errdrop.Analyzer,
 		nocopylock.Analyzer,
+		guardedby.Analyzer,
+		lockorder.Analyzer,
 	}
 }
 

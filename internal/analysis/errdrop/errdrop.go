@@ -25,8 +25,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
 	Doc: "flag call statements that discard error results from the device stack " +
-		"(internal/ssd, internal/ftl, internal/sched, internal/cluster): a dropped " +
-		"error silently desynchronizes the simulated device state",
+		"(internal/ssd, internal/ftl, internal/sched, internal/cluster, internal/plan, " +
+		"internal/nvme, internal/faults): a dropped error silently desynchronizes " +
+		"the simulated device state",
 	Run: run,
 }
 
@@ -36,6 +37,9 @@ var guardedPkgs = map[string]bool{
 	"parabit/internal/ftl":     true,
 	"parabit/internal/sched":   true,
 	"parabit/internal/cluster": true,
+	"parabit/internal/plan":    true,
+	"parabit/internal/nvme":    true,
+	"parabit/internal/faults":  true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,31 @@
+package guardedby_test
+
+import (
+	"strings"
+	"testing"
+
+	"parabit/internal/analysis/analysistest"
+	"parabit/internal/analysis/guardedby"
+)
+
+func TestUnguardedAccessFlagged(t *testing.T) {
+	analysistest.Run(t, guardedby.Analyzer, "guardbad")
+}
+
+func TestGuardedAccessClean(t *testing.T) {
+	analysistest.Run(t, guardedby.Analyzer, "guardok")
+}
+
+// TestReadColumnRaceShapeFlagged pins the acceptance criterion directly:
+// the fixture reproducing the PR 7 ReadColumn/WriteColumn race (entry
+// pointer loaded under RLock, its size read after RUnlock) must draw the
+// post-release diagnostic.
+func TestReadColumnRaceShapeFlagged(t *testing.T) {
+	diags := analysistest.Diagnostics(t, guardedby.Analyzer, "guardbad")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "read of size guarded by Dir.mu after the guard was released") {
+			return
+		}
+	}
+	t.Fatalf("ReadColumn race shape not flagged among %d diagnostics", len(diags))
+}

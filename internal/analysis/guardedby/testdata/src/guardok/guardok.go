@@ -1,0 +1,113 @@
+// Package guardok exercises the legal patterns guardedby must accept:
+// defer-unlock, RLock reads, early-return unlock branches, *Locked
+// helpers called under the lock, snapshots taken inside the critical
+// section, in-place closures, goroutines that lock for themselves, and
+// //lint:ignore suppression.
+package guardok
+
+import "sync"
+
+type Store struct {
+	mu   sync.RWMutex
+	cols map[string][]uint64 // guarded by mu
+	n    int                 // guarded by mu
+}
+
+func New() *Store {
+	return &Store{cols: make(map[string][]uint64)}
+}
+
+func (s *Store) Put(k string, v []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cols[k] = v
+	s.n++
+}
+
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *Store) Delete(k string) {
+	s.mu.Lock()
+	if _, ok := s.cols[k]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.cols, k)
+	s.n--
+	s.mu.Unlock()
+}
+
+// growLocked follows the helper convention: every caller holds s.mu.
+func (s *Store) growLocked(k string, v []uint64) {
+	s.cols[k] = append(s.cols[k], v...)
+	s.n++
+}
+
+func (s *Store) Append(k string, v []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.growLocked(k, v)
+}
+
+// Background's goroutine takes the lock for itself before touching
+// guarded state.
+func (s *Store) Background(k string, v []uint64) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.cols[k] = v
+	}()
+}
+
+func Sum(s *Store) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, col := range s.cols {
+		total += len(col)
+	}
+	return total
+}
+
+// IgnoredEstimate shows the deliberate escape hatch.
+func IgnoredEstimate(s *Store) int {
+	//lint:ignore guardedby racy estimate is fine for logging
+	return s.n
+}
+
+type Dir struct {
+	mu   sync.RWMutex
+	cols map[string]*entry // guarded by mu
+}
+
+type entry struct {
+	size int // guarded by Dir.mu
+}
+
+// Size snapshots the guarded field inside the critical section — the
+// fixed ReadColumn shape.
+func (d *Dir) Size(key string) int {
+	d.mu.RLock()
+	size := 0
+	if e := d.cols[key]; e != nil {
+		size = e.size
+	}
+	d.mu.RUnlock()
+	return size
+}
+
+// Grow writes an entry's guarded field under the write lock.
+func (d *Dir) Grow(key string, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.cols[key]
+	if e == nil {
+		e = &entry{}
+		d.cols[key] = e
+	}
+	e.size = n
+}

@@ -1,0 +1,63 @@
+// Package orderok exercises the legal shapes lockorder must accept: a
+// consistent Cluster-before-Shard order (declared by pragma and obeyed),
+// the *Locked entry contract, sequential (non-nested) acquisition,
+// per-iteration locking under a read lock, and closures that escape the
+// defining critical section.
+package orderok
+
+import "sync"
+
+type Cluster struct{ mu sync.RWMutex }
+
+type Shard struct{ mu sync.Mutex }
+
+//parabit:lockorder Cluster.mu < Shard.mu
+
+func Consistent(c *Cluster, s *Shard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// rebalanceLocked is entered with Cluster.mu held (the suffix
+// contract); taking Shard.mu inside follows the declared order.
+func (c *Cluster) rebalanceLocked(s *Shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func Rebalance(c *Cluster, s *Shard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebalanceLocked(s)
+}
+
+func Sequential(c *Cluster, s *Shard) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Each locks one shard at a time under the cluster read lock: a
+// Cluster.mu -> Shard.mu edge, never Shard -> Shard.
+func Each(c *Cluster, shards []*Shard) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// Handoff returns a closure that runs after the critical section
+// closes; its acquisition is not nested inside the caller's hold.
+func Handoff(c *Cluster) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}
+}

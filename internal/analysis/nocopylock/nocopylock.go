@@ -26,9 +26,9 @@ import (
 // Analyzer is the nocopylock analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "nocopylock",
-	Doc: "flag by-value copies of telemetry/sched/cluster handle structs carrying " +
-		"mutexes or atomics (params, results, receivers, range copies, value " +
-		"assignments), which vet's copylocks misses for atomic-only structs",
+	Doc: "flag by-value copies of telemetry/sched/cluster/plan/nvme/faults handle " +
+		"structs carrying mutexes or atomics (params, results, receivers, range " +
+		"copies, value assignments), which vet's copylocks misses for atomic-only structs",
 	Run: run,
 }
 
@@ -38,7 +38,10 @@ var Analyzer = &analysis.Analyzer{
 func isGuardedPkg(path string) bool {
 	return strings.HasSuffix(path, "internal/telemetry") ||
 		strings.HasSuffix(path, "internal/sched") ||
-		strings.HasSuffix(path, "internal/cluster")
+		strings.HasSuffix(path, "internal/cluster") ||
+		strings.HasSuffix(path, "internal/plan") ||
+		strings.HasSuffix(path, "internal/nvme") ||
+		strings.HasSuffix(path, "internal/faults")
 }
 
 type checker struct {

@@ -11,6 +11,10 @@ func TestInternalPackageFlagged(t *testing.T) {
 	analysistest.Run(t, simtime.Analyzer, "internal/simbad")
 }
 
+func TestClusterPackageCovered(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "internal/cluster")
+}
+
 func TestWallclockPackageExempt(t *testing.T) {
 	analysistest.Run(t, simtime.Analyzer, "internal/wallclock")
 }

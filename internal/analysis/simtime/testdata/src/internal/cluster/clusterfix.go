@@ -1,0 +1,18 @@
+// Package cluster mirrors the path shape of parabit/internal/cluster: the
+// sharded serving layer runs entirely on the virtual clock, so wall-clock
+// reads here must be flagged like in any other simulation package.
+package cluster
+
+import "time"
+
+// Serve models a request loop that measures latency the wrong way.
+func Serve() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	route()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func route() {}
+
+// Timeout construction from pure constants stays legal.
+const requestBudget = 500 * time.Microsecond

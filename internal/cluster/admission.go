@@ -56,22 +56,28 @@ func (q QoS) burst() float64 {
 // tenant is one token bucket plus in-flight count.
 type tenant struct {
 	mu       sync.Mutex
-	qos      QoS
-	tokens   float64
-	last     sim.Time
-	inflight int
+	qos      QoS      // guarded by mu
+	tokens   float64  // guarded by mu
+	last     sim.Time // guarded by mu
+	inflight int      // guarded by mu
 }
 
-// admitter owns the tenant table.
+// admitter owns the tenant table. A tenant's bucket lock nests inside
+// nothing; the table lock is taken while a bucket is held (rejection
+// counting), never the other way around.
+//
+//parabit:lockorder tenant.mu < admitter.mu
 type admitter struct {
 	mu          sync.Mutex
-	def         QoS
-	tenants     map[string]*tenant
-	rejectRate  *telemetry.Counter
-	rejectQueue *telemetry.Counter
+	def         QoS                // guarded by mu
+	tenants     map[string]*tenant // guarded by mu
+	rejectRate  *telemetry.Counter // guarded by mu
+	rejectQueue *telemetry.Counter // guarded by mu
 }
 
 func (a *admitter) init(def QoS) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.def = def
 	a.tenants = make(map[string]*tenant)
 }
@@ -110,7 +116,7 @@ func (a *admitter) admit(name string, now sim.Time) (release func(), err error) 
 	// Check the in-flight bound before charging the bucket, so a request
 	// bounced for queue depth doesn't also burn rate budget.
 	if t.qos.MaxInFlight > 0 && t.inflight >= t.qos.MaxInFlight {
-		a.count(a.rejectQueue)
+		a.countReject(true)
 		return nil, &AdmissionError{Tenant: name, Reason: "queue"}
 	}
 	if t.qos.OpsPerSec > 0 {
@@ -122,7 +128,7 @@ func (a *admitter) admit(name string, now sim.Time) (release func(), err error) 
 			t.last = now
 		}
 		if t.tokens < 1 {
-			a.count(a.rejectRate)
+			a.countReject(false)
 			return nil, &AdmissionError{Tenant: name, Reason: "rate"}
 		}
 		t.tokens--
@@ -135,9 +141,16 @@ func (a *admitter) admit(name string, now sim.Time) (release func(), err error) 
 	}, nil
 }
 
-func (a *admitter) count(c *telemetry.Counter) {
+// countReject bumps the matching rejection counter. The counter fields
+// are read under a.mu — setTelemetry rebinds them concurrently, so
+// loading them outside the lock would race.
+func (a *admitter) countReject(queue bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	c := a.rejectRate
+	if queue {
+		c = a.rejectQueue
+	}
 	// c may be nil when telemetry is detached; Counter.Add is nil-safe.
 	c.Add(1)
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"parabit/internal/sim"
+	"parabit/internal/telemetry"
 )
 
 func TestAdmissionRateLimit(t *testing.T) {
@@ -89,6 +91,64 @@ func TestQueueRejectionDoesNotChargeRateToken(t *testing.T) {
 		t.Fatalf("admit after queue rejection: %v", err)
 	}
 	r2()
+}
+
+// TestRejectionCountingRacesTelemetryRebind pins the countReject fix:
+// setTelemetry rebinds the rejection counters under a.mu, so charging a
+// rejection must load them under the same lock. The old code cached the
+// counter pointer outside the lock — under -race this test caught it, and
+// rejections could land on a counter that had already been swapped out.
+// Alternating between two counter pairs makes the accounting exact: every
+// rejection must charge exactly one of them.
+func TestRejectionCountingRacesTelemetryRebind(t *testing.T) {
+	var a admitter
+	a.init(QoS{MaxInFlight: 1})
+	sink := telemetry.New()
+	rateA, queueA := sink.Counter("a.rate"), sink.Counter("a.queue")
+	rateB, queueB := sink.Counter("b.rate"), sink.Counter("b.queue")
+	a.setTelemetry(rateA, queueA)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				a.setTelemetry(rateB, queueB)
+			} else {
+				a.setTelemetry(rateA, queueA)
+			}
+		}
+	}()
+
+	// Hold the single in-flight slot so every further admit is a queue
+	// rejection racing the rebinder.
+	release, err := a.admit("tenant", 0)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	const rejects = 1000
+	for i := 0; i < rejects; i++ {
+		if _, err := a.admit("tenant", 0); !errors.Is(err, ErrAdmission) {
+			t.Fatalf("admit %d = %v, want ErrAdmission", i, err)
+		}
+	}
+	release()
+	close(stop)
+	wg.Wait()
+
+	if got := queueA.Value() + queueB.Value(); got != rejects {
+		t.Fatalf("queue rejections counted = %d, want %d", got, rejects)
+	}
+	if got := rateA.Value() + rateB.Value(); got != 0 {
+		t.Fatalf("rate rejections counted = %d, want 0", got)
+	}
 }
 
 func TestAdmissionDefaultQoSAppliesToUnknownTenants(t *testing.T) {

@@ -106,12 +106,12 @@ type Shard struct {
 	reads, writes atomic.Int64
 
 	mu      sync.Mutex
-	nextLPN uint64
-	maxLPN  uint64
+	nextLPN uint64 // guarded by mu
+	maxLPN  uint64 // guarded by mu
 	// free recycles LPNs of replicas dropped by rebalance, so shard
 	// add/remove churn doesn't permanently leak pages off the bump
 	// allocator.
-	free []uint64
+	free []uint64 // guarded by mu
 }
 
 // ID returns the shard's cluster-wide id.
@@ -163,15 +163,17 @@ type replica struct {
 	lpn   uint64
 }
 
-// column is the front end's directory entry for one key.
+// column is the front end's directory entry for one key. Entries are
+// owned by the directory: their mutable fields are guarded by the
+// cluster lock, not one of their own.
 type column struct {
 	key      uint64
-	size     int
-	replicas []replica
+	size     int       // guarded by Cluster.mu
+	replicas []replica // guarded by Cluster.mu
 }
 
-// live filters the column's replicas to live shards.
-func (col *column) live(shards map[int]*Shard) []replica {
+// liveLocked filters the column's replicas to live shards.
+func (col *column) liveLocked(shards map[int]*Shard) []replica {
 	out := make([]replica, 0, len(col.replicas))
 	for _, r := range col.replicas {
 		if sh, ok := shards[r.shard]; ok && sh.Alive() {
@@ -197,16 +199,21 @@ type clusterTele struct {
 	hQuery       *telemetry.Histogram
 }
 
-// Cluster is the host-facing front end over the shard set.
+// Cluster is the host-facing front end over the shard set. The
+// directory lock nests outside the per-shard allocator locks: placement
+// and rebalance allocate shard pages while holding the directory, so a
+// shard lock must never wait on the directory.
+//
+//parabit:lockorder Cluster.mu < Shard.mu
 type Cluster struct {
 	cfg Config
 
 	mu      sync.RWMutex
-	ring    *ring
-	shards  map[int]*Shard
-	order   []int // shard ids in creation order, for stable iteration
-	nextID  int
-	columns map[uint64]*column
+	ring    *ring              // guarded by mu
+	shards  map[int]*Shard     // guarded by mu
+	order   []int              // guarded by mu; shard ids in creation order, for stable iteration
+	nextID  int                // guarded by mu
+	columns map[uint64]*column // guarded by mu
 
 	adm  admitter
 	tele clusterTele
@@ -222,6 +229,8 @@ func New(cfg Config) (*Cluster, error) {
 		columns: make(map[uint64]*column),
 	}
 	c.adm.init(cfg.DefaultQoS)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for i := 0; i < cfg.Shards; i++ {
 		if _, err := c.addShardLocked(); err != nil {
 			return nil, err
@@ -348,10 +357,10 @@ func (c *Cluster) nowLocked() sim.Time {
 // SetTenantQoS installs (or replaces) a tenant's admission policy.
 func (c *Cluster) SetTenantQoS(tenant string, q QoS) { c.adm.set(tenant, q) }
 
-// liveLeastLoaded picks the live replica with the shortest queue, breaking
-// ties by routed-read count and then shard id, so fan-out spreads over
-// replicas instead of pinning one.
-func (c *Cluster) liveLeastLoaded(reps []replica) (*Shard, replica, bool) {
+// liveLeastLoadedLocked picks the live replica with the shortest queue,
+// breaking ties by routed-read count and then shard id, so fan-out
+// spreads over replicas instead of pinning one.
+func (c *Cluster) liveLeastLoadedLocked(reps []replica) (*Shard, replica, bool) {
 	var best *Shard
 	var bestRep replica
 	for _, r := range reps {
@@ -488,7 +497,7 @@ func (c *Cluster) ReadColumn(tenant string, key uint64) ([]byte, sim.Time, error
 		// Snapshot the size under the lock: WriteColumn mutates col.size
 		// under c.mu, so reading it after RUnlock would race.
 		size = col.size
-		sh, rep, ok = c.liveLeastLoaded(col.replicas)
+		sh, rep, ok = c.liveLeastLoadedLocked(col.replicas)
 	}
 	c.mu.RUnlock()
 
@@ -627,7 +636,7 @@ func (c *Cluster) rebalanceLocked() (migrated int, err error) {
 // copySourceLocked reads a column from its least-loaded live replica for
 // migration or repair.
 func (c *Cluster) copySourceLocked(col *column) ([]byte, error) {
-	sh, rep, ok := c.liveLeastLoaded(col.replicas)
+	sh, rep, ok := c.liveLeastLoadedLocked(col.replicas)
 	if !ok {
 		return nil, fmt.Errorf("%w: column %d", ErrUnavailable, col.key)
 	}
@@ -677,7 +686,7 @@ func (c *Cluster) Repair() (repaired int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, col := range c.columns {
-		liveReps := col.live(c.shards)
+		liveReps := col.liveLocked(c.shards)
 		if len(liveReps) >= c.cfg.Replicas {
 			continue
 		}

@@ -84,7 +84,7 @@ func (c *Cluster) Query(tenant string, e *plan.Expr, scheme ssd.Scheme) (QueryRe
 }
 
 // colocatedShard finds a live shard holding a replica of every key, or
-// nil. Preference follows liveLeastLoaded over the first key's replicas.
+// nil. Preference follows liveLeastLoadedLocked over the first key's replicas.
 func (c *Cluster) colocatedShard(keys []uint64) (*Shard, map[uint64]uint64, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -98,7 +98,7 @@ func (c *Cluster) colocatedShard(keys []uint64) (*Shard, map[uint64]uint64, erro
 		if col == nil {
 			return nil, nil, fmt.Errorf("%w: key %d", ErrUnknownColumn, key)
 		}
-		if len(col.live(c.shards)) == 0 {
+		if len(col.liveLocked(c.shards)) == 0 {
 			c.tele.cUnavailable.Add(1)
 			return nil, nil, fmt.Errorf("%w: column %d", ErrUnavailable, key)
 		}
@@ -131,7 +131,7 @@ func (c *Cluster) colocatedShard(keys []uint64) (*Shard, map[uint64]uint64, erro
 	for id := range candidates {
 		reps = append(reps, replica{shard: id})
 	}
-	sh, _, ok := c.liveLeastLoaded(reps)
+	sh, _, ok := c.liveLeastLoadedLocked(reps)
 	if !ok {
 		return nil, nil, nil
 	}
@@ -218,7 +218,7 @@ func (c *Cluster) routeLeaf(key uint64) (QueryResult, error) {
 	var rep replica
 	ok := false
 	if col != nil {
-		sh, rep, ok = c.liveLeastLoaded(col.replicas)
+		sh, rep, ok = c.liveLeastLoadedLocked(col.replicas)
 	}
 	c.mu.RUnlock()
 	if col == nil {

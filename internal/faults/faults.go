@@ -166,20 +166,23 @@ type jitter struct {
 // for concurrent use; the embedded RNG draws in device-presentation
 // order, which the single-threaded simulated device keeps deterministic.
 type Engine struct {
-	mu        sync.Mutex
-	rng       *rand.Rand
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+
+	// Compiled plan; immutable after NewEngine.
 	windows   []window
 	stuck     map[[2]int]bool
 	progRate  float64
 	eraseRate float64
 	jitters   []jitter
 	geo       flash.Geometry
-	stats     Stats
+
+	stats Stats // guarded by mu
 
 	// Telemetry handles; all nil (free no-ops) until SetTelemetry runs.
-	faultTrack *telemetry.Track
-	counters   [len(faultKindCounter)]*telemetry.Counter
-	cJitter    *telemetry.Counter
+	faultTrack *telemetry.Track                          // guarded by mu
+	counters   [len(faultKindCounter)]*telemetry.Counter // guarded by mu
+	cJitter    *telemetry.Counter                        // guarded by mu
 }
 
 // faultKindCounter names the per-kind telemetry counters, indexed by
@@ -257,8 +260,8 @@ func (e *Engine) SetTelemetry(s *telemetry.Sink) {
 	e.faultTrack = s.Trace().Track("faults", "injected")
 }
 
-// fail records and returns one injected failure.
-func (e *Engine) fail(op flash.FaultOp, kind flash.FaultKind, plane flash.PlaneAddr, block int, at sim.Time) flash.FaultOutcome {
+// failLocked records and returns one injected failure.
+func (e *Engine) failLocked(op flash.FaultOp, kind flash.FaultKind, plane flash.PlaneAddr, block int, at sim.Time) flash.FaultOutcome {
 	switch kind {
 	case flash.FaultPlaneTransient:
 		e.stats.PlaneTransient++
@@ -292,16 +295,16 @@ func (e *Engine) Inspect(op flash.FaultOp, plane flash.PlaneAddr, block int, at 
 		if at < w.from || (w.to != 0 && at >= w.to) {
 			continue
 		}
-		return e.fail(op, w.kind, plane, block, at)
+		return e.failLocked(op, w.kind, plane, block, at)
 	}
 	if op != flash.FaultSense && e.stuck[[2]int{pidx, block}] {
-		return e.fail(op, flash.FaultStuckBlock, plane, block, at)
+		return e.failLocked(op, flash.FaultStuckBlock, plane, block, at)
 	}
 	if op == flash.FaultProgram && e.progRate > 0 && e.rng.Float64() < e.progRate {
-		return e.fail(op, flash.FaultProgramFail, plane, block, at)
+		return e.failLocked(op, flash.FaultProgramFail, plane, block, at)
 	}
 	if op == flash.FaultErase && e.eraseRate > 0 && e.rng.Float64() < e.eraseRate {
-		return e.fail(op, flash.FaultEraseFail, plane, block, at)
+		return e.failLocked(op, flash.FaultEraseFail, plane, block, at)
 	}
 	var delay sim.Duration
 	for _, j := range e.jitters {

@@ -99,6 +99,12 @@ type planeAlloc struct {
 }
 
 // FTL maps logical page numbers to physical pages on a flash.Array.
+//
+// The FTL carries no lock of its own: it relies on external
+// synchronization. All access runs under the command scheduler's mutex —
+// via dispatched commands or sched.Exclusive — which is why none of its
+// fields carry guarded-by annotations. Touching an FTL from outside the
+// scheduler while commands are in flight races.
 type FTL struct {
 	cfg   Config
 	array *flash.Array

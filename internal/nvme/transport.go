@@ -43,9 +43,9 @@ type QueuePairStats struct {
 // formula apart.
 type QueuePair struct {
 	mu    sync.Mutex
-	depth int
-	sq    []WireCommand
-	stats QueuePairStats
+	depth int            // immutable after NewQueuePair
+	sq    []WireCommand  // guarded by mu
+	stats QueuePairStats // guarded by mu
 }
 
 // NewQueuePair builds a queue pair with the given submission depth.

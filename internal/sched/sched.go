@@ -272,13 +272,13 @@ func (s Stats) Utilization() float64 {
 // commands onto shared issue instants. Safe for use from many goroutines.
 type Scheduler struct {
 	mu      sync.Mutex
-	dev     *ssd.Device
-	now     sim.Time // issue cursor for the next batch
-	pending []*Ticket
-	depth   [numKinds]int // pending commands per kind
-	retry   RetryPolicy
-	stats   Stats
-	tele    schedTele
+	dev     *ssd.Device   // immutable after New
+	now     sim.Time      // issue cursor for the next batch; guarded by mu
+	pending []*Ticket     // guarded by mu
+	depth   [numKinds]int // pending commands per kind; guarded by mu
+	retry   RetryPolicy   // guarded by mu
+	stats   Stats         // guarded by mu
+	tele    schedTele     // guarded by mu
 }
 
 // schedTele holds the scheduler's telemetry handles; the zero value (all
@@ -381,7 +381,7 @@ func (s *Scheduler) dispatchLocked() {
 		s.stats.MaxBatch = len(batch)
 	}
 	for _, t := range batch {
-		t.res = s.execRetry(&t.cmd, issue)
+		t.res = s.execRetryLocked(&t.cmd, issue)
 		k := t.cmd.Kind
 		s.depth[k]--
 		s.stats.Queues[k].Completed++
@@ -403,14 +403,14 @@ func (s *Scheduler) dispatchLocked() {
 	s.tele.batchTrack.Span("batch", issue, horizon)
 }
 
-// execRetry runs one command, re-issuing it after a simulated backoff
+// execRetryLocked runs one command, re-issuing it after a simulated backoff
 // while it keeps failing with a transient fault and the retry policy has
 // attempts left. Permanent faults (a dead plane, an exhausted device)
 // surface immediately: only flash.IsTransientFault errors retry. The
 // returned result's Start is the first issue instant, so service-time
 // accounting includes the backoff the command sat out.
-func (s *Scheduler) execRetry(c *Command, issue sim.Time) Result {
-	r := s.exec(c, issue)
+func (s *Scheduler) execRetryLocked(c *Command, issue sim.Time) Result {
+	r := s.execLocked(c, issue)
 	backoff := s.retry.Backoff
 	at := issue
 	for attempt := 1; attempt < s.retry.MaxAttempts && flash.IsTransientFault(r.Err); attempt++ {
@@ -418,7 +418,7 @@ func (s *Scheduler) execRetry(c *Command, issue sim.Time) Result {
 		s.stats.Retries++
 		s.tele.cRetries.Add(1)
 		s.tele.retryTrack.Span("backoff-"+kindNames[c.Kind], at, retryAt)
-		r = s.exec(c, retryAt)
+		r = s.execLocked(c, retryAt)
 		at = retryAt
 		if s.retry.Multiplier > 1 {
 			backoff *= sim.Duration(s.retry.Multiplier)
@@ -433,8 +433,8 @@ func (s *Scheduler) execRetry(c *Command, issue sim.Time) Result {
 	return r
 }
 
-// exec runs one command against the device at the given issue time.
-func (s *Scheduler) exec(c *Command, issue sim.Time) Result {
+// execLocked runs one command against the device at the given issue time.
+func (s *Scheduler) execLocked(c *Command, issue sim.Time) Result {
 	r := Result{Start: issue, Done: issue}
 	switch c.Kind {
 	case KindBarrier:

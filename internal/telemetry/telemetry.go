@@ -31,14 +31,14 @@ import (
 // is not usable; a nil *Sink is (as a disabled sink).
 type Sink struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 	// registration order, for stable summary output
-	counterOrder []string
-	gaugeOrder   []string
-	histOrder    []string
-	trace        *Trace
+	counterOrder []string // guarded by mu
+	gaugeOrder   []string // guarded by mu
+	histOrder    []string // guarded by mu
+	trace        *Trace   // guarded by mu
 	// scope is the metric-name (and trace-process) prefix of a scoped
 	// view; base points at the registry owner. Both are zero at the root.
 	scope string

@@ -16,11 +16,11 @@ import (
 // *Track whose methods are no-ops.
 type Trace struct {
 	mu     sync.Mutex
-	pids   map[string]int
-	procs  []string // by pid-1
-	tracks map[trackKey]*Track
-	order  []*Track
-	events []traceSample
+	pids   map[string]int      // guarded by mu
+	procs  []string            // by pid-1; guarded by mu
+	tracks map[trackKey]*Track // guarded by mu
+	order  []*Track            // guarded by mu
+	events []traceSample       // guarded by mu
 	// scope prefixes process names of a scoped view; base points at the
 	// recording root. Both are zero at the root.
 	scope string

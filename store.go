@@ -32,8 +32,8 @@ type ColumnStore struct {
 	// mu guards columns and nextLPN.
 	mu sync.RWMutex
 	// columns maps a name to its pages' LPNs (pages[i] on plane i%P).
-	columns map[string][]uint64
-	nextLPN uint64
+	columns map[string][]uint64 // guarded by mu
+	nextLPN uint64              // guarded by mu
 }
 
 // Store errors.
