@@ -178,6 +178,13 @@ func runClusterBench(shards, replicas int, users int64, days int, skew float64, 
 
 	lats := make([]sim.Duration, 0, queries)
 	for i := 0; i < queries; i++ {
+		// Every fifth query runs under Flash-Cosmos: columns are placed by
+		// the normal write path, so these exercise the FC colocation-miss
+		// fallback end to end through the serving layer and NVMe wire.
+		qScheme := scheme
+		if i%5 == 2 {
+			qScheme = ssd.SchemeFlashCosmos
+		}
 		var q *plan.Expr
 		if chunks > 1 && i%4 == 3 {
 			// Cross-chunk query: operands live in different placement
@@ -200,7 +207,7 @@ func runClusterBench(shards, replicas int, users int64, days int, skew float64, 
 			}
 			q = plan.And(leaves...)
 		}
-		res, err := c.Query("bench", q, scheme)
+		res, err := c.Query("bench", q, qScheme)
 		if err != nil {
 			return fmt.Errorf("cluster bench query %d: %w", i, err)
 		}
@@ -219,7 +226,7 @@ func runClusterBench(shards, replicas int, users int64, days int, skew float64, 
 		Queries:      queries,
 		Seed:         clusterSeed,
 		Skew:         skew,
-		Scheme:       fmt.Sprintf("%d", scheme),
+		Scheme:       fmt.Sprintf("%v+%v", scheme, ssd.SchemeFlashCosmos),
 		RouteLocal:   sink.Counter("cluster.route.local").Value(),
 		RouteWire:    sink.Counter("cluster.route.wire").Value(),
 		RouteScatter: sink.Counter("cluster.route.scatter").Value(),
@@ -359,6 +366,12 @@ func runClusterHammer(n, ops, shards, replicas, tenants int, users int64, days i
 		go func(cl int) {
 			defer wg.Done()
 			tenant := fmt.Sprintf("tenant%d", cl%tenants)
+			// Odd clients query under Flash-Cosmos so the multi-tenant mix
+			// keeps both the MWS dispatch and its fallback paths hot.
+			scheme := scheme
+			if cl%2 == 1 {
+				scheme = ssd.SchemeFlashCosmos
+			}
 			rng := rand.New(rand.NewSource(int64(1000 + cl)))
 			sample := workload.CustomBitmap(users, days, skew).DaySampler(rng)
 			// Skew the chunk axis with the same Zipf: days of one chunk

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"parabit"
+	"parabit/internal/latch"
+)
+
+// The Flash-Cosmos benchmark sweeps reduction width k and measures the
+// same seeded AND reductions two ways on identically loaded devices:
+//
+//   - Flash-Cosmos: operands block-colocated with WriteOperandMWSGroup
+//     (ESP-programmed), so each reduction collapses into one
+//     multi-wordline sense per 8-operand chunk;
+//   - LocFree: operands LSB-aligned with WriteOperandGroup, reduced by
+//     the chained pairwise program — the strongest pre-MWS scheme.
+//
+// Every reduction's bytes are cross-checked against a software fold, so
+// the latency table can only come from executions that produced correct
+// results. The run is deterministic: the same binary emits the same JSON
+// report every time, which is what lets CI diff it against the
+// checked-in BENCH_fc.json.
+
+const (
+	fcSeed   = 1
+	fcRounds = 24
+	// fcP99Tolerance is the CI gate: each sweep point's measured
+	// Flash-Cosmos p99 may exceed the checked-in report's by at most this
+	// factor.
+	fcP99Tolerance = 1.10
+	// fcMinSpeedup and fcMinSpeedupK are the acceptance floor: at
+	// full-chunk widths from fcMinSpeedupK up (k a multiple of the
+	// per-sense cap), the MWS fold must beat the chained LocFree
+	// reduction at the tail by at least fcMinSpeedup. Remainder widths
+	// (e.g. 12 = 8+4) sit slightly below the full-chunk curve — the
+	// trailing sub-cap chunk pays nearly a full sense base — and are
+	// held by the per-point regression tolerance instead.
+	fcMinSpeedup  = 5.0
+	fcMinSpeedupK = 8
+	// fcFallbackSlack bounds fallback-rate drift: a colocated layout that
+	// starts degenerating into pairwise fallbacks fails the gate even if
+	// its latency happens to stay inside tolerance.
+	fcFallbackSlack = 0.02
+)
+
+// fcWidths is the operand-count sweep: below, at, and past the 8-operand
+// sense-margin cap (12 and 16 fold as multiple chunks plus combines).
+var fcWidths = []int{2, 4, 8, 12, 16}
+
+// fcPoint is one sweep row of the BENCH_fc.json report.
+type fcPoint struct {
+	K            int         `json:"k"`
+	FlashCosmos  plannerSide `json:"flash_cosmos"`
+	LocFree      plannerSide `json:"locfree"`
+	P99SpeedupX  float64     `json:"p99_speedup_x"`
+	FallbackRate float64     `json:"fc_fallback_rate"`
+	MWSSenses    int64       `json:"mws_senses"`
+}
+
+// fcReport is the BENCH_fc.json schema.
+type fcReport struct {
+	Seed   int64     `json:"seed"`
+	Rounds int       `json:"rounds"`
+	Op     string    `json:"op"`
+	Sweep  []fcPoint `json:"sweep"`
+}
+
+// fcMeasure runs fcRounds k-wide reductions under one scheme, with the
+// layout that scheme is designed for, and cross-checks every result
+// against the software golden fold.
+func fcMeasure(k int, scheme parabit.Scheme, rng *rand.Rand) ([]time.Duration, *parabit.Device, error) {
+	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	if err != nil {
+		return nil, nil, err
+	}
+	lats := make([]time.Duration, 0, fcRounds)
+	for round := 0; round < fcRounds; round++ {
+		lpns := make([]uint64, k)
+		data := make([][]byte, k)
+		golden := make([]byte, dev.PageSize())
+		for i := range golden {
+			golden[i] = 0xFF
+		}
+		for i := range lpns {
+			lpns[i] = uint64(round*k + i)
+			page := make([]byte, dev.PageSize())
+			rng.Read(page)
+			data[i] = page
+			for j := range golden {
+				golden[j] &= page[j]
+			}
+		}
+		if scheme == parabit.FlashCosmos {
+			err = dev.WriteOperandMWSGroup(lpns, data)
+		} else {
+			err = dev.WriteOperandGroup(lpns, data)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("fc bench: lay out k=%d round %d: %w", k, round, err)
+		}
+		r, err := dev.Reduce(parabit.And, lpns, scheme)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fc bench: reduce k=%d round %d under %v: %w", k, round, scheme, err)
+		}
+		if !bytes.Equal(r.Data, golden) {
+			return nil, nil, fmt.Errorf("fc bench: k=%d round %d under %v: result differs from software fold", k, round, scheme)
+		}
+		lats = append(lats, r.Latency)
+	}
+	return lats, dev, nil
+}
+
+// runFC measures the sweep, prints the comparison, and optionally writes
+// the JSON report or gates against a checked-in one.
+func runFC(outPath, checkPath string, w io.Writer) error {
+	rep := fcReport{Seed: fcSeed, Rounds: fcRounds, Op: "AND"}
+	for _, k := range fcWidths {
+		// Both sides reduce identical bytes: one seed per (k, side) pair.
+		fcLats, fcDev, err := fcMeasure(k, parabit.FlashCosmos, rand.New(rand.NewSource(fcSeed+int64(k))))
+		if err != nil {
+			return err
+		}
+		lfLats, _, err := fcMeasure(k, parabit.LocationFree, rand.New(rand.NewSource(fcSeed+int64(k))))
+		if err != nil {
+			return err
+		}
+		st := fcDev.Stats()
+		p := fcPoint{
+			K:            k,
+			FlashCosmos:  side(fcLats),
+			LocFree:      side(lfLats),
+			FallbackRate: float64(st.Fallbacks) / float64(fcRounds),
+			MWSSenses:    st.MWSSenses,
+		}
+		if p.FlashCosmos.P99US > 0 {
+			p.P99SpeedupX = p.LocFree.P99US / p.FlashCosmos.P99US
+		}
+		rep.Sweep = append(rep.Sweep, p)
+	}
+
+	fmt.Fprintf(w, "flash-cosmos: %d-round AND reduction sweep (virtual time)\n", fcRounds)
+	fmt.Fprintf(w, "  %3s %12s %12s %9s %9s %6s\n", "k", "fc-p99", "locfree-p99", "speedup", "fallback", "mws")
+	for _, p := range rep.Sweep {
+		fmt.Fprintf(w, "  %3d %10.1fus %10.1fus %8.2fx %8.1f%% %6d\n",
+			p.K, p.FlashCosmos.P99US, p.LocFree.P99US, p.P99SpeedupX, p.FallbackRate*100, p.MWSSenses)
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", outPath)
+	}
+	if checkPath != "" {
+		if err := checkFCReport(rep, checkPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report matches %s (within %.0f%% on fc p99, >=%.0fx at k>=%d)\n",
+			checkPath, (fcP99Tolerance-1)*100, fcMinSpeedup, fcMinSpeedupK)
+	}
+	return nil
+}
+
+// checkFCReport is the CI gate: the sweep shape must match the recorded
+// report, each point's Flash-Cosmos p99 must hold within tolerance, the
+// colocated layout must not degenerate into pairwise fallbacks, and the
+// headline multi-operand win must stay above the acceptance floor.
+func checkFCReport(got fcReport, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want fcReport
+	if err := json.Unmarshal(blob, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if got.Seed != want.Seed || got.Rounds != want.Rounds || got.Op != want.Op || len(got.Sweep) != len(want.Sweep) {
+		return fmt.Errorf("workload drifted from %s (regenerate with -fc -fc-out)", path)
+	}
+	for i, g := range got.Sweep {
+		w := want.Sweep[i]
+		if g.K != w.K {
+			return fmt.Errorf("sweep drifted from %s: k=%d at row %d, recorded k=%d (regenerate with -fc -fc-out)",
+				path, g.K, i, w.K)
+		}
+		if limit := w.FlashCosmos.P99US * fcP99Tolerance; g.FlashCosmos.P99US > limit {
+			return fmt.Errorf("flash-cosmos p99 regressed at k=%d: %.1fus measured vs %.1fus recorded (limit %.1fus)",
+				g.K, g.FlashCosmos.P99US, w.FlashCosmos.P99US, limit)
+		}
+		if g.FallbackRate > w.FallbackRate+fcFallbackSlack {
+			return fmt.Errorf("flash-cosmos fallbacks degenerated at k=%d: rate %.2f measured vs %.2f recorded — the colocated layout is no longer realizing MWS folds",
+				g.K, g.FallbackRate, w.FallbackRate)
+		}
+		if g.K >= fcMinSpeedupK && g.K%latch.MaxMWSOperands == 0 && g.P99SpeedupX < fcMinSpeedup {
+			return fmt.Errorf("flash-cosmos win collapsed at k=%d: %.2fx p99 speedup over LocFree, floor is %.1fx",
+				g.K, g.P99SpeedupX, fcMinSpeedup)
+		}
+	}
+	return nil
+}

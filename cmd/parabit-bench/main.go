@@ -50,6 +50,23 @@ import (
 // defaultHammerClients is the client count a bare -hammer flag uses.
 const defaultHammerClients = 8
 
+// parseSchemeArg resolves a -scheme value: the short command-line aliases
+// first, then the scheme registry's full names.
+func parseSchemeArg(s string) (parabit.Scheme, bool) {
+	switch s {
+	case "prealloc":
+		return parabit.PreAllocated, true
+	case "realloc":
+		return parabit.Reallocated, true
+	case "locfree":
+		return parabit.LocationFree, true
+	case "flashcosmos", "fc":
+		return parabit.FlashCosmos, true
+	}
+	sc, err := parabit.ParseScheme(s)
+	return sc, err == nil
+}
+
 // defaultClusterShards is the shard count a bare -cluster flag uses.
 const defaultClusterShards = 4
 
@@ -115,6 +132,10 @@ func main() {
 	planner := flag.Bool("planner", false, "run the query-planner benchmark: fused vs unfused p99")
 	plannerOut := flag.String("planner-out", "", "planner mode: write the JSON report here (the BENCH_planner.json format)")
 	plannerCheck := flag.String("planner-check", "", "planner mode: compare against this JSON report; fail on >10% fused-p99 regression")
+	schemeName := flag.String("scheme", "locfree", "planner mode: placement scheme (prealloc, realloc, locfree, fc, or a registry name)")
+	fc := flag.Bool("fc", false, "run the Flash-Cosmos benchmark: MWS vs chained-LocFree reduction sweep")
+	fcOut := flag.String("fc-out", "", "fc mode: write the JSON report here (the BENCH_fc.json format)")
+	fcCheck := flag.String("fc-check", "", "fc mode: compare against this JSON report; fail on >10% p99 regression, degenerate fallbacks, or a collapsed multi-operand win")
 	var clusterShards clusterFlag
 	flag.Var(&clusterShards, "cluster", "cluster mode: shard count (bare flag: 4); combine with -hammer for the concurrent multi-tenant hammer")
 	users := flag.Int64("users", 2_000_000, "cluster mode: bitmap user count (column bits)")
@@ -128,7 +149,20 @@ func main() {
 	flag.Parse()
 
 	if *planner {
-		if err := runPlanner(*plannerOut, *plannerCheck, os.Stdout); err != nil {
+		scheme, ok := parseSchemeArg(*schemeName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+			os.Exit(2)
+		}
+		if err := runPlanner(scheme, *plannerOut, *plannerCheck, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fc {
+		if err := runFC(*fcOut, *fcCheck, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -232,6 +266,17 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 			return err
 		}
 	}
+	// A block-colocated group past the pair range, so the mix also drives
+	// Flash-Cosmos multi-wordline reductions.
+	fcLPNs := []uint64{shared, shared + 1, shared + 2, shared + 3}
+	fcPages := make([][]byte, len(fcLPNs))
+	for i := range fcPages {
+		fcPages[i] = make([]byte, dev.PageSize())
+		rand.New(rand.NewSource(int64(shared + i))).Read(fcPages[i])
+	}
+	if err := dev.WriteOperandMWSGroup(fcLPNs, fcPages); err != nil {
+		return err
+	}
 	assoc := []parabit.Op{parabit.And, parabit.Or, parabit.Xor}
 	wallStart := wallclock.Start()
 	var wg sync.WaitGroup
@@ -253,7 +298,7 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 				}
 				pending := make([]*parabit.Pending, 0, burst)
 				for j := 0; j < burst; j++ {
-					switch rng.Intn(5) {
+					switch rng.Intn(6) {
 					case 0:
 						rng.Read(page)
 						pending = append(pending, dev.WriteAsync(base+uint64(rng.Intn(16)), page))
@@ -274,6 +319,12 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 							parabit.QueryAnd(parabit.QueryLPN(a), parabit.QueryLPN(a+1)),
 							parabit.QueryXor(parabit.QueryLPN(b), parabit.QueryLPN(b+1)))
 						pending = append(pending, dev.QueryAsync(q, parabit.Reallocated))
+					case 5:
+						op := parabit.And
+						if rng.Intn(2) == 1 {
+							op = parabit.Or
+						}
+						pending = append(pending, dev.ReduceAsync(op, fcLPNs, parabit.FlashCosmos))
 					}
 				}
 				i += burst

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"parabit"
 	"parabit/internal/telemetry"
 )
 
@@ -153,7 +154,7 @@ func TestRunPlannerReportAndGate(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "report.json")
 	var buf bytes.Buffer
-	if err := runPlanner(out, "", &buf); err != nil {
+	if err := runPlanner(parabit.LocationFree, out, "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)

@@ -123,8 +123,10 @@ func plannerWorkload(rng *rand.Rand) []*qnode {
 	return queries
 }
 
-// plannerDevice builds one device with the two operand groups loaded.
-func plannerDevice(rng *rand.Rand) (*parabit.Device, error) {
+// plannerDevice builds one device with the two operand groups loaded in
+// the scheme's native layout: block-colocated ESP groups for
+// Flash-Cosmos, aligned LSB groups for everything else.
+func plannerDevice(rng *rand.Rand, scheme parabit.Scheme) (*parabit.Device, error) {
 	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
 	if err != nil {
 		return nil, err
@@ -138,7 +140,12 @@ func plannerDevice(rng *rand.Rand) (*parabit.Device, error) {
 			rng.Read(page)
 			data[i] = page
 		}
-		if err := dev.WriteOperandGroup(lpns, data); err != nil {
+		if scheme == parabit.FlashCosmos {
+			err = dev.WriteOperandMWSGroup(lpns, data)
+		} else {
+			err = dev.WriteOperandGroup(lpns, data)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -251,15 +258,14 @@ func side(lats []time.Duration) plannerSide {
 // runPlanner measures the workload both ways, cross-checks the results
 // bit-for-bit, prints the comparison, and optionally writes the JSON
 // report or gates against a checked-in one.
-func runPlanner(outPath, checkPath string, w io.Writer) error {
-	scheme := parabit.LocationFree
+func runPlanner(scheme parabit.Scheme, outPath, checkPath string, w io.Writer) error {
 	queries := plannerWorkload(rand.New(rand.NewSource(plannerSeed)))
 
-	fusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed + 1)))
+	fusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed+1)), scheme)
 	if err != nil {
 		return err
 	}
-	unfusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed + 1)))
+	unfusedDev, err := plannerDevice(rand.New(rand.NewSource(plannerSeed+1)), scheme)
 	if err != nil {
 		return err
 	}
@@ -337,9 +343,9 @@ func checkPlannerReport(got plannerReport, path string) error {
 	if err := json.Unmarshal(blob, &want); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if got.Queries != want.Queries || got.Seed != want.Seed {
-		return fmt.Errorf("workload drifted from %s: %d queries seed %d vs recorded %d queries seed %d (regenerate with -planner -planner-out)",
-			path, got.Queries, got.Seed, want.Queries, want.Seed)
+	if got.Queries != want.Queries || got.Seed != want.Seed || got.Scheme != want.Scheme {
+		return fmt.Errorf("workload drifted from %s: %d queries seed %d scheme %s vs recorded %d queries seed %d scheme %s (regenerate with -planner -planner-out)",
+			path, got.Queries, got.Seed, got.Scheme, want.Queries, want.Seed, want.Scheme)
 	}
 	if limit := want.Fused.P99US * plannerP99Tolerance; got.Fused.P99US > limit {
 		return fmt.Errorf("fused p99 regressed: %.1fus measured vs %.1fus recorded (limit %.1fus)",

@@ -70,6 +70,8 @@ func main() {
 		err = dev.WriteOperandPair(0, 1, x, y)
 	case parabit.LocationFree:
 		err = dev.WriteOperandGroup([]uint64{0, 1}, [][]byte{x, y})
+	case parabit.FlashCosmos:
+		err = dev.WriteOperandMWSGroup([]uint64{0, 1}, [][]byte{x, y})
 	default:
 		if err = dev.WriteOperand(0, x); err == nil {
 			err = dev.WriteOperand(1, y)
@@ -103,15 +105,20 @@ func parseOp(s string) (parabit.Op, bool) {
 }
 
 func parseScheme(s string) (parabit.Scheme, bool) {
+	// Short aliases for the command line; full names resolve through the
+	// scheme registry, so a new scheme is parseable here without edits.
 	switch strings.ToLower(s) {
-	case "prealloc", "parabit":
+	case "prealloc":
 		return parabit.PreAllocated, true
 	case "realloc":
 		return parabit.Reallocated, true
 	case "locfree":
 		return parabit.LocationFree, true
+	case "flashcosmos", "fc":
+		return parabit.FlashCosmos, true
 	}
-	return 0, false
+	sc, err := parabit.ParseScheme(s)
+	return sc, err == nil
 }
 
 func fillPage(hexStr string, ps int) ([]byte, error) {

@@ -17,6 +17,8 @@ func TestParseScheme(t *testing.T) {
 	cases := map[string]bool{
 		"prealloc": true, "parabit": true, "realloc": true,
 		"locfree": true, "LOCFREE": true, "nope": false,
+		"fc": true, "flashcosmos": true, "Flash-Cosmos": true,
+		"ParaBit-LocFree": true,
 	}
 	for name, want := range cases {
 		if _, ok := parseScheme(name); ok != want {

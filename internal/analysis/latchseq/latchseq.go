@@ -29,7 +29,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "latchseq",
 	Doc: "check latch control sequences against the ParaBit circuit contract: " +
 		"init first, sense before combine, no M3 before init, no unknown step kinds, " +
-		"and per-op step/sense counts matching internal/latch/sequences.go",
+		"per-op step/sense counts matching internal/latch/sequences.go, and the " +
+		"Flash-Cosmos MWS rules (wordline count within the sense margin, MWS as " +
+		"the sole sense of its control program)",
 	Run: run,
 }
 
@@ -49,13 +51,19 @@ const (
 	stepM1
 	stepM2
 	stepM3
+	stepSenseMulti
 	numStepKinds
 )
 
 var stepKindNames = [numStepKinds]string{
 	"StepInit", "StepInitInv", "StepReinitL1", "StepReinitL1Inv",
-	"StepSense", "StepM1", "StepM2", "StepM3",
+	"StepSense", "StepM1", "StepM2", "StepM3", "StepSenseMulti",
 }
+
+// maxMWSOperands mirrors latch.MaxMWSOperands: the sense-amplifier margin
+// bounds how many wordlines one multi-wordline sense may select (pinned
+// in pin_test.go).
+const maxMWSOperands = 8
 
 // opShape is the expected step and sense count for one named operation's
 // sequence, per the tables in internal/latch/sequences.go.
@@ -85,8 +93,13 @@ const maxSteps = 64
 // step is one statically resolved sequence element.
 type step struct {
 	kind  int64
-	known bool      // kind resolved to a constant
-	pos   token.Pos // position to anchor diagnostics for this element
+	known bool // kind resolved to a constant
+	// wlCount is the StepSenseMulti wordline count; wlKnown reports
+	// whether it resolved to a constant (an absent field is the zero
+	// value, which is always out of the legal 2..maxMWSOperands range).
+	wlCount int64
+	wlKnown bool
+	pos     token.Pos // position to anchor diagnostics for this element
 }
 
 type checker struct {
@@ -345,34 +358,58 @@ func (c *checker) resolveStep(e ast.Expr, depth int) step {
 	return unknown
 }
 
-// stepFromLit extracts the Kind of a latch.Step composite literal. An
-// absent Kind field is the zero value StepInit.
+// stepFromLit extracts the Kind and WLCount of a latch.Step composite
+// literal. Absent fields are their zero values: StepInit for Kind, and a
+// zero wordline count (always illegal for StepSenseMulti).
 func (c *checker) stepFromLit(lit *ast.CompositeLit) step {
-	out := step{kind: stepInit, known: true, pos: lit.Pos()}
+	out := step{kind: stepInit, known: true, wlKnown: true, pos: lit.Pos()}
 	for i, el := range lit.Elts {
-		var kindExpr ast.Expr
+		var kindExpr, wlExpr ast.Expr
 		if kv, ok := el.(*ast.KeyValueExpr); ok {
-			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
-				kindExpr = kv.Value
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				switch key.Name {
+				case "Kind":
+					kindExpr = kv.Value
+				case "WLCount":
+					wlExpr = kv.Value
+				}
 			}
-		} else if i == 0 {
-			// Positional literal: Kind is the first field.
-			kindExpr = el
-		}
-		if kindExpr == nil {
-			continue
-		}
-		if tv, ok := c.pass.TypesInfo.Types[kindExpr]; ok && tv.Value != nil {
-			if v, ok := constant.Int64Val(tv.Value); ok {
-				out.kind, out.known = v, true
-				return out
+		} else {
+			// Positional literal: Kind and WLCount are fields 0 and 3.
+			switch i {
+			case 0:
+				kindExpr = el
+			case 3:
+				wlExpr = el
 			}
 		}
-		out.known = false
-		out.pos = kindExpr.Pos()
-		return out
+		if kindExpr != nil {
+			if v, ok := c.constInt(kindExpr); ok {
+				out.kind = v
+			} else {
+				out.known = false
+				out.pos = kindExpr.Pos()
+			}
+		}
+		if wlExpr != nil {
+			if v, ok := c.constInt(wlExpr); ok {
+				out.wlCount = v
+			} else {
+				out.wlKnown = false
+			}
+		}
 	}
 	return out
+}
+
+// constInt resolves an expression to a constant integer value.
+func (c *checker) constInt(e ast.Expr) (int64, bool) {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // initializer resolves an identifier or selector to the initializer
@@ -449,6 +486,8 @@ func (c *checker) checkSteps(steps []step, pos token.Pos, name string) {
 	sawInit := false        // an init-family step so far (or a wildcard)
 	senseSinceInit := false // a sense since the most recent init-family step (or a wildcard)
 	senses := 0
+	mws := false // a StepSenseMulti appeared
+	var mwsPos token.Pos
 	for i, s := range steps {
 		if !s.known {
 			allKnown = false
@@ -475,6 +514,14 @@ func (c *checker) checkSteps(steps []step, pos token.Pos, name string) {
 		case s.kind == stepSense:
 			senses++
 			senseSinceInit = true
+		case s.kind == stepSenseMulti:
+			senses++
+			senseSinceInit = true
+			mws = true
+			mwsPos = s.pos
+			if s.wlKnown && (s.wlCount < 2 || s.wlCount > maxMWSOperands) {
+				c.reportf(s.pos, "multi-wordline sense at step %d selects %d wordlines; the sense amplifier margin allows 2..%d per sense", i+1, s.wlCount, maxMWSOperands)
+			}
 		case s.kind == stepM1 || s.kind == stepM2:
 			if !senseSinceInit {
 				c.reportf(s.pos, "%s combine at step %d has no StepSense since the last initialization: SO holds no sensed value to combine", stepKindNames[s.kind], i+1)
@@ -484,6 +531,12 @@ func (c *checker) checkSteps(steps []step, pos token.Pos, name string) {
 				c.reportf(s.pos, "StepM3 transfer at step %d before any initialization: L1 holds no value to transfer", i+1)
 			}
 		}
+	}
+
+	if mws && allKnown && senses > 1 {
+		// Provable only when every step resolved: a wildcard counts as a
+		// sense conservatively and must not trigger this.
+		c.reportf(mwsPos, "latch sequence mixes a multi-wordline sense with %d other senses: an MWS discharges the whole string and must be the only sense in its control program", senses-1)
 	}
 
 	if name == "" || !allKnown {

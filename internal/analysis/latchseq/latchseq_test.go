@@ -28,6 +28,18 @@ func TestPlannerChainViolations(t *testing.T) {
 	analysistest.Run(t, latchseq.Analyzer, "d")
 }
 
+// Flash-Cosmos multi-wordline senses: every legal ForOpMWS shape is
+// accepted (e), and the MWS-specific mistakes — operand count outside
+// the sense margin, combining before the MWS fires, an MWS mixed into a
+// pairwise sense chain — are flagged (f).
+func TestMWSSequences(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "e")
+}
+
+func TestMWSViolations(t *testing.T) {
+	analysistest.Run(t, latchseq.Analyzer, "f")
+}
+
 // TestDiagnosticPosition pins the exact position and message of the
 // missing-init diagnostic, beyond the line-based // want matching.
 func TestDiagnosticPosition(t *testing.T) {

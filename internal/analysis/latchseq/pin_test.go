@@ -25,14 +25,18 @@ func TestStepKindConstantsMatchLatch(t *testing.T) {
 		{"StepM1", stepM1, latch.StepM1},
 		{"StepM2", stepM2, latch.StepM2},
 		{"StepM3", stepM3, latch.StepM3},
+		{"StepSenseMulti", stepSenseMulti, latch.StepSenseMulti},
 	}
 	for _, p := range pins {
 		if p.local != int(p.real) {
 			t.Errorf("analyzer constant %s = %d, latch.%s = %d", p.name, p.local, p.name, int(p.real))
 		}
 	}
-	if numStepKinds != int(latch.StepM3)+1 {
-		t.Errorf("analyzer numStepKinds = %d, latch defines %d kinds", numStepKinds, int(latch.StepM3)+1)
+	if numStepKinds != int(latch.StepSenseMulti)+1 {
+		t.Errorf("analyzer numStepKinds = %d, latch defines %d kinds", numStepKinds, int(latch.StepSenseMulti)+1)
+	}
+	if maxMWSOperands != latch.MaxMWSOperands {
+		t.Errorf("analyzer maxMWSOperands = %d, latch.MaxMWSOperands = %d", maxMWSOperands, latch.MaxMWSOperands)
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package e holds legal Flash-Cosmos multi-wordline-sense control
+// programs; the analyzer must accept every shape ForOpMWS emits.
+package e
+
+import "parabit/internal/latch"
+
+var (
+	init0   = latch.Step{Kind: latch.StepInit}
+	initInv = latch.Step{Kind: latch.StepInitInv}
+	m1      = latch.Step{Kind: latch.StepM1}
+	m2      = latch.Step{Kind: latch.StepM2}
+	m3      = latch.Step{Kind: latch.StepM3}
+)
+
+// The four MWS-computable shapes (AND/OR/NAND/NOR), as ForOpMWS builds
+// them: one multi-wordline sense is the sequence's only sense.
+var mwsAnd = latch.Sequence{
+	Name: "MWS-AND-4",
+	Steps: []latch.Step{
+		init0,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 4},
+		m2, m3,
+	},
+	ESP: true,
+}
+
+var mwsOr = latch.Sequence{
+	Name: "MWS-OR-8",
+	Steps: []latch.Step{
+		init0,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 8, Inverted: true},
+		m2, m3,
+	},
+	ESP: true,
+}
+
+var mwsNand = latch.Sequence{
+	Name: "MWS-NAND-2",
+	Steps: []latch.Step{
+		initInv,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 2},
+		m1, m3,
+	},
+	ESP: true,
+}
+
+var mwsNor = latch.Sequence{
+	Name: "MWS-NOR-3",
+	Steps: []latch.Step{
+		initInv,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 3, Inverted: true},
+		m1, m3,
+	},
+	ESP: true,
+}
+
+// The cap itself is legal: exactly MaxMWSOperands wordlines.
+var mwsAtCap = []latch.Step{
+	init0,
+	{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 8},
+	m2, m3,
+}
+
+var _ = []interface{}{mwsAnd, mwsOr, mwsNand, mwsNor, mwsAtCap}

@@ -1,0 +1,61 @@
+// Package f holds illegal Flash-Cosmos multi-wordline-sense control
+// programs: every MWS diagnostic latchseq can produce is exercised here.
+package f
+
+import "parabit/internal/latch"
+
+var (
+	init0  = latch.Step{Kind: latch.StepInit}
+	sense1 = latch.Step{Kind: latch.StepSense, V: latch.VRead1}
+	m2     = latch.Step{Kind: latch.StepM2}
+	m3     = latch.Step{Kind: latch.StepM3}
+)
+
+// More wordlines than the sense amplifier margin allows.
+var overCap = latch.Sequence{
+	Name: "MWS-OVER-CAP",
+	Steps: []latch.Step{
+		init0,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 9}, // want `multi-wordline sense at step 2 selects 9 wordlines; the sense amplifier margin allows 2\.\.8 per sense`
+		m2, m3,
+	},
+}
+
+// A single-wordline MWS is not an MWS (and an absent WLCount is zero).
+var underCap = []latch.Step{
+	init0,
+	{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 1}, // want `multi-wordline sense at step 2 selects 1 wordlines`
+	m2, m3,
+}
+
+var zeroCount = []latch.Step{
+	init0,
+	{Kind: latch.StepSenseMulti, V: latch.VRead2}, // want `multi-wordline sense at step 2 selects 0 wordlines`
+	m2, m3,
+}
+
+// A combine firing before the MWS has charged SO.
+var combineBeforeMWS = latch.Sequence{
+	Name: "MWS-COMBINE-FIRST",
+	Steps: []latch.Step{
+		init0,
+		m2, // want `StepM2 combine at step 2 has no StepSense`
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 4},
+		m3,
+	},
+}
+
+// An MWS mixed into a pairwise sense chain: the MWS discharges the whole
+// string, so it must be the only sense of its control program.
+var mixedChain = latch.Sequence{
+	Name: "MWS-MIXED-CHAIN",
+	Steps: []latch.Step{
+		init0,
+		sense1,
+		m2,
+		{Kind: latch.StepSenseMulti, V: latch.VRead2, WLCount: 4}, // want `mixes a multi-wordline sense with 1 other senses`
+		m2, m3,
+	},
+}
+
+var _ = []interface{}{overCap, underCap, zeroCount, combineBeforeMWS, mixedChain}

@@ -246,13 +246,17 @@ func (c *Cluster) execLocal(sh *Shard, e *plan.Expr, local map[uint64]uint64, sc
 	}
 	route := RouteLocal
 	if f, ok := plan.ToFormula(le, c.PageSize()); ok {
-		wired, werr := c.throughWire(sh, f)
+		// The scheme rides DWord 14 of every command, so on the wire route
+		// the device executes under what survived the encoding — not an
+		// out-of-band copy.
+		f.Scheme, f.SchemeValid = uint8(scheme), true
+		wired, wireScheme, werr := c.throughWire(sh, f)
 		if werr != nil {
 			// Queue full or a wire anomaly: fall back to the direct
 			// planner path rather than failing the query.
 			c.tele.sink.Counter("cluster.wire.fallback").Add(1)
 		} else {
-			le, route = wired, RouteWire
+			le, scheme, route = wired, wireScheme, RouteWire
 		}
 	}
 	sh.reads.Add(1)
@@ -266,21 +270,33 @@ func (c *Cluster) execLocal(sh *Shard, e *plan.Expr, local map[uint64]uint64, sc
 }
 
 // throughWire pushes a formula through the shard's NVMe queue pair and
-// lifts the device-side parse back into an expression.
-func (c *Cluster) throughWire(sh *Shard, f nvme.Formula) (*plan.Expr, error) {
+// lifts the device-side parse back into an expression, together with the
+// placement scheme recovered from the stream's DWord 14 hints.
+func (c *Cluster) throughWire(sh *Shard, f nvme.Formula) (*plan.Expr, ssd.Scheme, error) {
 	cmds, err := nvme.EncodeFormula(f, c.PageSize())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	parsed, err := sh.qp.Exchange(cmds)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	scheme, ok, err := nvme.StreamScheme(parsed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: stream carries no scheme hint", nvme.ErrBadCommand)
 	}
 	batches, err := nvme.ParseBatches(parsed, c.PageSize())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return plan.FromBatches(batches, c.PageSize())
+	e, err := plan.FromBatches(batches, c.PageSize())
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, ssd.Scheme(scheme), nil
 }
 
 // resultEnd returns a command's completion instant (host transfer

@@ -110,6 +110,11 @@ func TestChaosDifferentialAllOpsAllSchemes(t *testing.T) {
 					return d.WriteOperandPair(ids[0], ids[1], data[0], data[1])
 				case scheme == parabit.LocationFree:
 					return d.WriteOperandGroup(ids, data)
+				case scheme == parabit.FlashCosmos:
+					// Block-colocated ESP layout: AND/OR ops hit the
+					// multi-wordline sense, the rest exercise the scheme's
+					// pairwise fallback from the same placement.
+					return d.WriteOperandMWSGroup(ids, data)
 				default:
 					for i, id := range ids {
 						if err := d.WriteOperand(id, data[i]); err != nil {

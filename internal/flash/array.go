@@ -49,6 +49,11 @@ type DisturbCorruptor interface {
 type wordline struct {
 	pages  [][]byte
 	parity [][]byte
+	// esp marks pages written with enhanced SLC programming (Flash-Cosmos):
+	// slower programs with tighter threshold distributions, which is what
+	// gives a multi-wordline sense its margin. nil until a page of the
+	// wordline is ESP-programmed.
+	esp []bool
 }
 
 type block struct {
@@ -370,6 +375,29 @@ func (a *Array) transferIn(channel int, at sim.Time, n int) sim.Time {
 // target page must be erased and a wordline's LSB page must be programmed
 // before its MSB page. The returned time is program completion.
 func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) {
+	return a.program(p, data, at, false)
+}
+
+// ProgramESP writes one page with enhanced SLC programming (Flash-Cosmos):
+// the extra verify loops cost Timing.ProgramESP instead of ProgramPage and
+// mark the page as holding the tightened distributions a multi-wordline
+// sense needs full margin on.
+func (a *Array) ProgramESP(p PageAddr, data []byte, at sim.Time) (sim.Time, error) {
+	return a.program(p, data, at, true)
+}
+
+// IsESP reports whether a programmed page was written with enhanced SLC
+// programming. Erased or never-programmed pages report false.
+func (a *Array) IsESP(p PageAddr) bool {
+	blk := &a.planeAt(p.PlaneAddr).blocks[p.Block]
+	if blk.wl == nil {
+		return false
+	}
+	wl := &blk.wl[p.WL]
+	return wl.esp != nil && int(p.Kind) < len(wl.esp) && wl.esp[p.Kind]
+}
+
+func (a *Array) program(p PageAddr, data []byte, at sim.Time, esp bool) (sim.Time, error) {
 	if err := a.geo.CheckPage(p); err != nil {
 		return 0, err
 	}
@@ -394,14 +422,18 @@ func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) 
 	if p.Kind > 0 && wl.pages[p.Kind-1] == nil {
 		return 0, fmt.Errorf("%w: %v", ErrProgramOrder, p)
 	}
+	progTime := a.timing.ProgramPage
+	if esp {
+		progTime = a.timing.ProgramESP
+	}
 	jitter, ferr := a.checkFault(FaultProgram, p.PlaneAddr, p.Block, at)
 	if ferr != nil {
-		a.failOp(pl, at, a.timing.ProgramPage, jitter, ferr)
+		a.failOp(pl, at, progTime, jitter, ferr)
 		return 0, ferr
 	}
 	// Data crosses the channel into the register, then the plane programs.
 	xferEnd := a.transferIn(p.Channel, at, len(data))
-	_, end := pl.sense.ReserveLabeled(xferEnd, a.timing.ProgramPage+jitter, "program")
+	_, end := pl.sense.ReserveLabeled(xferEnd, progTime+jitter, "program")
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	var par []byte
@@ -414,6 +446,12 @@ func (a *Array) Program(p PageAddr, data []byte, at sim.Time) (sim.Time, error) 
 	}
 	wl.pages[p.Kind] = buf
 	wl.parity[p.Kind] = par
+	if esp {
+		if wl.esp == nil {
+			wl.esp = make([]bool, a.geo.CellBits)
+		}
+		wl.esp[p.Kind] = true
+	}
 	a.stats.Programs++
 	return end, nil
 }

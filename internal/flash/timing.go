@@ -26,6 +26,22 @@ type Timing struct {
 	// CmdOverhead is the fixed command/addressing cost per flash
 	// operation on the channel.
 	CmdOverhead sim.Duration
+	// SenseMWS is one Flash-Cosmos multi-wordline sense: applying the read
+	// voltage to several wordlines of one string and latching the single
+	// comparison. Slightly above SenseSRO because the shared bitline needs
+	// a longer develop time when several cells gate the string.
+	SenseMWS sim.Duration
+	// MWSSettlePerWL is the extra wordline-driver settle time each
+	// additional selected wordline adds to a multi-wordline sense: the
+	// drivers charge the selected gates in parallel, so the cost per extra
+	// operand is nanoseconds, not another sense.
+	MWSSettlePerWL sim.Duration
+	// ProgramESP is a page program under enhanced SLC programming
+	// (Flash-Cosmos): extra verify loops tighten the threshold
+	// distributions so multi-wordline senses keep their margin. The
+	// premium over ProgramPage is the price operand writes pay up front
+	// for single-sense reductions later.
+	ProgramESP sim.Duration
 	// MaxReadRetries bounds the calibrated re-reads the baseline path
 	// attempts when ECC reports an uncorrectable sector (§5.8's "voltage
 	// calibration read"). Each retry costs one extra SRO.
@@ -48,6 +64,9 @@ func DefaultTiming() Timing {
 		SenseSRO:          25 * sim.Microsecond,
 		ProgramPage:       640 * sim.Microsecond,
 		EraseBlock:        3500 * sim.Microsecond,
+		SenseMWS:          28 * sim.Microsecond,
+		MWSSettlePerWL:    500 * sim.Nanosecond,
+		ProgramESP:        800 * sim.Microsecond,
 		ChannelBytesPerNs: 0.4,
 		CmdOverhead:       200 * sim.Nanosecond,
 		MaxReadRetries:    3,
@@ -61,16 +80,30 @@ func TLCTiming() Timing {
 	t.SenseSRO = 60 * sim.Microsecond
 	t.ProgramPage = 2000 * sim.Microsecond
 	t.EraseBlock = 5000 * sim.Microsecond
+	t.SenseMWS = 66 * sim.Microsecond
+	t.ProgramESP = 2400 * sim.Microsecond
 	return t
 }
 
 // Validate reports whether every parameter is positive.
 func (t Timing) Validate() error {
 	if t.SenseSRO <= 0 || t.ProgramPage <= 0 || t.EraseBlock <= 0 ||
+		t.SenseMWS <= 0 || t.MWSSettlePerWL < 0 || t.ProgramESP <= 0 ||
 		t.ChannelBytesPerNs <= 0 || t.CmdOverhead < 0 || t.MaxReadRetries < 0 {
 		return fmt.Errorf("flash: invalid timing %+v", t)
 	}
 	return nil
+}
+
+// MWSLatency returns the array-side time of one k-wordline
+// multi-wordline sense: one MWS develop plus the per-extra-wordline
+// driver settle. This is the Flash-Cosmos payoff: the whole k-operand
+// reduction costs about one SRO where a pairwise chain costs k.
+func (t Timing) MWSLatency(k int) sim.Duration {
+	if k < 2 {
+		panic(fmt.Sprintf("flash: MWS latency of %d wordlines", k))
+	}
+	return t.SenseMWS + sim.Duration(k-1)*t.MWSSettlePerWL
 }
 
 // Transfer returns the channel-bus time to move n bytes.
@@ -94,6 +127,7 @@ type Stats struct {
 	Programs       int64 // page programs
 	Erases         int64 // block erases
 	BitwiseOps     int64 // ParaBit sense operations (any variant)
+	MWSSenses      int64 // Flash-Cosmos multi-wordline senses issued
 	BytesOut       int64 // bytes moved plane -> controller
 	BytesIn        int64 // bytes moved controller -> plane
 	InjectedFlips  int64 // bit errors injected by the read-noise model
@@ -109,6 +143,7 @@ func (s *Stats) Add(o Stats) {
 	s.Programs += o.Programs
 	s.Erases += o.Erases
 	s.BitwiseOps += o.BitwiseOps
+	s.MWSSenses += o.MWSSenses
 	s.BytesOut += o.BytesOut
 	s.BytesIn += o.BytesIn
 	s.InjectedFlips += o.InjectedFlips

@@ -1013,6 +1013,97 @@ func (f *FTL) WriteLSBGroup(lpns []uint64, data [][]byte, at sim.Time) ([]flash.
 	return wls, now, nil
 }
 
+// sealActive closes a partially filled active block so the next
+// allocation opens a fresh one. The skipped wordlines are counted as
+// padding and become reclaimable dead space once GC picks the block up.
+// The Flash-Cosmos group write uses it when the active block lacks room
+// for a whole operand group: colocation buys single-sense reductions at
+// the price of some allocator slack.
+func (f *FTL) sealActive(pa *planeAlloc) {
+	if pa.active < 0 {
+		return
+	}
+	skipped := int64(f.geo.WordlinesPerBlock-pa.nextWL) * int64(f.geo.CellBits)
+	if pa.nextKind != flash.LSBPage {
+		skipped -= int64(pa.nextKind)
+	}
+	f.stats.PaddedPages += skipped
+	f.cPad.Add(skipped)
+	pa.full = append(pa.full, pa.active)
+	pa.active = -1
+}
+
+// WriteMWSGroup stores k logical pages into the LSB pages of k
+// consecutive wordlines of ONE block — the intra-block colocation a
+// Flash-Cosmos multi-wordline sense requires — programming each with
+// enhanced SLC programming (the slower, tighter program that preserves
+// the MWS sense margin). MSB slots pad as in the other LSB layouts.
+// Returns one wordline per page, all in the same block. Callers that
+// cannot satisfy the group's constraints (more operands than a block has
+// wordlines) get an error and fall back to pairwise placement.
+func (f *FTL) WriteMWSGroup(lpns []uint64, data [][]byte, at sim.Time) ([]flash.WordlineAddr, sim.Time, error) {
+	if len(lpns) != len(data) || len(lpns) == 0 {
+		return nil, 0, fmt.Errorf("ftl: MWS group of %d lpns with %d pages", len(lpns), len(data))
+	}
+	if len(lpns) > f.geo.WordlinesPerBlock {
+		return nil, 0, fmt.Errorf("ftl: MWS group of %d operands exceeds the %d wordlines of a block", len(lpns), f.geo.WordlinesPerBlock)
+	}
+	for _, lpn := range lpns {
+		if err := f.checkLPN(lpn); err != nil {
+			return nil, 0, err
+		}
+	}
+	pa := f.nextPlane()
+	wls := make([]flash.WordlineAddr, len(lpns))
+	// The whole group programs inside one re-steer attempt and maps only
+	// after every program succeeded: a program fault retires the group's
+	// block (migrating nothing of ours — unmapped pages are garbage) and
+	// the restart re-places the entire group on a fresh block, so partial
+	// groups are never visible.
+	done, err := f.withResteer(pa, at, func(at sim.Time) (sim.Time, error) {
+		if err := f.padToFreshWordline(pa, at); err != nil {
+			return 0, err
+		}
+		if pa.active >= 0 && f.geo.WordlinesPerBlock-pa.nextWL < len(lpns) {
+			f.sealActive(pa)
+		}
+		now := at
+		addrs := make([]flash.PageAddr, len(lpns))
+		for i := range lpns {
+			// GC may only run before the first program: once the group has
+			// a block, allocation stays inside it.
+			addr, ready, err := f.allocSlot(pa, now, i == 0)
+			if err != nil {
+				return 0, err
+			}
+			if i > 0 && addr.WordlineAddr.Block != addrs[0].Block {
+				panic(fmt.Sprintf("ftl: MWS group split across blocks: %v vs %v", addrs[0], addr))
+			}
+			end, err := f.array.ProgramESP(addr, data[i], ready)
+			if err != nil {
+				f.undoAlloc(pa, addr)
+				return 0, fmt.Errorf("ftl: mws-group program: %w", err)
+			}
+			addrs[i] = addr
+			now = end
+			if err := f.padToFreshWordline(pa, now); err != nil {
+				return 0, err
+			}
+		}
+		for i, lpn := range lpns {
+			f.invalidate(lpn)
+			f.mapPage(lpn, addrs[i])
+			wls[i] = addrs[i].WordlineAddr
+		}
+		return now, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	f.stats.HostPagesWritten += int64(len(lpns))
+	return wls, done, nil
+}
+
 // WriteLSBOnPlane stores one page into an LSB slot of a specific plane
 // (padding the MSB slot). With host set the write counts as host data;
 // otherwise it is charged as a device-initiated relocation. The

@@ -65,6 +65,15 @@ const (
 	StepM2
 	// StepM3 transfers L1 into L2: B &= NOT A; OUT = NOT B.
 	StepM3
+	// StepSenseMulti is the Flash-Cosmos multi-wordline sense (MWS): the
+	// read voltage is applied to WLCount consecutive wordlines of the same
+	// NAND string at once while the rest get the pass voltage. The string
+	// conducts only if every selected cell conducts, so SO captures the OR
+	// of the per-cell threshold comparisons — one sense, many operands. With
+	// Inverted set the outcome is routed through the M7 inverter path per
+	// selected string, which lands the AND of the comparisons at SO instead.
+	// Like StepSense it is the only MWS step with real latency (one t_MWS).
+	StepSenseMulti
 )
 
 func (k StepKind) String() string {
@@ -85,28 +94,40 @@ func (k StepKind) String() string {
 		return "M2"
 	case StepM3:
 		return "M3"
+	case StepSenseMulti:
+		return "SENSE-MULTI"
 	}
 	return fmt.Sprintf("StepKind(%d)", uint8(k))
 }
 
 // Step is one control action. V, WL and Inverted are meaningful only for
-// StepSense. Inverted routes the sensed value through the extra inverter
-// (transistor M7 instead of M6) that location-free ParaBit adds between SO
-// and the latch input (paper Fig. 8); basic ParaBit never sets it.
+// the sensing kinds. Inverted routes the sensed value through the extra
+// inverter (transistor M7 instead of M6) that location-free ParaBit adds
+// between SO and the latch input (paper Fig. 8); basic ParaBit never sets
+// it. WLCount is meaningful only for StepSenseMulti: the number of
+// consecutive wordlines, starting at WL, selected by the one sense.
 type Step struct {
 	Kind     StepKind
 	V        Vref
 	WL       int
+	WLCount  int
 	Inverted bool
 }
 
 func (s Step) String() string {
-	if s.Kind == StepSense {
+	switch s.Kind {
+	case StepSense:
 		inv := ""
 		if s.Inverted {
 			inv = " inverted"
 		}
 		return fmt.Sprintf("SENSE wl%d @%v%s", s.WL, s.V, inv)
+	case StepSenseMulti:
+		inv := ""
+		if s.Inverted {
+			inv = " inverted"
+		}
+		return fmt.Sprintf("SENSE-MULTI wl%d+%d @%v%s", s.WL, s.WLCount, s.V, inv)
 	}
 	return s.Kind.String()
 }
@@ -128,6 +149,24 @@ func (c *Circuit) Apply(s Step) {
 		v := c.sensor.Sense(s.WL, s.V)
 		if s.Inverted {
 			v = !v
+		}
+		c.SO = v
+	case StepSenseMulti:
+		// One multi-wordline sense: the string conducts only when every
+		// selected cell conducts, so the normal path captures the OR of the
+		// per-wordline comparisons; the inverter path inverts each string's
+		// outcome before the shared capture, landing the AND instead.
+		if s.WLCount < 2 {
+			panic(fmt.Sprintf("latch: multi-wordline sense of %d wordlines", s.WLCount))
+		}
+		v := c.sensor.Sense(s.WL, s.V)
+		for i := 1; i < s.WLCount; i++ {
+			next := c.sensor.Sense(s.WL+i, s.V)
+			if s.Inverted {
+				v = v && next
+			} else {
+				v = v || next
+			}
 		}
 		c.SO = v
 	case StepM1:

@@ -6,13 +6,15 @@ import (
 )
 
 // encodeSteps flattens a step list to one byte per step for the fuzzer;
-// decodeSteps is its inverse. Only the kind matters to Validate, and the
-// low nibble covers both every defined kind and undefined ones past
-// StepM3, so the fuzzer reaches the unknown-kind rejection path too.
+// decodeSteps is its inverse. The low nibble carries the kind — covering
+// both every defined kind and undefined ones past StepSenseMulti, so the
+// fuzzer reaches the unknown-kind rejection path — and the high nibble
+// carries the multi-wordline sense's wordline count, whose 0..15 range
+// straddles the legal 2..MaxMWSOperands window on both sides.
 func encodeSteps(steps []Step) []byte {
 	b := make([]byte, len(steps))
 	for i, st := range steps {
-		b[i] = byte(st.Kind)
+		b[i] = byte(st.Kind) | byte(st.WLCount)<<4
 	}
 	return b
 }
@@ -20,7 +22,7 @@ func encodeSteps(steps []Step) []byte {
 func decodeSteps(b []byte) []Step {
 	steps := make([]Step, len(b))
 	for i, k := range b {
-		steps[i] = Step{Kind: StepKind(k & 0x0f)}
+		steps[i] = Step{Kind: StepKind(k & 0x0f), WLCount: int(k >> 4)}
 	}
 	return steps
 }
@@ -36,12 +38,21 @@ func referenceValidate(steps []Step) bool {
 		return false
 	}
 	sawInit, senseSinceInit := false, false
+	senses, mws := 0, false
 	for _, st := range steps {
 		switch st.Kind {
 		case StepInit, StepInitInv, StepReinitL1, StepReinitL1Inv:
 			sawInit, senseSinceInit = true, false
 		case StepSense:
+			senses++
 			senseSinceInit = true
+		case StepSenseMulti:
+			if st.WLCount < 2 || st.WLCount > MaxMWSOperands {
+				return false
+			}
+			senses++
+			senseSinceInit = true
+			mws = true
 		case StepM1, StepM2:
 			if !senseSinceInit {
 				return false
@@ -54,7 +65,8 @@ func referenceValidate(steps []Step) bool {
 			return false
 		}
 	}
-	return true
+	// An MWS discharges the whole string: it must be the sole sense.
+	return !mws || senses == 1
 }
 
 // tableSequences returns every control program the simulator actually
@@ -64,6 +76,9 @@ func tableSequences() []Sequence {
 	seqs := []Sequence{ReadLSB, ReadMSB}
 	for _, op := range Ops {
 		seqs = append(seqs, ForOp(op), ForOpLocFree(op))
+		if MWSComputable(op) {
+			seqs = append(seqs, ForOpMWS(op, 2), ForOpMWS(op, MaxMWSOperands))
+		}
 	}
 	return seqs
 }
@@ -81,6 +96,11 @@ func FuzzLatchSequenceValidate(f *testing.F) {
 	f.Add([]byte{byte(StepInit), 0x0e})            // unknown kind
 	f.Add(make([]byte, MaxSteps+1))                // too long
 	f.Add([]byte{byte(StepInitInv), byte(StepM1)}) // combine before sense
+	// MWS seeds: over/under the wordline cap, and mixed with a pairwise
+	// sense (the sole-sense rule).
+	f.Add([]byte{byte(StepInit), byte(StepSenseMulti) | 9<<4, byte(StepM2), byte(StepM3)})
+	f.Add([]byte{byte(StepInit), byte(StepSenseMulti) | 1<<4, byte(StepM2), byte(StepM3)})
+	f.Add([]byte{byte(StepInit), byte(StepSense), byte(StepSenseMulti) | 4<<4, byte(StepM2), byte(StepM3)})
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 4*MaxSteps {

@@ -1,0 +1,78 @@
+package latch
+
+import "fmt"
+
+// Flash-Cosmos multi-wordline sense (MWS) control programs. Where ParaBit
+// folds an N-operand reduction into N−1 pairwise latch combines — sense,
+// settle, combine, repeat — Flash-Cosmos applies the read voltage to all N
+// operand wordlines of one NAND string at once and lets the string itself
+// compute: it conducts only when every selected cell conducts, so a single
+// sense captures NOT AND(LSB bits) at SO on the normal path and, through
+// the per-string inverter, NOT OR on the inverted path. One combine and
+// one transfer then land AND/OR/NAND/NOR at OUT.
+//
+// The physics dictates the constraints the validator and the latchseq
+// analyzer enforce: all operands must share a NAND string (same block,
+// consecutive wordlines — the FTL's colocation job), at most
+// MaxMWSOperands cells may be selected before the sense margin collapses,
+// and the one MWS must be the only sense in its control program. XOR and
+// XNOR are not monotone in any single sense outcome, so they have no MWS
+// form and fall back to pairwise chains.
+
+// MaxMWSOperands is the per-sense operand cap: selecting more wordlines
+// divides the already-thin on-cell margin across more series cells until
+// the sense amplifier cannot tell a conducting string from a leaky one.
+// Flash-Cosmos makes 8-deep sensing reliable by programming operands with
+// ESP; reductions wider than this chunk into several senses.
+const MaxMWSOperands = 8
+
+// senseMulti selects k consecutive wordlines starting at wordline 0 in a
+// single sense at the LSB read voltage.
+func senseMulti(k int) Step {
+	return Step{Kind: StepSenseMulti, V: VRead2, WLCount: k}
+}
+
+// senseMultiInv is senseMulti through the per-string inverter path.
+func senseMultiInv(k int) Step {
+	return Step{Kind: StepSenseMulti, V: VRead2, WLCount: k, Inverted: true}
+}
+
+// MWSComputable reports whether the operation has a Flash-Cosmos form: a
+// single multi-wordline sense computes only the monotone folds AND/OR and
+// their complements. XOR/XNOR/NOT reductions stay on pairwise chains.
+func MWSComputable(op Op) bool {
+	switch op {
+	case OpAnd, OpOr, OpNand, OpNor:
+		return true
+	}
+	return false
+}
+
+// ForOpMWS builds the Flash-Cosmos control program reducing k LSB operands
+// on consecutive wordlines 0..k-1 of one block. It panics for operations
+// without an MWS form or a k outside [2, MaxMWSOperands]; callers gate on
+// MWSComputable and chunk to the cap first.
+func ForOpMWS(op Op, k int) Sequence {
+	if !MWSComputable(op) {
+		panic(fmt.Sprintf("latch: no multi-wordline sense sequence for op %v", op))
+	}
+	if k < 2 || k > MaxMWSOperands {
+		panic(fmt.Sprintf("latch: multi-wordline sense of %d operands, want 2..%d", k, MaxMWSOperands))
+	}
+	name := fmt.Sprintf("MWS-%s-%d", op, k)
+	var steps []Step
+	switch op {
+	case OpAnd:
+		// SO = NOT AND(b); M2 leaves A = AND(b); transfer: OUT = AND(b).
+		steps = []Step{init0, senseMulti(k), m2, m3}
+	case OpOr:
+		// Inverter path: SO = NOT OR(b); M2 leaves A = OR(b).
+		steps = []Step{init0, senseMultiInv(k), m2, m3}
+	case OpNand:
+		// Inverted init and M1: C = AND(b), A = NAND(b); OUT = NAND(b).
+		steps = []Step{initInv, senseMulti(k), m1, m3}
+	case OpNor:
+		steps = []Step{initInv, senseMultiInv(k), m1, m3}
+	}
+	return Sequence{Name: name, Steps: steps, ESP: true}
+}

@@ -9,13 +9,22 @@ import "fmt"
 type Sequence struct {
 	Name  string
 	Steps []Step
+	// ESP marks a Flash-Cosmos sequence whose operands were written with
+	// enhanced SLC programming: a tighter (slower) program that widens the
+	// threshold margins a multi-wordline sense needs. It changes program
+	// latency and the reliability model, never the circuit algebra, so
+	// Validate ignores it.
+	ESP bool
 }
 
-// SROs counts the sensing steps in the sequence.
+// SROs counts the sensing steps in the sequence. A multi-wordline sense
+// counts as one: it is one read operation regardless of how many
+// wordlines it selects (its extra settle time is billed separately by the
+// timing model).
 func (s Sequence) SROs() int {
 	n := 0
 	for _, st := range s.Steps {
-		if st.Kind == StepSense {
+		if st.Kind == StepSense || st.Kind == StepSenseMulti {
 			n++
 		}
 	}

@@ -11,13 +11,19 @@ const MaxSteps = 64
 // program must satisfy, mirroring the static latchseq analyzer:
 //
 //   - the sequence is non-empty and at most MaxSteps long;
-//   - every step kind is one the circuit defines (StepInit..StepM3);
+//   - every step kind is one the circuit defines (StepInit..StepSenseMulti);
 //   - the first step is StepInit or StepInitInv — the latches are
 //     undefined before initialization;
-//   - every StepM1/StepM2 combine is preceded by a StepSense since the
-//     most recent initialization, so SO holds a sensed value to combine;
+//   - every StepM1/StepM2 combine is preceded by a sense (StepSense or
+//     StepSenseMulti) since the most recent initialization, so SO holds a
+//     sensed value to combine;
 //   - every StepM3 transfer has some prior initialization, so L1 holds
-//     a defined value to move into L2.
+//     a defined value to move into L2;
+//   - a StepSenseMulti selects between 2 and MaxMWSOperands wordlines —
+//     the per-sense operand cap the sense amplifier margin allows;
+//   - a StepSenseMulti is the only sense in its sequence: a multi-wordline
+//     sense discharges the whole string, so mixing it into a pairwise
+//     sense chain would combine against an already-collapsed SO.
 //
 // It returns nil for legal sequences and a descriptive error naming the
 // first violation otherwise. The static analyzer proves these properties
@@ -32,9 +38,11 @@ func (s Sequence) Validate() error {
 	}
 	sawInit := false
 	senseSinceInit := false
+	senses := 0
+	mws := false
 	for i, st := range s.Steps {
-		if st.Kind > StepM3 {
-			return fmt.Errorf("sequence %q step %d: unknown StepKind %d; the circuit defines kinds StepInit..StepM3", s.Name, i+1, uint8(st.Kind))
+		if st.Kind > StepSenseMulti {
+			return fmt.Errorf("sequence %q step %d: unknown StepKind %d; the circuit defines kinds StepInit..StepSenseMulti", s.Name, i+1, uint8(st.Kind))
 		}
 		if i == 0 && st.Kind != StepInit && st.Kind != StepInitInv {
 			return fmt.Errorf("sequence %q must begin with StepInit or StepInitInv, not %s: the circuit latches are undefined before initialization", s.Name, st.Kind)
@@ -45,6 +53,14 @@ func (s Sequence) Validate() error {
 			senseSinceInit = false
 		case StepSense:
 			senseSinceInit = true
+			senses++
+		case StepSenseMulti:
+			if st.WLCount < 2 || st.WLCount > MaxMWSOperands {
+				return fmt.Errorf("sequence %q step %d: multi-wordline sense selects %d wordlines; the sense amplifier margin allows 2..%d per sense", s.Name, i+1, st.WLCount, MaxMWSOperands)
+			}
+			senseSinceInit = true
+			senses++
+			mws = true
 		case StepM1, StepM2:
 			if !senseSinceInit {
 				return fmt.Errorf("sequence %q: %s combine at step %d has no StepSense since the last initialization: SO holds no sensed value to combine", s.Name, st.Kind, i+1)
@@ -54,6 +70,9 @@ func (s Sequence) Validate() error {
 				return fmt.Errorf("sequence %q: StepM3 transfer at step %d before any initialization: L1 holds no value to transfer", s.Name, i+1)
 			}
 		}
+	}
+	if mws && senses > 1 {
+		return fmt.Errorf("sequence %q mixes a multi-wordline sense with %d other senses: an MWS discharges the whole string and must be the only sense in its control program", s.Name, senses-1)
 	}
 	return nil
 }

@@ -55,10 +55,33 @@ func EncodeFormula(f Formula, pageSize int) ([]Command, error) {
 				second.SectorOffset = uint8(term.N.Offset / sector)
 				second.SectorCount = uint8(term.N.Length / sector)
 			}
+			if f.SchemeValid {
+				first.SchemeHint, first.SchemeHintValid = f.Scheme, true
+				second.SchemeHint, second.SchemeHintValid = f.Scheme, true
+			}
 			cmds = append(cmds, first, second)
 		}
 	}
 	return cmds, nil
+}
+
+// StreamScheme recovers the placement-scheme hint from a parsed command
+// stream: every command must agree — all hintless, or all carrying the
+// same scheme. A mixed stream is a malformed submission (two drivers'
+// formulas sheared together, or a corrupted DWord 14) and errors rather
+// than letting half a query execute under the wrong scheme.
+func StreamScheme(cmds []Command) (uint8, bool, error) {
+	if len(cmds) == 0 {
+		return 0, false, nil
+	}
+	scheme, valid := cmds[0].SchemeHint, cmds[0].SchemeHintValid
+	for i, c := range cmds[1:] {
+		if c.SchemeHintValid != valid || (valid && c.SchemeHint != scheme) {
+			return 0, false, fmt.Errorf("%w: command %d scheme hint (%d,%v) disagrees with stream (%d,%v)",
+				ErrBadCommand, i+1, c.SchemeHint, c.SchemeHintValid, scheme, valid)
+		}
+	}
+	return scheme, valid, nil
 }
 
 // SubOp is one device-side sub-operation: a bound pair of page-granularity

@@ -94,6 +94,13 @@ type Command struct {
 	// SectorCount 0 means the whole page.
 	SectorOffset uint8
 	SectorCount  uint8
+	// SchemeHint carries the host's placement-scheme selection in reserved
+	// DWord 14 (3 bits plus a valid flag), so a Flash-Cosmos or
+	// location-free execution preference survives the wire instead of
+	// riding an out-of-band channel. SchemeHintValid distinguishes an
+	// absent hint from scheme 0.
+	SchemeHint      uint8
+	SchemeHintValid bool
 }
 
 // Wire layout constants for DWord 13 (all within the 4 reserved bytes).
@@ -108,10 +115,18 @@ const (
 	opMask        = 0b111 // 3-bit operation fields
 )
 
-// DWords is the raw reserved-field encoding: DWord 2, DWord 3 and
-// DWord 13 of the NVMe read command.
+// Wire layout constants for DWord 14: the placement-scheme hint.
+const (
+	schemeValidBit = 0 // bit 0: scheme hint present
+	schemeShift    = 1 // bits 1-3: scheme
+	// SchemeHintMax is the largest scheme the 3-bit hint field encodes.
+	SchemeHintMax = opMask
+)
+
+// DWords is the raw reserved-field encoding: DWords 2, 3, 13 and 14 of
+// the NVMe read command.
 type DWords struct {
-	DW2, DW3, DW13 uint32
+	DW2, DW3, DW13, DW14 uint32
 }
 
 // Encode packs the ParaBit fields into the reserved DWords.
@@ -127,6 +142,9 @@ func (c Command) Encode() DWords {
 		uint32(c.SectorCount)<<secCountShift
 	if c.PointerValid {
 		d.DW13 |= 1 << ptrValidBit
+	}
+	if c.SchemeHintValid {
+		d.DW14 = 1<<schemeValidBit | uint32(c.SchemeHint&opMask)<<schemeShift
 	}
 	return d
 }
@@ -149,6 +167,10 @@ func Decode(lba uint64, d DWords) Command {
 		PointerValid: d.DW13&(1<<ptrValidBit) != 0,
 		SectorOffset: uint8(d.DW13 >> secOffShift),
 		SectorCount:  uint8(d.DW13 >> secCountShift),
+	}
+	if d.DW14&(1<<schemeValidBit) != 0 {
+		c.SchemeHint = uint8(d.DW14>>schemeShift) & opMask
+		c.SchemeHintValid = true
 	}
 	return c
 }
@@ -210,6 +232,12 @@ type Formula struct {
 	// Combine[i] merges the running result with Terms[i+1]'s result;
 	// len(Combine) == len(Terms)-1.
 	Combine []latch.Op
+	// Scheme is the placement-scheme hint stamped into every command's
+	// DWord 14 when SchemeValid is set; the device side recovers it with
+	// StreamScheme. The value is opaque to this package (the SSD layer's
+	// scheme enumeration), bounded only by the 3-bit wire field.
+	Scheme      uint8
+	SchemeValid bool
 }
 
 // MaxTerms bounds a formula's term count: the wire's batch-order field
@@ -228,6 +256,10 @@ func (f Formula) Validate(pageSize int) error {
 	if len(f.Combine) != len(f.Terms)-1 {
 		return fmt.Errorf("%w: %d terms need %d combine ops, have %d",
 			ErrBadFormula, len(f.Terms), len(f.Terms)-1, len(f.Combine))
+	}
+	if f.SchemeValid && f.Scheme > SchemeHintMax {
+		return fmt.Errorf("%w: scheme hint %d does not fit the 3-bit DWord 14 field",
+			ErrBadFormula, f.Scheme)
 	}
 	for i, t := range f.Terms {
 		if err := t.M.Validate(pageSize); err != nil {

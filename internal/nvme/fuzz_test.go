@@ -63,6 +63,12 @@ func formulaFromBytes(data []byte, pageSize int) Formula {
 	if next()%16 == 0 && len(f.Combine) > 0 {
 		f.Combine = f.Combine[:len(f.Combine)-1] // shape violation
 	}
+	if next()%4 != 0 {
+		// Scheme hints, occasionally past the 3-bit DWord 14 field so the
+		// overflow rejection path is exercised too.
+		f.Scheme = uint8(next() % 12)
+		f.SchemeValid = true
+	}
 	return f
 }
 
@@ -91,6 +97,22 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatalf("valid formula failed round-trip: %v", err)
 		}
 		checkBatchesMatch(t, formula, batches, pageSize)
+		// The scheme hint must survive the wire exactly as submitted.
+		cmds, err := EncodeFormula(formula, pageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range cmds {
+			cmds[i] = Decode(c.LBA, c.Encode())
+		}
+		scheme, ok, err := StreamScheme(cmds)
+		if err != nil {
+			t.Fatalf("StreamScheme on a clean stream: %v", err)
+		}
+		if ok != formula.SchemeValid || (ok && scheme != formula.Scheme) {
+			t.Fatalf("scheme hint (%d,%v) after wire, submitted (%d,%v)",
+				scheme, ok, formula.Scheme, formula.SchemeValid)
+		}
 	})
 }
 

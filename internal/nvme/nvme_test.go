@@ -13,7 +13,7 @@ const pageSize = 8192
 func fullPage(lba uint64) Operand { return Operand{LBA: lba, Length: pageSize} }
 
 func TestDWordRoundTrip(t *testing.T) {
-	f := func(lba, ptr uint64, tag bool, intra, extra, order, so, sc uint8) bool {
+	f := func(lba, ptr uint64, tag bool, intra, extra, order, so, sc, scheme uint8) bool {
 		c := Command{
 			LBA:          lba,
 			OperandTag:   b2u(tag),
@@ -25,11 +25,77 @@ func TestDWordRoundTrip(t *testing.T) {
 			SectorOffset: so,
 			SectorCount:  sc,
 		}
+		if scheme%2 == 0 {
+			c.SchemeHint, c.SchemeHintValid = scheme%(SchemeHintMax+1), true
+		}
 		got := Decode(c.LBA, c.Encode())
 		return got == c
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchemeHintOnWire pins the DWord 14 scheme channel: a formula's hint
+// reaches every command and survives the pack/unpack, StreamScheme
+// recovers it, mixed streams are rejected, and hintless streams stay
+// hintless.
+func TestSchemeHintOnWire(t *testing.T) {
+	f := Formula{
+		Terms: []Term{
+			{M: fullPage(0), N: fullPage(1), Op: latch.OpAnd},
+			{M: fullPage(2), N: fullPage(3), Op: latch.OpAnd},
+		},
+		Combine:     []latch.Op{latch.OpOr},
+		Scheme:      3, // the Flash-Cosmos slot in the SSD layer's enumeration
+		SchemeValid: true,
+	}
+	cmds, err := EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]Command, len(cmds))
+	for i, c := range cmds {
+		if !c.SchemeHintValid || c.SchemeHint != 3 {
+			t.Fatalf("command %d hint (%d,%v), want (3,true)", i, c.SchemeHint, c.SchemeHintValid)
+		}
+		wire[i] = Decode(c.LBA, c.Encode())
+	}
+	scheme, ok, err := StreamScheme(wire)
+	if err != nil || !ok || scheme != 3 {
+		t.Fatalf("StreamScheme = (%d,%v,%v), want (3,true,nil)", scheme, ok, err)
+	}
+
+	// A shorn-together stream (one half hinted differently) must refuse.
+	wire[len(wire)-1].SchemeHint = 1
+	if _, _, err := StreamScheme(wire); err == nil {
+		t.Fatal("mixed scheme hints accepted")
+	}
+	wire[len(wire)-1].SchemeHintValid = false
+	wire[len(wire)-1].SchemeHint = 3
+	if _, _, err := StreamScheme(wire); err == nil {
+		t.Fatal("half-hinted stream accepted")
+	}
+
+	// No hint: encodes to a zero DWord 14, recovers as absent.
+	f.SchemeValid = false
+	cmds, err = EncodeFormula(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cmds {
+		if d := c.Encode(); d.DW14 != 0 {
+			t.Fatalf("command %d DW14 = %#x without a hint", i, d.DW14)
+		}
+	}
+	if _, ok, err := StreamScheme(cmds); ok || err != nil {
+		t.Fatalf("hintless stream = (%v,%v), want (false,nil)", ok, err)
+	}
+
+	// A hint past the 3-bit field cannot encode.
+	f.Scheme, f.SchemeValid = SchemeHintMax+1, true
+	if _, err := EncodeFormula(f, pageSize); err == nil {
+		t.Fatal("overflowing scheme hint accepted")
 	}
 }
 

@@ -64,6 +64,12 @@ type Step struct {
 	// steps (the correctness rail: it passed latch.Sequence.Validate and
 	// its sense count matches flash.ChainCostLSB). Empty for other kinds.
 	Seq latch.Sequence
+	// MWSSeq is the Flash-Cosmos single-sense control program for the same
+	// fold, present when the op and operand count admit one AND it beats
+	// the chained program (MWSWins) — the program a SchemeFlashCosmos
+	// execution realizes when the operands are block-colocated. Empty
+	// otherwise.
+	MWSSeq latch.Sequence
 }
 
 // Plan is a compiled query: steps in execution order, the last step
@@ -75,6 +81,11 @@ type Plan struct {
 	FusedChains int
 	// FusedOperands counts operands covered by fused chains.
 	FusedOperands int
+	// MWSChains counts fused steps that also carry a Flash-Cosmos
+	// multi-wordline program (MWSSeq) — folds a SchemeFlashCosmos
+	// execution can collapse to a single sense when the operands land in
+	// one block.
+	MWSChains int
 }
 
 // Root returns the index of the final step.
@@ -183,6 +194,39 @@ func FusedSequence(op latch.Op, k int) (latch.Sequence, error) {
 			op, k, seq.SROs(), cost.SROs)
 	}
 	return seq, nil
+}
+
+// MWSSequence returns the Flash-Cosmos multi-wordline control program
+// folding k block-colocated operands in one sense, when the op's algebra
+// and the sense-margin cap admit one. Like FusedSequence it returns only
+// programs that pass latch.Sequence.Validate, so an illegal MWS can
+// never reach the device through a compiled plan.
+func MWSSequence(op latch.Op, k int) (latch.Sequence, bool) {
+	if !latch.MWSComputable(op) || k < 2 || k > latch.MaxMWSOperands {
+		return latch.Sequence{}, false
+	}
+	seq := latch.ForOpMWS(op, k)
+	if err := seq.Validate(); err != nil {
+		return latch.Sequence{}, false
+	}
+	return seq, true
+}
+
+// MWSWins reports whether the single multi-wordline sense beats the
+// pairwise chained program for folding k operands with op. Today this is
+// true whenever an MWS form exists — the MWS issues one SRO where the
+// chain issues at least k — but it is stated as a sense-count comparison
+// so the preference stays honest if either side's pricing changes.
+func MWSWins(op latch.Op, k int) bool {
+	mws, ok := MWSSequence(op, k)
+	if !ok {
+		return false
+	}
+	chain, err := FusedSequence(op, k)
+	if err != nil {
+		return true // no legal chain at all: the MWS is the only program
+	}
+	return mws.SROs() < chain.SROs()
 }
 
 // Normalize rewrites an expression into the planner's canonical form:
@@ -433,6 +477,15 @@ func (c *compiler) fuseStep(op latch.Op, refs []Ref) (Ref, error) {
 	}
 	c.plan.FusedChains++
 	c.plan.FusedOperands += len(refs)
+	// Prefer the single multi-wordline sense whenever it is legal and
+	// strictly cheaper than the chain; the chained program stays on the
+	// step as the fallback shape for schemes (or placements) that cannot
+	// realize the MWS.
+	var mwsSeq latch.Sequence
+	if MWSWins(op, len(refs)) {
+		mwsSeq, _ = MWSSequence(op, len(refs))
+		c.plan.MWSChains++
+	}
 	return c.add(Step{
 		Kind:   StepFused,
 		Op:     op,
@@ -440,5 +493,6 @@ func (c *compiler) fuseStep(op latch.Op, refs []Ref) (Ref, error) {
 		Key:    c.nodeKey(op, refs),
 		Leaves: c.leavesOf(refs),
 		Seq:    seq,
+		MWSSeq: mwsSeq,
 	}), nil
 }

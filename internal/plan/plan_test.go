@@ -174,6 +174,65 @@ func TestFusedSequenceLegalAndCosted(t *testing.T) {
 	}
 }
 
+// TestMWSSelection pins the planner's scheme-agnostic Flash-Cosmos
+// preference: every MWS-computable fold within the sense-margin cap
+// carries a validated single-sense program that strictly undercuts the
+// chained one, and everything else (XOR, over-cap folds) carries none.
+func TestMWSSelection(t *testing.T) {
+	for k := 2; k <= latch.MaxMWSOperands; k++ {
+		seq, ok := MWSSequence(latch.OpAnd, k)
+		if !ok {
+			t.Fatalf("MWSSequence(AND, %d) refused", k)
+		}
+		if err := seq.Validate(); err != nil {
+			t.Fatalf("MWSSequence(AND, %d) invalid: %v", k, err)
+		}
+		if seq.SROs() != 1 {
+			t.Fatalf("MWSSequence(AND, %d) senses %d times, want 1", k, seq.SROs())
+		}
+		if !MWSWins(latch.OpAnd, k) {
+			t.Fatalf("MWSWins(AND, %d) = false; one sense must beat a %d-sense chain", k, k)
+		}
+	}
+	if _, ok := MWSSequence(latch.OpAnd, latch.MaxMWSOperands+1); ok {
+		t.Error("MWSSequence accepted a fold past the sense-margin cap")
+	}
+	if _, ok := MWSSequence(latch.OpXor, 4); ok {
+		t.Error("MWSSequence accepted XOR; only single-sense-computable ops qualify")
+	}
+	if MWSWins(latch.OpXor, 4) {
+		t.Error("MWSWins(XOR) = true")
+	}
+
+	// Compiled plans carry the MWS program on eligible fused steps.
+	args := make([]*Expr, 8)
+	for i := range args {
+		args[i] = Leaf(uint64(i))
+	}
+	p, err := Compile(And(args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Steps[p.Root()]
+	if len(st.MWSSeq.Steps) == 0 {
+		t.Fatal("8-wide AND fold compiled without an MWS program")
+	}
+	if err := st.MWSSeq.Validate(); err != nil {
+		t.Fatalf("compiled MWS program invalid: %v", err)
+	}
+	if p.MWSChains != 1 {
+		t.Fatalf("MWSChains = %d, want 1", p.MWSChains)
+	}
+	// XOR folds stay chain-only.
+	px, err := Compile(Xor(Leaf(0), Leaf(1), Leaf(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx := px.Steps[px.Root()]; len(sx.MWSSeq.Steps) != 0 || px.MWSChains != 0 {
+		t.Fatalf("XOR fold carries an MWS program: %+v (MWSChains=%d)", sx.MWSSeq, px.MWSChains)
+	}
+}
+
 func TestCompileFusesChains(t *testing.T) {
 	// Eight AND'd pages: one fused chain, one step.
 	args := make([]*Expr, 8)

@@ -101,6 +101,56 @@ func (m *Model) ExpectedErrorsPerWordline(wordlineBits, pe, sros int) float64 {
 	return float64(wordlineBits) * m.BitErrorProbability(pe, sros)
 }
 
+// Flash-Cosmos multi-wordline sense hooks. An MWS divides its sense
+// margin across the series cells it selects, so its per-bit error
+// probability grows with the operand count; enhanced SLC programming
+// (ESP) claws most of that margin back by tightening the programmed
+// threshold distributions. The model follows the Flash-Cosmos
+// observation that ESP plus MWS is about as reliable as a single
+// ordinary sense, while MWS over normally-programmed cells degrades
+// roughly linearly in the wordline count.
+
+// MWSMarginFactor is the per-extra-wordline error multiplier of a
+// multi-wordline sense over normally-programmed cells.
+const MWSMarginFactor = 1.0
+
+// ESPMarginFactor is the same multiplier when every operand was
+// ESP-programmed: the tightened distributions leave the margin loss per
+// extra wordline at a few percent of a sense's base error rate.
+const ESPMarginFactor = 0.05
+
+// BitErrorProbabilityMWS returns the per-bit error probability of one
+// k-wordline multi-wordline sense at pe program/erase cycles. With esp
+// set the ESP offset applies.
+func (m *Model) BitErrorProbabilityMWS(pe, k int, esp bool) float64 {
+	if k < 1 {
+		return 0
+	}
+	factor := MWSMarginFactor
+	if esp {
+		factor = ESPMarginFactor
+	}
+	// One sense's base probability, degraded for each extra series cell
+	// sharing the margin.
+	return m.BitErrorProbability(pe, 1) * (1 + factor*float64(k-1))
+}
+
+// CorruptMWS implements flash.MWSCorruptor: error injection for a
+// multi-wordline sense result.
+func (m *Model) CorruptMWS(data []byte, pe, k int, esp bool) int {
+	bits := len(data) * 8
+	mean := float64(bits) * m.BitErrorProbabilityMWS(pe, k, esp)
+	if mean == 0 {
+		return 0
+	}
+	n := m.poisson(mean)
+	for i := 0; i < n; i++ {
+		bit := m.rng.Intn(bits)
+		data[bit/8] ^= 1 << (bit % 8)
+	}
+	return n
+}
+
 // Corrupt implements flash.Corruptor: it flips each bit independently
 // with probability p(pe, sros). For realistic rates (mean errors per page
 // well under one) it samples a Poisson count and flips that many distinct

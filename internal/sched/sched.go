@@ -58,6 +58,9 @@ const (
 	KindWriteOnPlane
 	// KindWriteTriple co-locates three operand pages in one TLC wordline.
 	KindWriteTriple
+	// KindWriteMWSGroup colocates operand pages in LSB slots of one block,
+	// ESP-programmed — the Flash-Cosmos multi-wordline-sense layout.
+	KindWriteMWSGroup
 	// KindRead returns one logical page.
 	KindRead
 	// KindBitwise executes a two-operand in-flash operation.
@@ -79,8 +82,8 @@ const (
 
 var kindNames = [numKinds]string{
 	"write", "write-operand", "write-pair", "write-group", "write-on-plane",
-	"write-triple", "read", "bitwise", "bitwise-triple", "reduce", "formula",
-	"query", "barrier",
+	"write-triple", "write-mws-group", "read", "bitwise", "bitwise-triple",
+	"reduce", "formula", "query", "barrier",
 }
 
 func (k Kind) String() string {
@@ -453,6 +456,8 @@ func (s *Scheduler) execLocked(c *Command, issue sim.Time) Result {
 		r.Done, r.Err = s.dev.WriteOperandTriple(
 			[3]uint64{c.LPNs[0], c.LPNs[1], c.LPNs[2]},
 			[3][]byte{c.Pages[0], c.Pages[1], c.Pages[2]}, issue)
+	case KindWriteMWSGroup:
+		r.Done, r.Err = s.dev.WriteOperandMWSGroup(c.LPNs, c.Pages, issue)
 	case KindRead:
 		if c.ToHost {
 			r.Data, r.HostDone, r.Err = s.dev.ReadToHost(c.LPN, issue)

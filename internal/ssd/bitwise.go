@@ -143,6 +143,8 @@ func (d *Device) Bitwise(op latch.Op, lpnM, lpnN uint64, scheme Scheme, at sim.T
 		d.stats.Fallbacks++
 		d.noteFallback(SchemeLocFree)
 		return d.senseAfterRealloc(op, lpnM, lpnN, at)
+	case SchemeFlashCosmos:
+		return d.bitwiseFlashCosmos(op, lpnM, lpnN, addrM, addrN, at)
 	}
 	return BitwiseResult{}, fmt.Errorf("ssd: unknown scheme %v", scheme)
 }
@@ -250,6 +252,12 @@ func (d *Device) storeResult(data []byte, at sim.Time) (uint64, sim.Time, error)
 //     accumulate in the latches at one extra sense per operand, the XOR
 //     family pays a buffer round-trip per step. Misaligned operands fall
 //     back to pairwise execution with plane-aligned result parking.
+//   - SchemeFlashCosmos collapses each block-colocated operand group (the
+//     WriteOperandMWSGroup layout) into one multi-wordline sense per
+//     sense-margin-sized chunk; same-plane chunk results chain through
+//     the latches, cross-plane partials combine with buffered
+//     reallocation steps, strays and the XOR family fall back to the
+//     pairwise paths.
 func (d *Device) Reduce(op latch.Op, lpns []uint64, scheme Scheme, at sim.Time) (BitwiseResult, error) {
 	if len(lpns) == 0 {
 		return BitwiseResult{}, ErrNeedOperands
@@ -276,6 +284,8 @@ func (d *Device) Reduce(op latch.Op, lpns []uint64, scheme Scheme, at sim.Time) 
 		return d.reduceSerial(op, lpns, at)
 	case SchemeLocFree:
 		return d.reduceLocFree(op, lpns, at)
+	case SchemeFlashCosmos:
+		return d.reduceFlashCosmos(op, lpns, at)
 	}
 	return BitwiseResult{}, fmt.Errorf("ssd: unknown scheme %v", scheme)
 }

@@ -16,6 +16,7 @@ package ssd
 
 import (
 	"fmt"
+	"strings"
 
 	"parabit/internal/flash"
 	"parabit/internal/ftl"
@@ -35,22 +36,53 @@ const (
 	// SchemeLocFree is "ParaBit-LocFree": location-free sensing over
 	// aligned LSB pages, requiring the added inverter hardware.
 	SchemeLocFree
+	// SchemeFlashCosmos is the Flash-Cosmos extension: N-operand AND/OR
+	// reductions in ONE multi-wordline sense over operands colocated in a
+	// single block (ESP-programmed for margin), with a pairwise LocFree
+	// fallback whenever colocation, the operand cap, or the op's algebra
+	// rules the single sense out.
+	SchemeFlashCosmos
 )
 
+// schemeNames is the one scheme registry: every consumer — String,
+// Schemes, ParseScheme, the telemetry tables, the op x scheme test
+// matrices, the bench -scheme flag — derives from it, so adding a scheme
+// is one line here plus its dispatch arms.
+var schemeNames = [...]string{
+	SchemePreAlloc:    "ParaBit",
+	SchemeReAlloc:     "ParaBit-ReAlloc",
+	SchemeLocFree:     "ParaBit-LocFree",
+	SchemeFlashCosmos: "Flash-Cosmos",
+}
+
 func (s Scheme) String() string {
-	switch s {
-	case SchemePreAlloc:
-		return "ParaBit"
-	case SchemeReAlloc:
-		return "ParaBit-ReAlloc"
-	case SchemeLocFree:
-		return "ParaBit-LocFree"
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
 	}
 	return fmt.Sprintf("Scheme(%d)", uint8(s))
 }
 
-// Schemes lists all three for experiment sweeps.
-var Schemes = []Scheme{SchemePreAlloc, SchemeReAlloc, SchemeLocFree}
+// Schemes lists every scheme for experiment sweeps and test matrices, in
+// declaration order.
+var Schemes = func() []Scheme {
+	out := make([]Scheme, len(schemeNames))
+	for i := range out {
+		out[i] = Scheme(i)
+	}
+	return out
+}()
+
+// ParseScheme resolves a scheme by its String() name, case-insensitively;
+// bench flags and config files use it so scheme spellings live in one
+// place.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if strings.EqualFold(name, n) {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ssd: unknown scheme %q (want one of %s)", name, strings.Join(schemeNames[:], ", "))
+}
 
 // Config parameterizes the device.
 type Config struct {

@@ -97,6 +97,9 @@ type ReducePlan struct {
 //   - ReAlloc: K-1 serial realloc steps (first reads 2 operands, the rest
 //     read 1), each `waves` waves.
 //   - LocFree: `waves` chained waves, no reallocation.
+//   - FlashCosmos: one multi-wordline sense per MaxMWSOperands-sized
+//     chunk plus buffered combine steps between chunks; the XOR family
+//     (no MWS form) is priced as its LocFree fallback.
 func PlanReduce(geo flash.Geometry, t flash.Timing, scheme Scheme, op latch.Op, k int, columnBytes int64) ReducePlan {
 	waves := float64(columnBytes) / float64(geo.WaveBytes())
 	if waves < 1 {
@@ -130,6 +133,39 @@ func PlanReduce(geo flash.Geometry, t flash.Timing, scheme Scheme, op latch.Op, 
 			p.SenseSeconds = waves * LocFreePairLatency(t, op).Seconds()
 		} else {
 			p.SenseSeconds = waves * ChainWaveLatency(t, op, k, geo.PageSize).Seconds()
+		}
+	case SchemeFlashCosmos:
+		if !latch.MWSComputable(op) {
+			// No MWS form: the executor falls back to the LocFree paths
+			// wholesale, and the plan prices that honestly.
+			p = PlanReduce(geo, t, SchemeLocFree, op, k, columnBytes)
+			p.Scheme = SchemeFlashCosmos
+			return p
+		}
+		// One multi-wordline sense per MaxMWSOperands-sized chunk. The
+		// group lays out in one block (WriteOperandMWSGroup), so chunk
+		// results chain through the plane's latches: the senses serialize
+		// on the plane's sense unit but no program separates them. A lone
+		// leftover operand has no sense of its own: it folds in one extra
+		// realloc step that reads it from flash.
+		var sense sim.Duration
+		lone := false
+		for rem := k; rem > 0; {
+			c := rem
+			if c > latch.MaxMWSOperands {
+				c = latch.MaxMWSOperands
+			}
+			if c < 2 {
+				lone = true
+				break
+			}
+			sense += t.MWSLatency(c)
+			rem -= c
+		}
+		p.SenseSeconds = waves * sense.Seconds()
+		if lone {
+			p.CombineSeconds = waves * ReallocStepLatency(t, op, 1, geo.PageSize).Seconds()
+			p.Reallocations = 1
 		}
 	}
 	p.TotalSeconds = p.SenseSeconds + p.CombineSeconds

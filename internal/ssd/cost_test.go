@@ -138,6 +138,51 @@ func TestAnalyticMatchesFunctionalLocFree(t *testing.T) {
 	}
 }
 
+// TestAnalyticMatchesFunctionalFlashCosmos: block-colocated MWS groups on
+// one plane — whole-chunk folds (k ≤ 8), multi-chunk folds with a
+// combine, and the lone-leftover shape — must land on PlanReduce's
+// Flash-Cosmos prediction.
+func TestAnalyticMatchesFunctionalFlashCosmos(t *testing.T) {
+	for _, tc := range []struct {
+		op latch.Op
+		k  int
+	}{
+		{latch.OpAnd, 2}, {latch.OpAnd, 5}, {latch.OpAnd, 8},
+		{latch.OpOr, 8}, {latch.OpAnd, 11}, {latch.OpOr, 9},
+	} {
+		cfg := narrowConfig(1)
+		d := MustNew(cfg)
+		lpns := make([]uint64, tc.k)
+		data := make([][]byte, tc.k)
+		for i := range lpns {
+			lpns[i] = uint64(i)
+			data[i] = randPage(d, int64(i))
+		}
+		if _, err := d.WriteOperandMWSGroup(lpns, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		d.ResetTiming()
+		r, err := d.Reduce(tc.op, lpns, SchemeFlashCosmos, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := PlanReduce(cfg.Geometry, cfg.Timing, SchemeFlashCosmos, tc.op, tc.k, int64(cfg.Geometry.PageSize))
+		if got, want := seconds(r.Done), plan.TotalSeconds; !approxEqual(got, want, 0.02) {
+			t.Errorf("%v k=%d: functional %.6fs vs analytic %.6fs", tc.op, tc.k, got, want)
+		}
+		// The colocated layout realizes pure MWS folds except for a lone
+		// leftover operand (k ≡ 1 mod 8), which rides the pairwise path
+		// and is honestly counted as a fallback.
+		var wantFallbacks int64
+		if tc.k > latch.MaxMWSOperands && tc.k%latch.MaxMWSOperands == 1 {
+			wantFallbacks = 1
+		}
+		if f := d.Stats().Fallbacks; f != wantFallbacks {
+			t.Errorf("%v k=%d: %d fallbacks on a colocated group, want %d", tc.op, tc.k, f, wantFallbacks)
+		}
+	}
+}
+
 // TestPlanReduceBitmapAnchors checks the §5.3.2 bitmap case study
 // anchors on the paper-scale geometry: 360 day-columns of 100 MB (800 M
 // users) reduce in ≈6.1 s under ReAlloc and ≈3.2 s under ParaBit.

@@ -238,6 +238,27 @@ func (d *Device) WriteOperandLSBGroup(lpns []uint64, data [][]byte, at sim.Time)
 	return done, nil
 }
 
+// WriteOperandMWSGroup stores k operand pages in LSB pages of a single
+// block, ESP-programmed — the Flash-Cosmos layout whose AND/OR reduction
+// is one multi-wordline sense. Unscrambled. The group must fit one block
+// (k <= WordlinesPerBlock; the per-sense cap latch.MaxMWSOperands is the
+// executor's concern, which chunks larger groups).
+func (d *Device) WriteOperandMWSGroup(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
+	for _, lpn := range lpns {
+		if err := d.checkUserLPN(lpn); err != nil {
+			return 0, err
+		}
+	}
+	_, done, err := d.ftl.WriteMWSGroup(lpns, data, at)
+	if err != nil {
+		return 0, err
+	}
+	for _, lpn := range lpns {
+		d.plain[lpn] = true
+	}
+	return done, nil
+}
+
 // WriteOperandOnPlane stores an operand page in an LSB slot of the plane
 // with the given linear index (modulo the plane count). Column-oriented
 // clients use it to keep the i'th page of every column on one plane, so

@@ -1,0 +1,233 @@
+package ssd
+
+import (
+	"parabit/internal/flash"
+	"parabit/internal/latch"
+	"parabit/internal/sim"
+)
+
+// Flash-Cosmos execution (SchemeFlashCosmos): an N-operand AND/OR
+// reduction over operands colocated in one block collapses into a single
+// multi-wordline sense — the NAND string computes the fold, so the
+// latency is one (slightly longer) read regardless of operand count,
+// where the pairwise schemes pay one sense or one reallocation per
+// operand. Whenever the single sense is ruled out — the op's algebra has
+// no MWS form, operands missed colocation, the operand count exceeds the
+// per-sense cap, or maintenance migrated pages mid-reduction — execution
+// degrades to the pairwise paths below instead of erroring.
+
+// blockKey identifies the NAND block an MWS selects wordlines of.
+type blockKey struct {
+	plane flash.PlaneAddr
+	block int
+}
+
+// mwsPair reports whether two operands can feed one two-wordline MWS:
+// LSB pages of distinct wordlines colocated in one block.
+func mwsPair(a, b flash.PageAddr) bool {
+	return a.Kind == flash.LSBPage && b.Kind == flash.LSBPage &&
+		a.PlaneAddr == b.PlaneAddr && a.Block == b.Block &&
+		a.WordlineAddr != b.WordlineAddr
+}
+
+// bitwiseFlashCosmos executes one two-operand operation under the
+// Flash-Cosmos scheme: a two-wordline MWS when the operands are
+// colocated and the op has an MWS form, the LocFree pairwise path
+// otherwise.
+func (d *Device) bitwiseFlashCosmos(op latch.Op, lpnM, lpnN uint64,
+	addrM, addrN flash.PageAddr, at sim.Time) (BitwiseResult, error) {
+	if d.cfg.Geometry.CellBits == 2 && latch.MWSComputable(op) && mwsPair(addrM, addrN) {
+		res, err := d.array.BitwiseSenseMWS(op,
+			[]flash.WordlineAddr{addrM.WordlineAddr, addrN.WordlineAddr}, at)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		d.stats.BitwiseOps++
+		d.noteOp(op, SchemeFlashCosmos, at, res.Ready)
+		return BitwiseResult{Data: res.Data, Done: res.Ready}, nil
+	}
+	// Colocation missed, or the op's algebra has no single-sense form:
+	// the documented fallback is the pairwise location-free execution.
+	d.stats.Fallbacks++
+	d.noteFallback(SchemeFlashCosmos)
+	return d.Bitwise(op, lpnM, lpnN, SchemeLocFree, at)
+}
+
+// reduceFlashCosmos reduces via multi-wordline senses: operands bucketed
+// by block, one MWS per MaxMWSOperands-sized chunk. Chunks that share a
+// plane chain through the plane's latches in one array call (no program
+// between chunks, like the location-free chain), so a k-operand group
+// costs ceil(k/MaxMWSOperands) serialized senses; only cross-plane
+// partials combine with buffered reallocation steps. Operands outside
+// any viable chunk (lone residents of a block, non-LSB pages, pages a
+// mid-reduction migration moved) fold through the buffered pairwise
+// path, counted as scheme fallbacks.
+//
+// Like reduceLocFree, placement is resolved twice: a pre-scan buckets
+// operands by their current block, and every plane run re-resolves its
+// operands immediately before sensing — the cross-plane combine writes
+// between runs go through the FTL's fault-aware program path, and the
+// garbage collection or bad-block retirement they trigger migrates
+// mapped pages, including this reduction's own operands.
+func (d *Device) reduceFlashCosmos(op latch.Op, lpns []uint64, at sim.Time) (BitwiseResult, error) {
+	if !latch.MWSComputable(op) || d.cfg.Geometry.CellBits != 2 {
+		// The XOR family has no multi-wordline sense form (and only MLC
+		// strings have the MWS mode here): whole-reduction fallback.
+		d.stats.Fallbacks++
+		d.noteFallback(SchemeFlashCosmos)
+		return d.reduceLocFree(op, lpns, at)
+	}
+	// Pre-scan: bucket operands by current block, preserving
+	// first-appearance order. Addresses seen here drive grouping only and
+	// are never sensed from.
+	var order []blockKey
+	groups := make(map[blockKey][]uint64)
+	var strays []uint64
+	for _, lpn := range lpns {
+		addr, err := d.operandLoc(lpn)
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		if addr.Kind != flash.LSBPage {
+			strays = append(strays, lpn)
+			continue
+		}
+		key := blockKey{addr.PlaneAddr, addr.Block}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], lpn)
+	}
+
+	var acc BitwiseResult
+	havePartial := false
+	// fold merges a buffered chunk result into the accumulator: the first
+	// result becomes the accumulator, later ones combine with a buffered
+	// reallocation step (partials cannot rejoin an MWS — a sealed operand
+	// block has no room for them).
+	fold := func(data []byte, done sim.Time) error {
+		if !havePartial {
+			acc = BitwiseResult{Data: data, Done: done}
+			havePartial = true
+			return nil
+		}
+		r, err := d.senseAfterReallocBuffered(op, acc.Data, acc.Done, -1, data, done, sim.Max(acc.Done, done))
+		if err != nil {
+			return err
+		}
+		acc = r
+		return nil
+	}
+	// Split each block's group into sense-margin-sized chunks and gather
+	// the chunks into per-plane runs: every chunk of a run senses on the
+	// same plane, so its results can accumulate in that plane's latches.
+	type planeRun struct {
+		plane  flash.PlaneAddr
+		chunks [][]uint64
+	}
+	runIdx := make(map[flash.PlaneAddr]int)
+	var runs []*planeRun
+	for _, key := range order {
+		g := groups[key]
+		if len(g) < 2 {
+			strays = append(strays, g...)
+			continue
+		}
+		idx, ok := runIdx[key.plane]
+		if !ok {
+			idx = len(runs)
+			runIdx[key.plane] = idx
+			runs = append(runs, &planeRun{plane: key.plane})
+		}
+		for len(g) > 0 {
+			n := len(g)
+			if n > latch.MaxMWSOperands {
+				n = latch.MaxMWSOperands
+			}
+			chunk := g[:n]
+			g = g[n:]
+			if n < 2 {
+				strays = append(strays, chunk...)
+				continue
+			}
+			runs[idx].chunks = append(runs[idx].chunks, chunk)
+		}
+	}
+	for _, r := range runs {
+		// Re-resolve the run NOW, after whatever maintenance earlier
+		// cross-plane combines triggered: still-colocated chunks sense
+		// together, migrated operands fold through the buffered path.
+		// A migration may also have moved a whole chunk off this run's
+		// plane, so resolved chunks re-bucket by their actual plane.
+		chunkPlanes := make(map[flash.PlaneAddr][][]flash.WordlineAddr)
+		var planeOrder []flash.PlaneAddr
+		for _, chunk := range r.chunks {
+			wls := make([]flash.WordlineAddr, 0, len(chunk))
+			var moved []uint64
+			for i, lpn := range chunk {
+				addr, err := d.operandLoc(lpn)
+				if err != nil {
+					return BitwiseResult{}, err
+				}
+				if addr.Kind == flash.LSBPage && (i == 0 || (len(wls) > 0 &&
+					addr.PlaneAddr == wls[0].PlaneAddr && addr.Block == wls[0].Block)) {
+					wls = append(wls, addr.WordlineAddr)
+				} else {
+					moved = append(moved, lpn)
+				}
+			}
+			if len(wls) < 2 {
+				// The chunk scattered: everything folds pairwise.
+				strays = append(strays, chunk...)
+				continue
+			}
+			pl := wls[0].PlaneAddr
+			if _, ok := chunkPlanes[pl]; !ok {
+				planeOrder = append(planeOrder, pl)
+			}
+			chunkPlanes[pl] = append(chunkPlanes[pl], wls)
+			strays = append(strays, moved...)
+		}
+		for _, pl := range planeOrder {
+			chunks := chunkPlanes[pl]
+			var res flash.SenseResult
+			var err error
+			if len(chunks) == 1 {
+				res, err = d.array.BitwiseSenseMWS(op, chunks[0], at)
+			} else {
+				res, err = d.array.BitwiseChainMWS(op, chunks, at)
+			}
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			d.stats.BitwiseOps++
+			d.noteOp(op, SchemeFlashCosmos, at, res.Ready)
+			if err := fold(res.Data, res.Ready); err != nil {
+				return BitwiseResult{}, err
+			}
+		}
+	}
+	// Strays missed the single-sense layout: the pairwise fallback, one
+	// buffered reallocation step each.
+	if len(strays) > 0 {
+		d.stats.Fallbacks++
+		d.noteFallback(SchemeFlashCosmos)
+	}
+	for _, lpn := range strays {
+		if !havePartial {
+			data, done, err := d.Read(lpn, at)
+			if err != nil {
+				return BitwiseResult{}, err
+			}
+			acc = BitwiseResult{Data: data, Done: done}
+			havePartial = true
+			continue
+		}
+		res, err := d.senseAfterReallocBuffered(op, acc.Data, acc.Done, int64(lpn), nil, 0, sim.Max(at, acc.Done))
+		if err != nil {
+			return BitwiseResult{}, err
+		}
+		acc = res
+	}
+	return acc, nil
+}

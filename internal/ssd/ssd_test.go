@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"parabit/internal/bitvec"
@@ -268,6 +269,10 @@ func TestReduceCorrectAllSchemes(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+		case SchemeFlashCosmos:
+			if _, err := d.WriteOperandMWSGroup(lpns, operands, 0); err != nil {
+				t.Fatal(err)
+			}
 		default:
 			for i := range lpns {
 				if _, err := d.WriteOperand(lpns[i], operands[i], 0); err != nil {
@@ -469,8 +474,34 @@ func TestUnmappedOperandRejected(t *testing.T) {
 func TestSchemeStrings(t *testing.T) {
 	if SchemePreAlloc.String() != "ParaBit" ||
 		SchemeReAlloc.String() != "ParaBit-ReAlloc" ||
-		SchemeLocFree.String() != "ParaBit-LocFree" {
+		SchemeLocFree.String() != "ParaBit-LocFree" ||
+		SchemeFlashCosmos.String() != "Flash-Cosmos" {
 		t.Fatal("scheme names wrong")
+	}
+}
+
+// TestSchemeRegistryRoundTrip pins the registry contract: every scheme's
+// String() parses back to itself (case-insensitively), Schemes covers the
+// whole table in declaration order, and unknown names are refused.
+func TestSchemeRegistryRoundTrip(t *testing.T) {
+	if len(Schemes) != len(schemeNames) {
+		t.Fatalf("Schemes lists %d of %d registry entries", len(Schemes), len(schemeNames))
+	}
+	for i, sc := range Schemes {
+		if int(sc) != i {
+			t.Fatalf("Schemes[%d] = %v, want declaration order", i, sc)
+		}
+		got, err := ParseScheme(sc.String())
+		if err != nil || got != sc {
+			t.Errorf("ParseScheme(%q) = %v, %v", sc.String(), got, err)
+		}
+		got, err = ParseScheme(strings.ToUpper(sc.String()))
+		if err != nil || got != sc {
+			t.Errorf("ParseScheme upper-case of %q = %v, %v", sc.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("no-such-scheme"); err == nil {
+		t.Error("unknown scheme name accepted")
 	}
 }
 

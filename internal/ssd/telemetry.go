@@ -7,10 +7,10 @@ import (
 )
 
 // teleOps / teleSchemes size the tagged-counter tables; they mirror
-// latch.Ops and Schemes (checked in the tests).
+// latch.Ops and the scheme registry (checked in the tests).
 const (
 	teleOps     = 8
-	teleSchemes = 3
+	teleSchemes = len(schemeNames)
 )
 
 // opSchemeName / fallbackName are built once at init so that tagging a

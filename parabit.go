@@ -81,15 +81,40 @@ const (
 	// LocationFree is "ParaBit-LocFree": operands in aligned LSB pages
 	// are sensed through the extended latching circuit, no data movement.
 	LocationFree
+	// FlashCosmos is the Flash-Cosmos extension: N-operand AND/OR
+	// reductions over block-colocated, ESP-programmed operands (the
+	// WriteOperandMWSGroup layout) execute in one multi-wordline sense,
+	// falling back to pairwise LocationFree execution when colocation, the
+	// per-sense operand cap, or the op's algebra rules the single sense
+	// out.
+	FlashCosmos
 )
 
-// Schemes lists all three.
-var Schemes = []Scheme{PreAllocated, Reallocated, LocationFree}
+// Schemes lists every scheme, in declaration order; it is derived from
+// the one scheme registry in internal/ssd, so test matrices and sweeps
+// ranging over it extend automatically when a scheme is added.
+var Schemes = func() []Scheme {
+	out := make([]Scheme, len(ssd.Schemes))
+	for i, s := range ssd.Schemes {
+		out[i] = Scheme(s)
+	}
+	return out
+}()
 
 func (s Scheme) String() string { return s.ssd().String() }
 
+// ParseScheme resolves a scheme by its String() name, case-insensitively
+// ("ParaBit", "ParaBit-ReAlloc", "ParaBit-LocFree", "Flash-Cosmos").
+func ParseScheme(name string) (Scheme, error) {
+	s, err := ssd.ParseScheme(name)
+	if err != nil {
+		return 0, err
+	}
+	return Scheme(s), nil
+}
+
 func (s Scheme) ssd() ssd.Scheme {
-	if s > LocationFree {
+	if int(s) >= len(ssd.Schemes) {
 		panic(fmt.Sprintf("parabit: invalid scheme %d", uint8(s)))
 	}
 	return ssd.Scheme(s)
@@ -250,6 +275,16 @@ func (d *Device) WriteOperandPair(first, second uint64, firstData, secondData []
 func (d *Device) WriteOperandGroup(lpns []uint64, data [][]byte) error {
 	_, err := wait(d.sched.Submit(sched.Command{
 		Kind: sched.KindWriteGroup, LPNs: lpns, Pages: data,
+	}))
+	return err
+}
+
+// WriteOperandMWSGroup stores operand pages in LSB slots of one block,
+// ESP-programmed — the FlashCosmos layout whose AND/OR reduction is a
+// single multi-wordline sense. The group must fit one block.
+func (d *Device) WriteOperandMWSGroup(lpns []uint64, data [][]byte) error {
+	_, err := wait(d.sched.Submit(sched.Command{
+		Kind: sched.KindWriteMWSGroup, LPNs: lpns, Pages: data,
 	}))
 	return err
 }
@@ -682,6 +717,9 @@ type Stats struct {
 	Reallocations int64
 	Fallbacks     int64
 	SROs          int64
+	// MWSSenses counts Flash-Cosmos multi-wordline senses (each is one
+	// SRO regardless of its operand count).
+	MWSSenses     int64
 	Programs      int64
 	Erases        int64
 	InjectedFlips int64
@@ -725,6 +763,7 @@ func (d *Device) Stats() Stats {
 			Reallocations:      op.Reallocations,
 			Fallbacks:          op.Fallbacks,
 			SROs:               fl.SROs,
+			MWSSenses:          fl.MWSSenses,
 			Programs:           fl.Programs,
 			Erases:             fl.Erases,
 			InjectedFlips:      fl.InjectedFlips,
