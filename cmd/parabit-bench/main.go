@@ -31,6 +31,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -129,6 +130,8 @@ func main() {
 	tracePath := flag.String("trace", "", "hammer mode: write a Chrome trace-event JSON file here")
 	metrics := flag.Bool("metrics", false, "hammer mode: print the telemetry metrics summary")
 	faultsPath := flag.String("faults", "", "hammer mode: arm this JSON fault-injection plan")
+	persistDir := flag.String("persist", "", "hammer mode: back the device with an on-disk store here; after the run, remount and report recovery")
+	snapEvery := flag.Int("snapshot-every", 0, "with -persist: compact the journal after this many committed records (0 = default, negative disables)")
 	planner := flag.Bool("planner", false, "run the query-planner benchmark: fused vs unfused p99")
 	plannerOut := flag.String("planner-out", "", "planner mode: write the JSON report here (the BENCH_planner.json format)")
 	plannerCheck := flag.String("planner-check", "", "planner mode: compare against this JSON report; fail on >10% fused-p99 regression")
@@ -191,7 +194,7 @@ func main() {
 			}
 			return
 		}
-		if err := runHammer(n, *hammerOps, *tracePath, *faultsPath, *metrics, os.Stdout); err != nil {
+		if err := runHammer(n, *hammerOps, *tracePath, *faultsPath, *persistDir, *snapEvery, *metrics, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -244,8 +247,13 @@ func main() {
 // or metrics set, the run executes with telemetry attached; the trace
 // file opens in chrome://tracing or ui.perfetto.dev with one lane per
 // plane, channel and scheduler queue.
-func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writer) error {
-	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+func runHammer(n, ops int, tracePath, faultsPath, persistDir string, snapEvery int, metrics bool, w io.Writer) error {
+	devOpts := []parabit.Option{parabit.WithSmallGeometry()}
+	if persistDir != "" {
+		devOpts = append(devOpts, parabit.WithPersistence(persistDir),
+			parabit.WithSnapshotEvery(snapEvery))
+	}
+	dev, err := parabit.NewDevice(devOpts...)
 	if err != nil {
 		return err
 	}
@@ -333,7 +341,7 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 						// With a fault plan armed, unrecoverable injected
 						// faults surface as explicit errors — that is the
 						// degradation contract, not a workload failure.
-						if flash.AsFaultError(err) != nil {
+						if flash.AsFaultError(err) != nil || errors.Is(err, parabit.ErrPowerCut) {
 							surfacedFaults.Add(1)
 							continue
 						}
@@ -381,8 +389,8 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 	if faultsPath != "" {
 		fs := dev.FaultStats()
 		fmt.Fprintf(w, "fault injection (%s):\n", faultsPath)
-		fmt.Fprintf(w, "  injected           %d (%d transient, %d dead-plane, %d program, %d erase, %d stuck-block)\n",
-			fs.Injected, fs.PlaneTransient, fs.PlaneDead, fs.ProgramFails, fs.EraseFails, fs.StuckBlock)
+		fmt.Fprintf(w, "  injected           %d (%d transient, %d dead-plane, %d program, %d erase, %d stuck-block, %d power-cut)\n",
+			fs.Injected, fs.PlaneTransient, fs.PlaneDead, fs.ProgramFails, fs.EraseFails, fs.StuckBlock, fs.PowerCuts)
 		fmt.Fprintf(w, "  jitter events      %d\n", fs.JitterEvents)
 		fmt.Fprintf(w, "  sched retries      %d (%d exhausted)\n", fs.Retries, fs.RetriesExhausted)
 		fmt.Fprintf(w, "  blocks retired     %d (%d pages rescued, %d writes re-steered)\n",
@@ -406,6 +414,30 @@ func runHammer(n, ops int, tracePath, faultsPath string, metrics bool, w io.Writ
 			return err
 		}
 		fmt.Fprintf(w, "\ntrace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	if persistDir != "" {
+		if ps, ok := dev.PersistStats(); ok {
+			fmt.Fprintf(w, "persistence (%s):\n", persistDir)
+			fmt.Fprintf(w, "  journal            %d records, %d bytes, %d snapshots\n",
+				ps.JournalRecords, ps.JournalBytes, ps.Snapshots)
+		}
+		// Close (or, after a power cut, abandon) the store and remount:
+		// the recovery summary proves the journal covered everything the
+		// run acknowledged.
+		if err := dev.Close(); err != nil {
+			return err
+		}
+		re, rec, err := parabit.Open(persistDir, parabit.WithSnapshotEvery(snapEvery))
+		if err != nil {
+			return fmt.Errorf("remount %s: %w", persistDir, err)
+		}
+		fmt.Fprintf(w, "  remount            %d records replayed, %d in-flight discarded, %d torn bytes, %v replay span\n",
+			rec.ReplayedRecords, rec.SkippedIntents, rec.TornBytes, rec.ReplayTime)
+		if err := re.CheckInvariants(); err != nil {
+			return fmt.Errorf("post-recovery invariants: %w", err)
+		}
+		fmt.Fprintf(w, "  invariants         ok after recovery\n")
+		return re.Close()
 	}
 	return nil
 }

@@ -50,7 +50,7 @@ func TestHammerFlagForms(t *testing.T) {
 func TestRunHammerWithTraceAndMetrics(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "out.json")
 	var out bytes.Buffer
-	if err := runHammer(3, 40, tracePath, "", true, &out); err != nil {
+	if err := runHammer(3, 40, tracePath, "", "", 0, true, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -125,7 +125,7 @@ func TestRunHammerWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := runHammer(3, 40, "", planPath, false, &out); err != nil {
+	if err := runHammer(3, 40, "", planPath, "", 0, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -141,8 +141,45 @@ func TestRunHammerWithFaults(t *testing.T) {
 			t.Errorf("fault summary lacks %q:\n%s", re, text)
 		}
 	}
-	if err := runHammer(1, 1, "", filepath.Join(t.TempDir(), "missing.json"), false, &out); err == nil {
+	if err := runHammer(1, 1, "", filepath.Join(t.TempDir(), "missing.json"), "", 0, false, &out); err == nil {
 		t.Error("missing plan file accepted")
+	}
+}
+
+// TestRunHammerPersist backs the hammer with an on-disk store, once
+// gracefully and once under a power-cut plan. Both runs must end with
+// the remount summary and a clean invariant audit; the cut run must
+// also count its power-cut faults.
+func TestRunHammerPersist(t *testing.T) {
+	var out bytes.Buffer
+	if err := runHammer(3, 40, "", "", t.TempDir(), 16, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"persistence (", "remount", "invariants         ok"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("persist summary lacks %q:\n%s", want, text)
+		}
+	}
+
+	planPath := filepath.Join(t.TempDir(), "cut.json")
+	plan := `{"seed": 7, "rules": [{"type": "power-cut", "point": "post-journal", "after_n": 10}]}`
+	if err := os.WriteFile(planPath, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runHammer(3, 40, "", planPath, t.TempDir(), 16, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	for _, re := range []string{
+		`[1-9]\d* power-cut\)`,  // the cut fired and was counted
+		`remount\s+\d+ records`, // recovery ran
+		`invariants\s+ok`,       // and audited clean
+	} {
+		if !regexp.MustCompile(re).MatchString(text) {
+			t.Errorf("cut-run summary lacks %q:\n%s", re, text)
+		}
 	}
 }
 
@@ -207,7 +244,7 @@ func TestRunPlannerReportAndGate(t *testing.T) {
 // show planner activity from the query clients.
 func TestHammerMixesQueries(t *testing.T) {
 	var out bytes.Buffer
-	if err := runHammer(3, 60, "", "", false, &out); err != nil {
+	if err := runHammer(3, 60, "", "", "", 0, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -220,7 +257,7 @@ func TestHammerMixesQueries(t *testing.T) {
 // metrics section, stats still reported.
 func TestRunHammerPlain(t *testing.T) {
 	var out bytes.Buffer
-	if err := runHammer(2, 10, "", "", false, &out); err != nil {
+	if err := runHammer(2, 10, "", "", "", 0, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"parabit"
@@ -27,6 +28,7 @@ func main() {
 	yHex := flag.String("y", "3c", "second operand bytes (hex, repeated to fill a page)")
 	explain := flag.Bool("explain", false, "print the latching-circuit control sequence")
 	locfreeSeq := flag.Bool("locfree", false, "with -explain: show the location-free sequence")
+	persistDir := flag.String("persist", "", "back the device with an on-disk store in this directory (created on first use, recovered afterwards)")
 	flag.Parse()
 
 	op, ok := parseOp(*opName)
@@ -52,7 +54,7 @@ func main() {
 		fail("unknown scheme %q", *schemeName)
 	}
 
-	dev, err := parabit.NewDevice(parabit.WithSmallGeometry())
+	dev, err := openDevice(*persistDir)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -93,6 +95,31 @@ func main() {
 	s := dev.Stats()
 	fmt.Printf("device:  %d SROs, %d reallocations, %d programs\n",
 		s.SROs, s.Reallocations, s.Programs)
+	if ps, ok := dev.PersistStats(); ok {
+		fmt.Printf("persist: %d journal records (%d bytes), %d snapshots, %d replayed at mount\n",
+			ps.JournalRecords, ps.JournalBytes, ps.Snapshots, ps.ReplayedRecords)
+	}
+	if err := dev.Close(); err != nil {
+		fail("closing device: %v", err)
+	}
+}
+
+// openDevice builds the simulated SSD: in-memory by default, or backed
+// by (and, on reuse, recovered from) an on-disk store with -persist.
+func openDevice(dir string) (*parabit.Device, error) {
+	if dir == "" {
+		return parabit.NewDevice(parabit.WithSmallGeometry())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "CURRENT")); err == nil {
+		dev, rec, err := parabit.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("recovered %s: %d records replayed, %d in-flight writes discarded, %d torn bytes truncated\n",
+			dir, rec.ReplayedRecords, rec.SkippedIntents, rec.TornBytes)
+		return dev, nil
+	}
+	return parabit.NewDevice(parabit.WithSmallGeometry(), parabit.WithPersistence(dir))
 }
 
 func parseOp(s string) (parabit.Op, bool) {

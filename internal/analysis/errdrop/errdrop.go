@@ -26,8 +26,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
 	Doc: "flag call statements that discard error results from the device stack " +
 		"(internal/ssd, internal/ftl, internal/sched, internal/cluster, internal/plan, " +
-		"internal/nvme, internal/faults): a dropped error silently desynchronizes " +
-		"the simulated device state",
+		"internal/nvme, internal/faults, internal/persist): a dropped error silently " +
+		"desynchronizes the simulated device state",
 	Run: run,
 }
 
@@ -40,6 +40,7 @@ var guardedPkgs = map[string]bool{
 	"parabit/internal/plan":    true,
 	"parabit/internal/nvme":    true,
 	"parabit/internal/faults":  true,
+	"parabit/internal/persist": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -22,6 +22,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -69,6 +70,13 @@ type Config struct {
 	// cross-column operations over one group run shard-locally and
 	// location-free. Nil means identity (every key its own group).
 	PlacementOf func(key uint64) uint64
+	// PersistDir, when non-empty, backs every shard with an on-disk
+	// journal+snapshot store under PersistDir/shard<id>. A killed shard
+	// can then be restarted from disk with RestartShard.
+	PersistDir string
+	// SnapshotEvery is the per-shard journal compaction threshold
+	// (persist.Config.SnapshotEvery); 0 means the store default.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -280,9 +288,20 @@ func (c *Cluster) SetTelemetry(sink *telemetry.Sink) {
 	}
 }
 
+// shardDir is the on-disk store directory for one shard id.
+func (c *Cluster) shardDir(id int) string {
+	return filepath.Join(c.cfg.PersistDir, fmt.Sprintf("shard%d", id))
+}
+
 // addShardLocked creates a shard, registers its ring points and returns it.
 func (c *Cluster) addShardLocked() (*Shard, error) {
-	dev, err := ssd.New(c.cfg.Device)
+	var dev *ssd.Device
+	var err error
+	if c.cfg.PersistDir != "" {
+		dev, err = ssd.Create(c.shardDir(c.nextID), c.cfg.Device, c.cfg.SnapshotEvery)
+	} else {
+		dev, err = ssd.New(c.cfg.Device)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -564,9 +583,12 @@ func (c *Cluster) RemoveShard(id int) (migrated int, err error) {
 	return migrated, nil
 }
 
-// KillShard fails a shard abruptly: no drain, no migration. Its replicas
-// stay in the directory (dead) until Repair re-replicates them; columns
-// with a live replica keep serving.
+// KillShard fails a shard abruptly: no drain, no migration, and — on a
+// persistent cluster — no final snapshot: the shard's on-disk journal
+// stays exactly as the crash left it. Its replicas stay in the
+// directory (dead) until Repair re-replicates them or RestartShard
+// brings the shard back from disk; columns with a live replica keep
+// serving.
 func (c *Cluster) KillShard(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -575,8 +597,62 @@ func (c *Cluster) KillShard(id int) error {
 		return fmt.Errorf("cluster: no shard %d", id)
 	}
 	sh.alive.Store(false)
+	sh.dev.Crash()
 	c.ring.remove(id)
 	return nil
+}
+
+// RestartShard recovers a killed shard from its on-disk store: the
+// journal is replayed onto the last snapshot, invariants are checked,
+// and the shard rejoins the ring with a fresh scheduler and queue pair.
+// Every write the old incarnation acknowledged is present; everything
+// in flight at the kill is not. Only valid on persistent clusters.
+func (c *Cluster) RestartShard(id int) (ssd.RecoveryInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.PersistDir == "" {
+		return ssd.RecoveryInfo{}, fmt.Errorf("cluster: restart shard %d: cluster is not persistent", id)
+	}
+	sh := c.shards[id]
+	if sh == nil {
+		return ssd.RecoveryInfo{}, fmt.Errorf("cluster: no shard %d", id)
+	}
+	if sh.Alive() {
+		return ssd.RecoveryInfo{}, fmt.Errorf("cluster: restart shard %d: still alive", id)
+	}
+	dev, info, err := ssd.Open(c.shardDir(id), c.cfg.SnapshotEvery)
+	if err != nil {
+		return ssd.RecoveryInfo{}, fmt.Errorf("cluster: restart shard %d: %w", id, err)
+	}
+	sh.dev = dev
+	sh.sched = sched.New(dev)
+	sh.qp = nvme.NewQueuePair(c.cfg.QueueDepth)
+	if c.tele.sink != nil {
+		sh.sched.SetTelemetry(c.tele.sink.Scope(fmt.Sprintf("shard%d", id)))
+	}
+	sh.alive.Store(true)
+	c.ring.add(id)
+	return info, nil
+}
+
+// Close shuts the cluster down gracefully: every live shard drains its
+// scheduler and closes its device (taking a final compaction snapshot
+// on persistent clusters). Dead shards are left as their crash left
+// them. The cluster must not be used after Close.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for _, id := range c.order {
+		sh := c.shards[id]
+		if !sh.Alive() {
+			continue
+		}
+		if err := sh.sched.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: close shard %d: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // rebalanceLocked moves every column whose ring owners changed: copies to

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"parabit/internal/flash"
+	"parabit/internal/persist"
 	"parabit/internal/sim"
 	"parabit/internal/telemetry"
 )
@@ -39,6 +40,11 @@ const (
 	// RuleJitter stretches matching operations by a random delay up to
 	// MaxJitterUS, with probability Rate.
 	RuleJitter = "jitter"
+	// RulePowerCut kills the whole device at a persistence boundary or
+	// mid-program: the AfterN'th crossing of Point dies, and every
+	// operation after it fails with flash.FaultPowerCut until the device
+	// is remounted from its on-disk store.
+	RulePowerCut = "power-cut"
 )
 
 // Rule is one scripted fault source. Which fields matter depends on Type;
@@ -62,6 +68,12 @@ type Rule struct {
 	Op string `json:"op,omitempty"`
 	// MaxJitterUS is the jitter rule's maximum added delay.
 	MaxJitterUS int64 `json:"max_jitter_us,omitempty"`
+	// Point targets power-cut rules: one of persist's boundary names
+	// ("pre-journal", "post-journal", "mid-program", "pre-snapshot").
+	Point string `json:"point,omitempty"`
+	// AfterN makes a power-cut rule fire on the N'th crossing of its
+	// point (1-based); 0 means the first.
+	AfterN int64 `json:"after_n,omitempty"`
 }
 
 // Plan is a complete fault script: a seed for the probabilistic rules and
@@ -122,6 +134,20 @@ func (p Plan) Validate(geo flash.Geometry) error {
 			default:
 				return where("unknown op %q", r.Op)
 			}
+		case RulePowerCut:
+			ok := false
+			for _, p := range persist.Points {
+				if r.Point == p {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return where("unknown cut point %q (want one of %v)", r.Point, persist.Points)
+			}
+			if r.AfterN < 0 {
+				return where("after_n must be non-negative")
+			}
 		default:
 			return where("unknown rule type")
 		}
@@ -137,6 +163,7 @@ type Stats struct {
 	ProgramFails   int64 // injected program-status failures
 	EraseFails     int64 // injected erase-status failures
 	StuckBlock     int64 // program/erase attempts on a stuck block
+	PowerCuts      int64 // operations rejected because power is gone (incl. the cut itself)
 	JitterEvents   int64 // operations stretched by jitter
 	JitterTotal    sim.Duration
 }
@@ -144,7 +171,8 @@ type Stats struct {
 // Faults totals the failure injections (jitter excluded: those
 // operations still succeed).
 func (s Stats) Faults() int64 {
-	return s.PlaneTransient + s.PlaneDead + s.ProgramFails + s.EraseFails + s.StuckBlock
+	return s.PlaneTransient + s.PlaneDead + s.ProgramFails + s.EraseFails + s.StuckBlock +
+		s.PowerCuts
 }
 
 // window is a compiled plane-outage rule.
@@ -175,7 +203,14 @@ type Engine struct {
 	progRate  float64
 	eraseRate float64
 	jitters   []jitter
+	cuts      []cutRule
 	geo       flash.Geometry
+
+	// Power-cut state: per-point boundary-crossing counters and the
+	// latched dead flag. Once dead, every Inspect fails and every
+	// CutAtBoundary answer is moot — the store checks PowerDead first.
+	cutSeen map[string]int64 // guarded by mu
+	dead    bool             // guarded by mu
 
 	stats Stats // guarded by mu
 
@@ -193,6 +228,14 @@ var faultKindCounter = [...]string{
 	"faults.program_fail",
 	"faults.erase_fail",
 	"faults.stuck_block",
+	"faults.power_cut",
+}
+
+// cutRule is a compiled power-cut rule: the boundary it watches and the
+// 1-based crossing count it fires on.
+type cutRule struct {
+	point  string
+	afterN int64
 }
 
 // NewEngine compiles a validated plan against the device geometry.
@@ -201,9 +244,10 @@ func NewEngine(plan Plan, geo flash.Geometry) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		rng:   rand.New(rand.NewSource(plan.Seed)),
-		stuck: make(map[[2]int]bool),
-		geo:   geo,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		stuck:   make(map[[2]int]bool),
+		cutSeen: make(map[string]int64),
+		geo:     geo,
 	}
 	us := func(v int64) sim.Time { return sim.Time(sim.Duration(v) * sim.Microsecond) }
 	for _, r := range plan.Rules {
@@ -235,6 +279,12 @@ func NewEngine(plan Plan, geo flash.Geometry) (*Engine, error) {
 				j.anyOp = true
 			}
 			e.jitters = append(e.jitters, j)
+		case RulePowerCut:
+			n := r.AfterN
+			if n == 0 {
+				n = 1
+			}
+			e.cuts = append(e.cuts, cutRule{point: r.Point, afterN: n})
 		}
 	}
 	return e, nil
@@ -273,6 +323,8 @@ func (e *Engine) failLocked(op flash.FaultOp, kind flash.FaultKind, plane flash.
 		e.stats.EraseFails++
 	case flash.FaultStuckBlock:
 		e.stats.StuckBlock++
+	case flash.FaultPowerCut:
+		e.stats.PowerCuts++
 	}
 	if int(kind) < len(e.counters) {
 		e.counters[kind].Add(1)
@@ -287,6 +339,16 @@ func (e *Engine) failLocked(op flash.FaultOp, kind flash.FaultKind, plane flash.
 func (e *Engine) Inspect(op flash.FaultOp, plane flash.PlaneAddr, block int, at sim.Time) flash.FaultOutcome {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// A dead device fails everything; a mid-program cut rule kills it on
+	// the N'th program the plan targets. Both precede every other rule
+	// and draw no RNG, so they never perturb the plan's other injections.
+	if e.dead {
+		return e.failLocked(op, flash.FaultPowerCut, plane, block, at)
+	}
+	if op == flash.FaultProgram && e.crossLocked(persist.PointMidProgram) {
+		e.dead = true
+		return e.failLocked(op, flash.FaultPowerCut, plane, block, at)
+	}
 	pidx := e.geo.PlaneIndex(plane)
 	for _, w := range e.windows {
 		if w.plane != -1 && w.plane != pidx {
@@ -322,4 +384,48 @@ func (e *Engine) Inspect(op flash.FaultOp, plane flash.PlaneAddr, block int, at 
 		e.faultTrack.Instant("jitter/"+op.String(), at)
 	}
 	return flash.FaultOutcome{Delay: delay}
+}
+
+// crossLocked counts one crossing of a persistence boundary and reports
+// whether any power-cut rule fires on exactly this crossing. Counting is
+// unconditional so a plan's after_n always means "the N'th crossing since
+// the engine was installed", independent of other rules.
+func (e *Engine) crossLocked(point string) bool {
+	e.cutSeen[point]++
+	n := e.cutSeen[point]
+	for _, c := range e.cuts {
+		if c.point == point && c.afterN == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CutAtBoundary implements persist.CutInjector: the journal store asks
+// before and after each durability-relevant step whether the power fails
+// right there. Once a cut fires the engine stays dead — every later
+// boundary reports a cut and every flash op fails with FaultPowerCut —
+// until a new engine (or nil) is installed.
+func (e *Engine) CutAtBoundary(point string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return true
+	}
+	if !e.crossLocked(point) {
+		return false
+	}
+	e.dead = true
+	e.stats.PowerCuts++
+	if int(flash.FaultPowerCut) < len(e.counters) {
+		e.counters[flash.FaultPowerCut].Add(1)
+	}
+	return true
+}
+
+// PowerDead implements persist.CutInjector.
+func (e *Engine) PowerDead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
 }

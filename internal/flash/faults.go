@@ -50,10 +50,16 @@ const (
 	// FaultStuckBlock is a block that fails every program and erase — a
 	// manufacturing-grade bad block discovered in the field.
 	FaultStuckBlock
+	// FaultPowerCut is a device-wide power loss: the operation it lands on
+	// dies mid-flight and every operation after it fails until the device
+	// is remounted from persistent state. Nothing recovers in-run — the
+	// persistence layer's journal replay is the recovery path.
+	FaultPowerCut
 )
 
 var faultKindNames = [...]string{
 	"plane-transient", "plane-dead", "program-fail", "erase-fail", "stuck-block",
+	"power-cut",
 }
 
 func (k FaultKind) String() string {
@@ -100,6 +106,14 @@ func IsProgramFault(err error) bool {
 	fe := AsFaultError(err)
 	return fe != nil && fe.Op == FaultProgram &&
 		(fe.Kind == FaultProgramFail || fe.Kind == FaultStuckBlock)
+}
+
+// IsPowerCut reports whether err is an injected device-wide power loss.
+// No in-run recovery applies: the FTL must not re-steer it and the
+// scheduler must not retry it — the device is down until remount.
+func IsPowerCut(err error) bool {
+	fe := AsFaultError(err)
+	return fe != nil && fe.Kind == FaultPowerCut
 }
 
 // IsEraseFault reports whether err is an erase failure that calls for
@@ -157,10 +171,17 @@ func (a *Array) checkFault(op FaultOp, plane PlaneAddr, block int, at sim.Time) 
 
 // failOp books the plane for a failed block-level attempt: the plane was
 // genuinely busy for the nominal operation time (plus any jitter) before
-// reporting the failure status. Plane-level faults skip this — a dead or
-// unresponsive plane rejects the command immediately.
+// reporting the failure status. Plane-level faults and power cuts skip
+// this — a dead or unresponsive plane rejects the command immediately,
+// and a powered-off device reserves nothing.
 func (a *Array) failOp(pl *plane, at sim.Time, nominal, jitter sim.Duration, err error) {
-	if fe := AsFaultError(err); fe != nil && fe.Kind != FaultPlaneTransient && fe.Kind != FaultPlaneDead {
-		pl.sense.ReserveLabeled(at, nominal+jitter, "fault-"+fe.Kind.String())
+	fe := AsFaultError(err)
+	if fe == nil {
+		return
 	}
+	switch fe.Kind {
+	case FaultPlaneTransient, FaultPlaneDead, FaultPowerCut:
+		return
+	}
+	pl.sense.ReserveLabeled(at, nominal+jitter, "fault-"+fe.Kind.String())
 }

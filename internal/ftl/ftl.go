@@ -751,7 +751,12 @@ func (f *FTL) writeStriped(lpn uint64, data []byte, at sim.Time) (sim.Time, erro
 			return done, nil
 		}
 		// Wedged or faulted planes fall through to the next candidate;
-		// anything else (a programming bug, a bad LPN) surfaces at once.
+		// anything else (a programming bug, a bad LPN) surfaces at once. A
+		// power cut is device-wide, not per-plane: trying siblings would
+		// only burn injection counters on a dead device.
+		if flash.IsPowerCut(err) {
+			return 0, err
+		}
 		if !errors.Is(err, ErrDeviceFull) && flash.AsFaultError(err) == nil {
 			return 0, err
 		}

@@ -1,0 +1,101 @@
+// Package persist is the crash-consistent on-disk store for the
+// simulated SSD: a CRC-framed write-ahead journal plus periodic full
+// snapshots, with a mount-time recovery path that replays the journal
+// tail on top of the last snapshot.
+//
+// # Durability contract
+//
+// Every host write appends an intent record (the operation and its
+// payload) before the device executes it and a commit record after the
+// device reports success; only then is the write acknowledged. Recovery
+// applies exactly the committed intents, in order, so an acknowledged
+// write is always recovered byte-for-byte and an unacknowledged one is
+// never silently resurrected — a remounted read of it fails explicitly.
+// A torn final record (the append a crash interrupted) is truncated,
+// not fatal: by construction it can only belong to an unacknowledged
+// operation.
+//
+// # On-disk layout
+//
+// A store directory holds one current epoch: CURRENT (the epoch
+// number), snap-<epoch>.bin (a checksummed snapshot of the full device
+// state) and journal-<epoch>.log (records since that snapshot). When
+// the journal grows past the configured length the store writes the
+// next epoch's snapshot to a temporary file, atomically renames it and
+// CURRENT into place, and retires the old epoch — a crash at any point
+// leaves one complete, consistent epoch on disk.
+//
+// # Power-cut injection
+//
+// The store consults an optional CutInjector at the journal-record and
+// snapshot-swap boundaries, so a fault plan can kill the device
+// deterministically between any two persistence steps; mid-program cuts
+// ride the flash layer's ordinary fault injection. Once power is cut
+// the store goes dead: every subsequent append fails with ErrPowerCut
+// and nothing more reaches disk until the device is reopened.
+//
+// All timestamps are simulated (internal/sim); nothing here reads the
+// wall clock.
+package persist
+
+import (
+	"errors"
+
+	"parabit/internal/sim"
+)
+
+// Power-cut boundary points a CutInjector is consulted at. PointMidProgram
+// is listed for plan vocabulary completeness: it is injected by the flash
+// array's fault hook (the program dies on the NAND side), not by the
+// store.
+const (
+	// PointPreJournal cuts before a journal append: the operation leaves
+	// no trace and recovery never sees it.
+	PointPreJournal = "pre-journal"
+	// PointPostJournal cuts after the intent append, before the program:
+	// the intent is durable but uncommitted, so recovery skips it.
+	PointPostJournal = "post-journal"
+	// PointMidProgram cuts during the NAND program itself.
+	PointMidProgram = "mid-program"
+	// PointPreSnapshot cuts after the next epoch's snapshot is staged but
+	// before the atomic swap: the old epoch must remain authoritative.
+	PointPreSnapshot = "pre-snapshot"
+)
+
+// Points lists the valid cut-point names for plan validation.
+var Points = []string{PointPreJournal, PointPostJournal, PointMidProgram, PointPreSnapshot}
+
+// Store errors.
+var (
+	// ErrPowerCut reports that injected power loss stopped the operation;
+	// the device is down until remounted.
+	ErrPowerCut = errors.New("persist: power cut")
+	// ErrCorrupt reports a journal or snapshot that fails validation
+	// beyond an ordinary torn tail.
+	ErrCorrupt = errors.New("persist: corrupt state")
+)
+
+// CutInjector decides, per persistence boundary, whether power dies
+// there. internal/faults implements it next to flash.FaultInjector; the
+// two share one dead-device state so a cut anywhere fails everything
+// after it.
+type CutInjector interface {
+	// CutAtBoundary is consulted once per boundary crossing with one of
+	// the Point constants; returning true kills the device at that
+	// instant.
+	CutAtBoundary(point string) bool
+	// PowerDead reports whether a cut (at any point, including
+	// mid-program on the flash side) has already happened.
+	PowerDead() bool
+}
+
+// Stats counts persistence activity since the store opened.
+type Stats struct {
+	JournalRecords  int64 // records appended (intents + commits)
+	JournalBytes    int64 // bytes appended to the journal
+	Snapshots       int64 // snapshot rotations completed
+	ReplayedRecords int64 // committed records replayed at mount
+	SkippedIntents  int64 // uncommitted intents skipped at mount
+	TornBytes       int64 // torn journal tail truncated at mount
+	RecoveryTime    sim.Duration
+}

@@ -1,0 +1,441 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"parabit/internal/sim"
+	"parabit/internal/telemetry"
+)
+
+// frames builds a raw journal from alternating intent/commit payloads.
+func frames(payloads ...[]byte) []byte {
+	var out []byte
+	for _, p := range payloads {
+		out = appendFrame(out, p)
+	}
+	return out
+}
+
+func intentRec(seq uint64, lpn uint64, page []byte) Record {
+	return Record{Op: OpWrite, Seq: seq, LPNs: []uint64{lpn}, Pages: [][]byte{page}}
+}
+
+// TestScanJournalRoundTrip pins the framing: intents and commits come
+// back in order with the right commit status, and an uncommitted final
+// intent is reported but not committed.
+func TestScanJournalRoundTrip(t *testing.T) {
+	raw := frames(
+		encodeIntent(intentRec(1, 7, []byte("aaaa"))),
+		encodeCommit(1),
+		encodeIntent(intentRec(2, 9, []byte("bbbb"))),
+	)
+	entries, used, err := ScanJournal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != int64(len(raw)) {
+		t.Fatalf("used %d of %d bytes", used, len(raw))
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if !entries[0].Committed || entries[0].Record.Seq != 1 || entries[0].Record.LPNs[0] != 7 {
+		t.Fatalf("entry 0 wrong: %+v", entries[0])
+	}
+	if entries[1].Committed {
+		t.Fatal("uncommitted intent scanned as committed")
+	}
+	if !bytes.Equal(entries[1].Record.Pages[0], []byte("bbbb")) {
+		t.Fatalf("payload mangled: %q", entries[1].Record.Pages[0])
+	}
+}
+
+// TestScanJournalTornTail pins the crash contract: an incomplete or
+// checksum-failing final frame ends the scan without error, and the
+// offset reports exactly where the valid prefix ends.
+func TestScanJournalTornTail(t *testing.T) {
+	valid := frames(encodeIntent(intentRec(1, 3, []byte("page"))), encodeCommit(1))
+	for name, tail := range map[string][]byte{
+		"truncated-header":  {0x01, 0x02},
+		"truncated-payload": append([]byte{0xff, 0x00, 0x00, 0x00}, 0, 0, 0, 0),
+		"bad-crc": func() []byte {
+			f := appendFrame(nil, encodeCommit(9))
+			f[len(f)-1] ^= 0x40
+			return f
+		}(),
+		"oversized-length": {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3},
+	} {
+		raw := append(append([]byte(nil), valid...), tail...)
+		entries, used, err := ScanJournal(raw)
+		if err != nil {
+			t.Fatalf("%s: torn tail reported as error: %v", name, err)
+		}
+		if used != int64(len(valid)) {
+			t.Errorf("%s: used %d, want %d", name, used, len(valid))
+		}
+		if len(entries) != 1 || !entries[0].Committed {
+			t.Errorf("%s: valid prefix not recovered: %+v", name, entries)
+		}
+	}
+}
+
+// TestScanJournalRejectsNonsense pins the corruption contract: frames
+// that pass their checksum but decode to nonsense are ErrCorrupt, never
+// silently truncated.
+func TestScanJournalRejectsNonsense(t *testing.T) {
+	cases := map[string][]byte{
+		"commit-without-intent": frames(encodeCommit(5)),
+		"non-monotonic-seq": frames(
+			encodeIntent(intentRec(2, 1, []byte("x"))), encodeCommit(2),
+			encodeIntent(intentRec(2, 1, []byte("y"))),
+		),
+		"unknown-type": frames([]byte{0x7f, 0, 0}),
+		"bad-shape": frames(encodeIntent(Record{
+			Op: OpWritePair, Seq: 1, LPNs: []uint64{1}, Pages: [][]byte{[]byte("z")},
+		})),
+		"trailing-bytes": frames(append(encodeCommit(1), 0xee)),
+	}
+	for name, raw := range cases {
+		if _, _, err := ScanJournal(raw); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// staticSnap returns a SnapshotWriter that always writes body.
+func staticSnap(body []byte) SnapshotWriter {
+	return func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	}
+}
+
+// TestStoreLifecycle drives a store through create, journal appends,
+// rotation and close, checking the on-disk layout at each step.
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(Config{Dir: dir, SnapshotEvery: 2}, staticSnap([]byte("state-0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(Config{Dir: dir}, staticSnap(nil)); err == nil {
+		t.Fatal("Create accepted a directory that already holds a store")
+	}
+
+	for i := 0; i < 3; i++ {
+		seq, err := s.AppendIntent(intentRec(0, uint64(i), []byte{byte(i)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendCommit(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.ShouldSnapshot() {
+		t.Fatal("3 commits past SnapshotEvery=2 and ShouldSnapshot is false")
+	}
+	if err := s.Snapshot(staticSnap([]byte("state-1"))); err != nil {
+		t.Fatal(err)
+	}
+	if s.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot true right after a rotation")
+	}
+	st := s.Stats()
+	if st.JournalRecords != 6 || st.Snapshots != 1 {
+		t.Fatalf("stats %+v, want 6 journal records and 1 snapshot", st)
+	}
+	if err := s.Close(staticSnap([]byte("state-2"))); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close rotated: epoch 3 snapshot holds state-2, journal is empty.
+	if rec.Epoch() != 3 {
+		t.Fatalf("epoch %d, want 3", rec.Epoch())
+	}
+	if !bytes.Equal(rec.Snapshot(), []byte("state-2")) {
+		t.Fatalf("snapshot %q, want state-2", rec.Snapshot())
+	}
+	if len(rec.Entries()) != 0 || rec.TornBytes() != 0 {
+		t.Fatalf("clean close left %d entries, %d torn bytes", len(rec.Entries()), rec.TornBytes())
+	}
+	// Old epoch files are retired.
+	for _, stale := range []string{snapPath(dir, 1), journalPath(dir, 1), snapPath(dir, 2)} {
+		if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stale file %s survived rotation", stale)
+		}
+	}
+}
+
+// TestResumeReplaysAndCompacts pins the mount path: an abandoned store
+// (crash) reopens with its committed entries visible, uncommitted ones
+// skipped, and Resume rotates to a fresh epoch and sweeps strays.
+func TestResumeReplaysAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(Config{Dir: dir}, staticSnap([]byte("base")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.AppendIntent(intentRec(0, 1, []byte("done")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCommit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendIntent(intentRec(0, 2, []byte("lost"))); err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon() // crash: no final snapshot, journal as-is
+	if _, err := s.AppendIntent(intentRec(0, 3, nil)); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("append on abandoned store: %v, want ErrPowerCut", err)
+	}
+	// A stray .tmp from a hypothetical interrupted rotation.
+	stray := filepath.Join(dir, "snap-9.bin.tmp")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Entries()); got != 2 {
+		t.Fatalf("%d entries, want 2", got)
+	}
+	if !rec.Entries()[0].Committed || rec.Entries()[1].Committed {
+		t.Fatalf("commit status wrong: %+v", rec.Entries())
+	}
+	s2, err := rec.Resume(Config{}, staticSnap([]byte("replayed")), 42*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.ReplayedRecords != 1 || st.SkippedIntents != 1 {
+		t.Fatalf("recovery stats %+v, want 1 replayed / 1 skipped", st)
+	}
+	if st.RecoveryTime != 42*sim.Microsecond {
+		t.Fatalf("recovery time %v", st.RecoveryTime)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stray .tmp survived Resume")
+	}
+	// Telemetry attached after the fact still shows the recovery.
+	sink := telemetry.New()
+	s2.SetTelemetry(sink)
+	var buf bytes.Buffer
+	sink.WriteMetrics(&buf)
+	for _, want := range []string{`persist\.replay\.records\s+1\b`, `persist\.recovery_us\s+42\b`} {
+		if !regexp.MustCompile(want).Match(buf.Bytes()) {
+			t.Errorf("metrics lack %q:\n%s", want, buf.String())
+		}
+	}
+	if err := s2.Close(staticSnap([]byte("end"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scriptedCut fires a power cut on the n'th crossing of one boundary.
+type scriptedCut struct {
+	point string
+	n     int
+	seen  int
+	dead  bool
+}
+
+func (c *scriptedCut) CutAtBoundary(point string) bool {
+	if c.dead {
+		return true
+	}
+	if point == c.point {
+		c.seen++
+		if c.seen == c.n {
+			c.dead = true
+		}
+	}
+	return c.dead
+}
+
+func (c *scriptedCut) PowerDead() bool { return c.dead }
+
+// TestCutBoundaries pins the durability point against each injectable
+// boundary: pre-journal leaves no bytes, post-journal leaves an
+// uncommitted intent, pre-snapshot keeps the old epoch authoritative.
+func TestCutBoundaries(t *testing.T) {
+	t.Run(PointPreJournal, func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Create(Config{Dir: dir}, staticSnap([]byte("s")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCutInjector(&scriptedCut{point: PointPreJournal, n: 1})
+		if _, err := s.AppendIntent(intentRec(0, 1, []byte("x"))); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("got %v, want ErrPowerCut", err)
+		}
+		if err := s.Close(nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Entries()) != 0 {
+			t.Fatalf("pre-journal cut left %d journal entries", len(rec.Entries()))
+		}
+	})
+	t.Run(PointPostJournal, func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Create(Config{Dir: dir}, staticSnap([]byte("s")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCutInjector(&scriptedCut{point: PointPostJournal, n: 1})
+		if _, err := s.AppendIntent(intentRec(0, 1, []byte("x"))); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("got %v, want ErrPowerCut", err)
+		}
+		// The device is dead: the commit must be refused too.
+		if err := s.AppendCommit(1); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("commit on dead store: %v, want ErrPowerCut", err)
+		}
+		if err := s.Close(nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Entries()) != 1 || rec.Entries()[0].Committed {
+			t.Fatalf("post-journal cut: %+v, want one uncommitted intent", rec.Entries())
+		}
+	})
+	t.Run(PointPreSnapshot, func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Create(Config{Dir: dir, SnapshotEvery: 1}, staticSnap([]byte("old")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := s.AppendIntent(intentRec(0, 1, []byte("x")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendCommit(seq); err != nil {
+			t.Fatal(err)
+		}
+		s.SetCutInjector(&scriptedCut{point: PointPreSnapshot, n: 1})
+		if err := s.Snapshot(staticSnap([]byte("new"))); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("got %v, want ErrPowerCut", err)
+		}
+		if err := s.Close(nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Snapshot(), []byte("old")) {
+			t.Fatalf("snapshot %q: the unswapped epoch must stay authoritative", rec.Snapshot())
+		}
+		if len(rec.Entries()) != 1 || !rec.Entries()[0].Committed {
+			t.Fatalf("journal lost across aborted rotation: %+v", rec.Entries())
+		}
+	})
+}
+
+// TestSnapshotFileChecksum pins the container verification: flipping
+// any body byte must fail the mount with ErrCorrupt.
+func TestSnapshotFileChecksum(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(Config{Dir: dir}, staticSnap([]byte("payload-bytes")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon()
+	path := snapPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(snapMagic)+3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted snapshot mounted: %v", err)
+	}
+}
+
+// TestOpenDirRejectsBadCurrent covers the CURRENT pointer edge cases.
+func TestOpenDirRejectsBadCurrent(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("empty directory mounted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, currentFile), []byte("zero\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage CURRENT mounted: %v", err)
+	}
+}
+
+// TestRecordShapes sweeps every op's operand-count contract through the
+// store, so a new op cannot land without a journal shape.
+func TestRecordShapes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(Config{Dir: dir}, staticSnap([]byte("s")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := []byte{1}
+	good := []Record{
+		{Op: OpWrite, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: OpWriteOperand, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: OpWritePair, LPNs: []uint64{0, 1}, Pages: [][]byte{page, page}},
+		{Op: OpWriteLSBPair, LPNs: []uint64{0, 1}, Pages: [][]byte{page, page}},
+		{Op: OpWriteLSBGroup, LPNs: []uint64{0, 1, 2}, Pages: [][]byte{page, page, page}},
+		{Op: OpWriteMWSGroup, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: OpWriteOnPlane, Plane: 3, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: OpWriteTriple, LPNs: []uint64{0, 1, 2}, Pages: [][]byte{page, page, page}},
+		{Op: OpReclaimInternal},
+	}
+	for _, rec := range good {
+		seq, err := s.AppendIntent(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Op, err)
+		}
+		if err := s.AppendCommit(seq); err != nil {
+			t.Fatalf("%s commit: %v", rec.Op, err)
+		}
+	}
+	bad := []Record{
+		{Op: OpWrite},
+		{Op: OpWritePair, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: OpWriteLSBGroup, LPNs: []uint64{0, 1}, Pages: [][]byte{page}},
+		{Op: OpReclaimInternal, LPNs: []uint64{0}, Pages: [][]byte{page}},
+		{Op: numOps, LPNs: []uint64{0}, Pages: [][]byte{page}},
+	}
+	for _, rec := range bad {
+		if _, err := s.AppendIntent(rec); err == nil {
+			t.Errorf("malformed %s record accepted (lpns=%d pages=%d)", rec.Op, len(rec.LPNs), len(rec.Pages))
+		}
+	}
+	if err := s.Close(staticSnap([]byte("end"))); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries()) != 0 {
+		t.Fatalf("clean close should compact to empty journal, got %d entries", len(rec.Entries()))
+	}
+}

@@ -1,0 +1,241 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"parabit/internal/binio"
+)
+
+// Op identifies which device write path a journaled record replays
+// through. The device owns the mapping from Op to its write methods;
+// the journal only guarantees the shape (operand count) per Op.
+type Op uint8
+
+// Journaled operations.
+const (
+	// OpWrite is the scrambled host data path. The journal stores the
+	// pre-scramble bytes; replay re-scrambles them.
+	OpWrite Op = iota
+	// OpWriteOperand is a plain striped operand write.
+	OpWriteOperand
+	// OpWritePair co-locates two operands in one wordline.
+	OpWritePair
+	// OpWriteLSBPair aligns two operands on LSB pages of one plane.
+	OpWriteLSBPair
+	// OpWriteLSBGroup aligns k operands on LSB pages of one plane.
+	OpWriteLSBGroup
+	// OpWriteMWSGroup colocates k ESP operands in one block.
+	OpWriteMWSGroup
+	// OpWriteOnPlane pins one operand to the plane index in Plane.
+	OpWriteOnPlane
+	// OpWriteTriple co-locates three operands in one TLC wordline.
+	OpWriteTriple
+	// OpReclaimInternal trims the controller's internal page pool.
+	OpReclaimInternal
+	numOps
+)
+
+var opNames = [...]string{
+	"write", "operand", "pair", "lsb-pair", "lsb-group", "mws-group",
+	"on-plane", "triple", "reclaim",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Record is one journaled operation: the write kind, its sequence
+// number, and the host-provided addresses and payloads needed to
+// re-execute it during replay.
+type Record struct {
+	Op  Op
+	Seq uint64
+	// Plane is the target plane index for OpWriteOnPlane, 0 otherwise.
+	Plane int64
+	LPNs  []uint64
+	Pages [][]byte
+}
+
+// Entry is one scanned journal record with its commit status. Only
+// committed entries are replayed.
+type Entry struct {
+	Record    Record
+	Committed bool
+}
+
+// Framing and decode limits. A frame is u32 payload length, u32 IEEE
+// CRC32 of the payload, then the payload.
+const (
+	frameHeader = 8
+	// MaxRecord caps one frame's payload; larger length prefixes are
+	// treated as garbage (end of valid journal).
+	MaxRecord = 1 << 24
+	// MaxGroupLPNs caps the operand count of one journaled group write.
+	MaxGroupLPNs = 4096
+	// maxPage caps one journaled page payload.
+	maxPage = 1 << 20
+)
+
+// Payload type tags.
+const (
+	payloadIntent uint8 = 1
+	payloadCommit uint8 = 2
+)
+
+// shapeOK reports whether the record's operand count is legal for its
+// op. Deeper validation (page size, LPN range, geometry) is the
+// device's job during replay.
+func (r Record) shapeOK() bool {
+	switch r.Op {
+	case OpWrite, OpWriteOperand, OpWriteOnPlane:
+		return len(r.LPNs) == 1 && len(r.Pages) == 1
+	case OpWritePair, OpWriteLSBPair:
+		return len(r.LPNs) == 2 && len(r.Pages) == 2
+	case OpWriteTriple:
+		return len(r.LPNs) == 3 && len(r.Pages) == 3
+	case OpWriteLSBGroup, OpWriteMWSGroup:
+		return len(r.LPNs) >= 1 && len(r.LPNs) <= MaxGroupLPNs && len(r.LPNs) == len(r.Pages)
+	case OpReclaimInternal:
+		return len(r.LPNs) == 0 && len(r.Pages) == 0
+	}
+	return false
+}
+
+// encodeIntent serializes an intent payload.
+func encodeIntent(r Record) []byte {
+	var buf bytes.Buffer
+	b := binio.NewWriter(&buf)
+	b.U8(payloadIntent)
+	b.U8(uint8(r.Op))
+	b.U64(r.Seq)
+	b.I64(r.Plane)
+	b.U32(uint32(len(r.LPNs)))
+	for _, lpn := range r.LPNs {
+		b.U64(lpn)
+	}
+	b.U32(uint32(len(r.Pages)))
+	for _, p := range r.Pages {
+		b.Bytes(p)
+	}
+	return buf.Bytes()
+}
+
+// encodeCommit serializes a commit payload for seq.
+func encodeCommit(seq uint64) []byte {
+	var buf bytes.Buffer
+	b := binio.NewWriter(&buf)
+	b.U8(payloadCommit)
+	b.U64(seq)
+	return buf.Bytes()
+}
+
+// appendFrame appends the CRC frame for payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodePayload parses one CRC-verified payload into its type tag and,
+// for intents, the record. Every length is bounds-checked and trailing
+// garbage is rejected, so hostile bytes fail cleanly instead of
+// panicking or over-allocating.
+func decodePayload(payload []byte) (uint8, Record, error) {
+	r := bytes.NewReader(payload)
+	b := binio.NewReader(r, maxPage)
+	typ := b.U8()
+	var rec Record
+	switch typ {
+	case payloadCommit:
+		rec.Seq = b.U64()
+	case payloadIntent:
+		rec.Op = Op(b.U8())
+		rec.Seq = b.U64()
+		rec.Plane = b.I64()
+		nLPN := b.U32()
+		if b.Err() == nil && nLPN > MaxGroupLPNs {
+			return 0, Record{}, fmt.Errorf("%w: %d lpns in one record", ErrCorrupt, nLPN)
+		}
+		for i := uint32(0); i < nLPN && b.Err() == nil; i++ {
+			rec.LPNs = append(rec.LPNs, b.U64())
+		}
+		nPages := b.U32()
+		if b.Err() == nil && nPages > MaxGroupLPNs {
+			return 0, Record{}, fmt.Errorf("%w: %d pages in one record", ErrCorrupt, nPages)
+		}
+		for i := uint32(0); i < nPages && b.Err() == nil; i++ {
+			rec.Pages = append(rec.Pages, b.Bytes())
+		}
+	default:
+		return 0, Record{}, fmt.Errorf("%w: payload type %d", ErrCorrupt, typ)
+	}
+	if err := b.Err(); err != nil {
+		return 0, Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return 0, Record{}, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupt, r.Len())
+	}
+	if typ == payloadIntent && !rec.shapeOK() {
+		return 0, Record{}, fmt.Errorf("%w: %s record with %d lpns / %d pages",
+			ErrCorrupt, rec.Op, len(rec.LPNs), len(rec.Pages))
+	}
+	return typ, rec, nil
+}
+
+// ScanJournal walks raw journal bytes frame by frame and returns the
+// scanned entries in order plus the byte offset where valid frames end.
+// An incomplete, over-long or checksum-failing frame ends the scan — the
+// torn tail a crash mid-append leaves — and is reported through the
+// offset, not as an error. A frame that passes its checksum but decodes
+// to nonsense (unknown type, shape violation, commit without its
+// intent, non-monotonic sequence) is ErrCorrupt: that journal was never
+// written by this store and must be rejected, not silently truncated.
+func ScanJournal(b []byte) ([]Entry, int64, error) {
+	var entries []Entry
+	off := 0
+	lastSeq := uint64(0)
+	pending := -1
+	for {
+		rest := b[off:]
+		if len(rest) < frameHeader {
+			break
+		}
+		ln := binary.LittleEndian.Uint32(rest[0:4])
+		if ln > MaxRecord || int(ln) > len(rest)-frameHeader {
+			break
+		}
+		payload := rest[frameHeader : frameHeader+int(ln)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break
+		}
+		typ, rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, int64(off), err
+		}
+		switch typ {
+		case payloadIntent:
+			if rec.Seq <= lastSeq {
+				return nil, int64(off), fmt.Errorf("%w: sequence %d after %d", ErrCorrupt, rec.Seq, lastSeq)
+			}
+			lastSeq = rec.Seq
+			entries = append(entries, Entry{Record: rec})
+			pending = len(entries) - 1
+		case payloadCommit:
+			if pending < 0 || entries[pending].Record.Seq != rec.Seq {
+				return nil, int64(off), fmt.Errorf("%w: commit %d without matching intent", ErrCorrupt, rec.Seq)
+			}
+			entries[pending].Committed = true
+			pending = -1
+		}
+		off += frameHeader + int(ln)
+	}
+	return entries, int64(off), nil
+}

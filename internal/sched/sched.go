@@ -542,6 +542,16 @@ func (s *Scheduler) Stats() Stats {
 	return s.stats
 }
 
+// Close drains every pending command and then closes the underlying
+// device, flushing its persistence journal (a no-op for in-memory
+// devices). The scheduler must not be used after Close.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatchLocked()
+	return s.dev.Close()
+}
+
 // Exclusive drains the queue and then runs fn with the mutex held,
 // handing it the raw device. Use it for snapshots and maintenance
 // (statistics, trims, pool reclaim) that must not interleave with

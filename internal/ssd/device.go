@@ -9,6 +9,7 @@ import (
 	"parabit/internal/ftl"
 	"parabit/internal/interconnect"
 	"parabit/internal/latch"
+	"parabit/internal/persist"
 	"parabit/internal/pim"
 	"parabit/internal/plan"
 	"parabit/internal/sim"
@@ -48,6 +49,10 @@ type Device struct {
 	// when disabled); qstats counts planner activity.
 	qcache *plan.Cache
 	qstats QueryStats
+	// store is the crash-consistent on-disk backend (nil on a volatile
+	// device): host writes are journaled before they are acknowledged and
+	// the journal compacts into snapshots. See Create/Open/Close.
+	store *persist.Store
 }
 
 // OpStats counts controller-level ParaBit activity.
@@ -137,10 +142,31 @@ func (d *Device) allocInternal() (uint64, error) {
 	return lpn, nil
 }
 
-// releaseInternalBelow trims stale internal pages. Reallocated operand
+// ReclaimInternal trims stale internal pages. Reallocated operand
 // pages become garbage as soon as their operation completes; experiments
-// running many operations call this between phases.
+// running many operations call this between phases. On a persistent
+// device the trim is journaled (self-contained: intent plus commit with
+// no payload) so replay reproduces the allocator state; if power is
+// already gone the trim is skipped — a dead device mutates nothing.
 func (d *Device) ReclaimInternal() {
+	if d.store == nil {
+		d.reclaimInternalCore()
+		return
+	}
+	seq, err := d.store.AppendIntent(persist.Record{Op: persist.OpReclaimInternal})
+	if err != nil {
+		return
+	}
+	d.reclaimInternalCore()
+	if err := d.store.AppendCommit(seq); err != nil {
+		return
+	}
+	// Compaction errors are not the trim's problem; death is observed by
+	// whatever runs next.
+	_ = d.maybeSnapshot()
+}
+
+func (d *Device) reclaimInternalCore() {
 	for lpn := d.nextInternal + 1; lpn < uint64(d.ftl.LogicalPages()); lpn++ {
 		d.ftl.Trim(lpn)
 		delete(d.plain, lpn)
@@ -157,8 +183,14 @@ func (d *Device) checkUserLPN(lpn uint64) error {
 }
 
 // Write stores host data at a logical page, scrambling it if the device
-// is configured to (normal data path).
+// is configured to (normal data path). The journal records the
+// pre-scramble bytes; replay re-derives the keystream from the LPN.
 func (d *Device) Write(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWrite, 0, []uint64{lpn}, [][]byte{data},
+		func() (sim.Time, error) { return d.writeCore(lpn, data, at) })
+}
+
+func (d *Device) writeCore(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
 	if err := d.checkUserLPN(lpn); err != nil {
 		return 0, err
 	}
@@ -175,6 +207,11 @@ func (d *Device) Write(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
 // WriteOperand stores a bitwise operand page: never scrambled (§4.3.2),
 // normal striped placement.
 func (d *Device) WriteOperand(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteOperand, 0, []uint64{lpn}, [][]byte{data},
+		func() (sim.Time, error) { return d.writeOperandCore(lpn, data, at) })
+}
+
+func (d *Device) writeOperandCore(lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
 	if err := d.checkUserLPN(lpn); err != nil {
 		return 0, err
 	}
@@ -186,6 +223,11 @@ func (d *Device) WriteOperand(lpn uint64, data []byte, at sim.Time) (sim.Time, e
 // (LSB page first operand, MSB page second), the pre-allocation layout
 // basic ParaBit computes on. Unscrambled.
 func (d *Device) WriteOperandPair(lpnL, lpnM uint64, dataL, dataM []byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWritePair, 0, []uint64{lpnL, lpnM}, [][]byte{dataL, dataM},
+		func() (sim.Time, error) { return d.writeOperandPairCore(lpnL, lpnM, dataL, dataM, at) })
+}
+
+func (d *Device) writeOperandPairCore(lpnL, lpnM uint64, dataL, dataM []byte, at sim.Time) (sim.Time, error) {
 	if err := d.checkUserLPN(lpnL); err != nil {
 		return 0, err
 	}
@@ -204,6 +246,11 @@ func (d *Device) WriteOperandPair(lpnL, lpnM uint64, dataL, dataM []byte, at sim
 // WriteOperandLSBAligned stores two operand pages in LSB pages of aligned
 // wordlines on one plane — the location-free layout (§5.5). Unscrambled.
 func (d *Device) WriteOperandLSBAligned(lpnM, lpnN uint64, dataM, dataN []byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteLSBPair, 0, []uint64{lpnM, lpnN}, [][]byte{dataM, dataN},
+		func() (sim.Time, error) { return d.writeOperandLSBAlignedCore(lpnM, lpnN, dataM, dataN, at) })
+}
+
+func (d *Device) writeOperandLSBAlignedCore(lpnM, lpnN uint64, dataM, dataN []byte, at sim.Time) (sim.Time, error) {
 	if err := d.checkUserLPN(lpnM); err != nil {
 		return 0, err
 	}
@@ -223,6 +270,11 @@ func (d *Device) WriteOperandLSBAligned(lpnM, lpnN uint64, dataM, dataN []byte, 
 // plane, the layout a chained location-free reduction consumes in one
 // operation. Unscrambled.
 func (d *Device) WriteOperandLSBGroup(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteLSBGroup, 0, lpns, data,
+		func() (sim.Time, error) { return d.writeOperandLSBGroupCore(lpns, data, at) })
+}
+
+func (d *Device) writeOperandLSBGroupCore(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
 	for _, lpn := range lpns {
 		if err := d.checkUserLPN(lpn); err != nil {
 			return 0, err
@@ -244,6 +296,11 @@ func (d *Device) WriteOperandLSBGroup(lpns []uint64, data [][]byte, at sim.Time)
 // (k <= WordlinesPerBlock; the per-sense cap latch.MaxMWSOperands is the
 // executor's concern, which chunks larger groups).
 func (d *Device) WriteOperandMWSGroup(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteMWSGroup, 0, lpns, data,
+		func() (sim.Time, error) { return d.writeOperandMWSGroupCore(lpns, data, at) })
+}
+
+func (d *Device) writeOperandMWSGroupCore(lpns []uint64, data [][]byte, at sim.Time) (sim.Time, error) {
 	for _, lpn := range lpns {
 		if err := d.checkUserLPN(lpn); err != nil {
 			return 0, err
@@ -264,6 +321,11 @@ func (d *Device) WriteOperandMWSGroup(lpns []uint64, data [][]byte, at sim.Time)
 // clients use it to keep the i'th page of every column on one plane, so
 // cross-column reductions run location-free.
 func (d *Device) WriteOperandOnPlane(planeIdx int, lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteOnPlane, int64(planeIdx), []uint64{lpn}, [][]byte{data},
+		func() (sim.Time, error) { return d.writeOperandOnPlaneCore(planeIdx, lpn, data, at) })
+}
+
+func (d *Device) writeOperandOnPlaneCore(planeIdx int, lpn uint64, data []byte, at sim.Time) (sim.Time, error) {
 	if err := d.checkUserLPN(lpn); err != nil {
 		return 0, err
 	}
@@ -281,6 +343,11 @@ func (d *Device) WriteOperandOnPlane(planeIdx int, lpn uint64, data []byte, at s
 // wordline (LSB, CSB, TOP) — the §4.4.1 layout whose three-operand
 // operations are a single short sense. Unscrambled. TLC devices only.
 func (d *Device) WriteOperandTriple(lpns [3]uint64, data [3][]byte, at sim.Time) (sim.Time, error) {
+	return d.journaled(persist.OpWriteTriple, 0, lpns[:], data[:],
+		func() (sim.Time, error) { return d.writeOperandTripleCore(lpns, data, at) })
+}
+
+func (d *Device) writeOperandTripleCore(lpns [3]uint64, data [3][]byte, at sim.Time) (sim.Time, error) {
 	for _, lpn := range lpns {
 		if err := d.checkUserLPN(lpn); err != nil {
 			return 0, err

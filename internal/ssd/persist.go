@@ -1,0 +1,333 @@
+package ssd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"parabit/internal/binio"
+	"parabit/internal/flash"
+	"parabit/internal/persist"
+	"parabit/internal/sim"
+)
+
+// deviceSection tags the device-level part of a snapshot body.
+const deviceSectionMagic = 0x31564453 // "SDV1"
+
+// RecoveryInfo summarizes what Open did to bring a device back.
+type RecoveryInfo struct {
+	// Epoch is the snapshot epoch the mount started from.
+	Epoch uint64
+	// ReplayedRecords counts committed journal records re-executed on top
+	// of the snapshot.
+	ReplayedRecords int64
+	// SkippedIntents counts journaled intents with no commit — operations
+	// in flight at the crash that were never acknowledged.
+	SkippedIntents int64
+	// TornBytes is the length of the truncated torn journal tail.
+	TornBytes int64
+	// RecoveryTime is the simulated time the replayed operations took.
+	RecoveryTime sim.Duration
+}
+
+// Create builds a fresh device (like New) backed by a new persistent
+// store in dir: every acknowledged host write is journaled before it is
+// acknowledged and the journal compacts into snapshots as it grows.
+// dir must not already hold a store.
+func Create(dir string, cfg Config, snapshotEvery int) (*Device, error) {
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := persist.Create(persist.Config{Dir: dir, SnapshotEvery: snapshotEvery}, d.writeSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	d.store = st
+	return d, nil
+}
+
+// Open remounts a persisted device from dir: it rebuilds the device
+// from the current snapshot, replays the committed journal tail
+// (re-executing each journaled write at simulated time zero, faults
+// detached), audits the FTL's invariants, and rotates to a fresh epoch.
+// A torn final journal record — the append a crash interrupted — is
+// truncated, never fatal. Acknowledged writes come back byte-identical;
+// unacknowledged ones stay unmapped and read back as explicit errors.
+func Open(dir string, snapshotEvery int) (*Device, RecoveryInfo, error) {
+	rec, err := persist.OpenDir(dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	d, err := deviceFromSnapshot(rec.Snapshot())
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{Epoch: rec.Epoch(), TornBytes: rec.TornBytes()}
+	now := sim.Time(0)
+	for _, e := range rec.Entries() {
+		if !e.Committed {
+			info.SkippedIntents++
+			continue
+		}
+		done, aerr := d.applyRecord(e.Record, now)
+		if aerr != nil {
+			return nil, info, fmt.Errorf("%w: replay record %d (%s): %v",
+				persist.ErrCorrupt, e.Record.Seq, e.Record.Op, aerr)
+		}
+		if done > now {
+			now = done
+		}
+		info.ReplayedRecords++
+	}
+	if now < d.array.DrainTime() {
+		now = d.array.DrainTime()
+	}
+	if err := d.ftl.CheckInvariants(); err != nil {
+		return nil, info, fmt.Errorf("%w: post-replay audit: %v", persist.ErrCorrupt, err)
+	}
+	info.RecoveryTime = sim.Duration(now)
+	// Recovery replay consumed simulated time on the array's resources;
+	// a remounted device starts its service life idle at t=0.
+	d.ResetTiming()
+	st, err := rec.Resume(persist.Config{Dir: dir, SnapshotEvery: snapshotEvery},
+		d.writeSnapshot, info.RecoveryTime)
+	if err != nil {
+		return nil, info, err
+	}
+	d.store = st
+	return d, info, nil
+}
+
+// Close shuts a persistent device down cleanly: a final compaction
+// snapshot (so the next Open replays nothing) and the journal handle
+// released. After a power cut it releases the handle without writing —
+// the on-disk state stays exactly as the crash left it. On a
+// non-persistent device Close is a no-op. The caller must have drained
+// in-flight commands (sched.Close does both).
+func (d *Device) Close() error {
+	if d.store == nil {
+		return nil
+	}
+	return d.store.Close(d.writeSnapshot)
+}
+
+// Crash abandons the persistence store without a final snapshot: the
+// on-disk journal stays exactly as the last acknowledged append left
+// it, as if the process died. A later Open recovers from that state.
+// No-op for in-memory devices.
+func (d *Device) Crash() {
+	if d.store != nil {
+		d.store.Abandon()
+	}
+}
+
+// Persistent reports whether the device is backed by an on-disk store.
+func (d *Device) Persistent() bool { return d.store != nil }
+
+// PersistStats returns the persistence counters and whether the device
+// is persistent at all.
+func (d *Device) PersistStats() (persist.Stats, bool) {
+	if d.store == nil {
+		return persist.Stats{}, false
+	}
+	return d.store.Stats(), true
+}
+
+// SetFaultInjector installs a structural-fault injector on the flash
+// array and, when the device is persistent and the injector also
+// decides power cuts, wires it into the journal's boundary hooks so a
+// single dead-device state governs both sides. nil detaches both.
+func (d *Device) SetFaultInjector(fi flash.FaultInjector) {
+	d.array.SetFaultInjector(fi)
+	if d.store == nil {
+		return
+	}
+	if ci, ok := fi.(persist.CutInjector); ok {
+		d.store.SetCutInjector(ci)
+	} else {
+		d.store.SetCutInjector(nil)
+	}
+}
+
+// journaled runs one host write under the write-ahead protocol: intent
+// append, execution, commit append, then (maybe) a compaction snapshot.
+// The operation is acknowledged — journaled returns nil — only after
+// the commit record is durable, which is exactly the set of operations
+// mount-time replay reapplies. A power cut during the compaction
+// snapshot does not fail the (already durable) write.
+func (d *Device) journaled(op persist.Op, plane int64, lpns []uint64, pages [][]byte,
+	fn func() (sim.Time, error)) (sim.Time, error) {
+	if d.store == nil {
+		return fn()
+	}
+	seq, err := d.store.AppendIntent(persist.Record{Op: op, Plane: plane, LPNs: lpns, Pages: pages})
+	if err != nil {
+		return 0, err
+	}
+	done, err := fn()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.store.AppendCommit(seq); err != nil {
+		return 0, err
+	}
+	if err := d.maybeSnapshot(); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+// maybeSnapshot compacts the journal once it crosses the configured
+// length. ErrPowerCut is swallowed: the triggering write is already
+// durable, and the death is observed by whatever runs next.
+func (d *Device) maybeSnapshot() error {
+	if !d.store.ShouldSnapshot() {
+		return nil
+	}
+	if err := d.store.Snapshot(d.writeSnapshot); err != nil && !errors.Is(err, persist.ErrPowerCut) {
+		return err
+	}
+	return nil
+}
+
+// applyRecord re-executes one committed journal record during replay.
+// Record shapes were validated at decode time; everything deeper (LPN
+// ranges, page sizes, geometry fits) re-runs the same checks the
+// original execution passed, so any failure here means the journal does
+// not describe this device.
+func (d *Device) applyRecord(rec persist.Record, at sim.Time) (sim.Time, error) {
+	switch rec.Op {
+	case persist.OpWrite:
+		return d.writeCore(rec.LPNs[0], rec.Pages[0], at)
+	case persist.OpWriteOperand:
+		return d.writeOperandCore(rec.LPNs[0], rec.Pages[0], at)
+	case persist.OpWritePair:
+		return d.writeOperandPairCore(rec.LPNs[0], rec.LPNs[1], rec.Pages[0], rec.Pages[1], at)
+	case persist.OpWriteLSBPair:
+		return d.writeOperandLSBAlignedCore(rec.LPNs[0], rec.LPNs[1], rec.Pages[0], rec.Pages[1], at)
+	case persist.OpWriteLSBGroup:
+		return d.writeOperandLSBGroupCore(rec.LPNs, rec.Pages, at)
+	case persist.OpWriteMWSGroup:
+		return d.writeOperandMWSGroupCore(rec.LPNs, rec.Pages, at)
+	case persist.OpWriteOnPlane:
+		return d.writeOperandOnPlaneCore(int(rec.Plane), rec.LPNs[0], rec.Pages[0], at)
+	case persist.OpWriteTriple:
+		return d.writeOperandTripleCore(
+			[3]uint64{rec.LPNs[0], rec.LPNs[1], rec.LPNs[2]},
+			[3][]byte{rec.Pages[0], rec.Pages[1], rec.Pages[2]}, at)
+	case persist.OpReclaimInternal:
+		d.reclaimInternalCore()
+		return at, nil
+	}
+	return 0, fmt.Errorf("ssd: unknown journal op %d", rec.Op)
+}
+
+// writeSnapshot serializes the complete device state: the configuration
+// (so Open needs no out-of-band config), the flash array contents, the
+// FTL translation state, and the controller's own bookkeeping.
+func (d *Device) writeSnapshot(w io.Writer) error {
+	cfgJSON, err := json.Marshal(d.cfg)
+	if err != nil {
+		return fmt.Errorf("ssd: marshal config: %w", err)
+	}
+	b := binio.NewWriter(w)
+	b.Bytes(cfgJSON)
+	if err := b.Err(); err != nil {
+		return err
+	}
+	if err := d.array.WriteState(w); err != nil {
+		return err
+	}
+	if err := d.ftl.WriteState(w); err != nil {
+		return err
+	}
+	b.U32(deviceSectionMagic)
+	b.U64(d.nextInternal)
+	plains := make([]uint64, 0, len(d.plain))
+	for lpn := range d.plain {
+		plains = append(plains, lpn)
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i] < plains[j] })
+	b.U64(uint64(len(plains)))
+	for _, lpn := range plains {
+		b.U64(lpn)
+	}
+	for _, v := range []int64{
+		d.stats.BitwiseOps, d.stats.Reallocations, d.stats.ReallocPages,
+		d.stats.Fallbacks, d.stats.ResultBytes, d.stats.DescrambledOps,
+	} {
+		b.I64(v)
+	}
+	return b.Err()
+}
+
+// deviceFromSnapshot rebuilds a device from a verified snapshot body.
+func deviceFromSnapshot(body []byte) (*Device, error) {
+	r := bytes.NewReader(body)
+	b := binio.NewReader(r, 1<<24)
+	cfgJSON := b.Bytes()
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("%w: config header: %v", persist.ErrCorrupt, err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", persist.ErrCorrupt, err)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: config: %v", persist.ErrCorrupt, err)
+	}
+	if err := d.array.ReadState(r); err != nil {
+		return nil, fmt.Errorf("%w: array: %v", persist.ErrCorrupt, err)
+	}
+	if err := d.ftl.ReadState(r); err != nil {
+		return nil, fmt.Errorf("%w: ftl: %v", persist.ErrCorrupt, err)
+	}
+	if m := b.U32(); b.Err() != nil || m != deviceSectionMagic {
+		return nil, fmt.Errorf("%w: device section magic", persist.ErrCorrupt)
+	}
+	logical := uint64(d.ftl.LogicalPages())
+	next := b.U64()
+	if b.Err() == nil && (next >= logical || next+1 < d.lowInternal) {
+		return nil, fmt.Errorf("%w: internal cursor %d", persist.ErrCorrupt, next)
+	}
+	n := b.U64()
+	if b.Err() != nil {
+		return nil, fmt.Errorf("%w: device section: %v", persist.ErrCorrupt, b.Err())
+	}
+	if n > logical {
+		return nil, fmt.Errorf("%w: %d plain entries", persist.ErrCorrupt, n)
+	}
+	plain := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		lpn := b.U64()
+		if b.Err() != nil {
+			return nil, fmt.Errorf("%w: device section: %v", persist.ErrCorrupt, b.Err())
+		}
+		if lpn >= logical {
+			return nil, fmt.Errorf("%w: plain lpn %d", persist.ErrCorrupt, lpn)
+		}
+		plain[lpn] = true
+	}
+	var st OpStats
+	for _, p := range []*int64{
+		&st.BitwiseOps, &st.Reallocations, &st.ReallocPages,
+		&st.Fallbacks, &st.ResultBytes, &st.DescrambledOps,
+	} {
+		*p = b.I64()
+	}
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("%w: device section: %v", persist.ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", persist.ErrCorrupt, r.Len())
+	}
+	d.nextInternal = next
+	d.plain = plain
+	d.stats = st
+	return d, nil
+}

@@ -1,0 +1,299 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parabit/internal/ftl"
+	"parabit/internal/latch"
+	"parabit/internal/persist"
+)
+
+// TestPersistRoundTrip writes through every journaled layout, closes
+// cleanly, remounts and requires byte-identical reads, identical
+// controller counters and a clean FTL audit. Clean close compacts, so
+// the mount replays zero records.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Persistent() {
+		t.Fatal("Create built a non-persistent device")
+	}
+
+	written := map[uint64][]byte{}
+	host := randPage(d, 1)
+	if _, err := d.Write(0, host, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[0] = host
+	op := randPage(d, 2)
+	if _, err := d.WriteOperand(1, op, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[1] = op
+	a, b := randPage(d, 3), randPage(d, 4)
+	if _, err := d.WriteOperandPair(2, 3, a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[2], written[3] = a, b
+	g0, g1, g2 := randPage(d, 5), randPage(d, 6), randPage(d, 7)
+	if _, err := d.WriteOperandLSBGroup([]uint64{4, 5, 6}, [][]byte{g0, g1, g2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[4], written[5], written[6] = g0, g1, g2
+	m0, m1 := randPage(d, 8), randPage(d, 9)
+	if _, err := d.WriteOperandMWSGroup([]uint64{7, 8}, [][]byte{m0, m1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[7], written[8] = m0, m1
+	pl := randPage(d, 10)
+	if _, err := d.WriteOperandOnPlane(1, 9, pl, 0); err != nil {
+		t.Fatal(err)
+	}
+	written[9] = pl
+	// A bitwise op (reallocation path) populates the controller stats and
+	// internal pool, then the reclaim gets journaled too.
+	if _, err := d.Bitwise(latch.OpAnd, 1, 4, SchemeReAlloc, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.ReclaimInternal()
+	preStats := d.Stats()
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedRecords != 0 || info.TornBytes != 0 {
+		t.Fatalf("clean close still replayed: %+v", info)
+	}
+	for lpn, want := range written {
+		got, _, err := re.Read(lpn, 0)
+		if err != nil {
+			t.Fatalf("read %d after remount: %v", lpn, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lpn %d differs after remount", lpn)
+		}
+	}
+	if re.Stats() != preStats {
+		t.Fatalf("controller stats drifted: %+v -> %+v", preStats, re.Stats())
+	}
+	if err := re.FTL().CheckInvariants(); err != nil {
+		t.Fatalf("post-remount audit: %v", err)
+	}
+	// The remounted device still computes: ParaBit results survive the
+	// reload of the pair layout.
+	res, err := re.Bitwise(latch.OpXor, 2, 3, SchemePreAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, golden(latch.OpXor, a, b)) {
+		t.Fatal("bitwise result wrong after remount")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistCrashReplaysJournal crashes without a final snapshot: the
+// mount must rebuild every acknowledged write from the journal alone.
+func TestPersistCrashReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[uint64][]byte{}
+	for lpn := uint64(0); lpn < 6; lpn++ {
+		p := randPage(d, int64(lpn)+20)
+		if _, err := d.Write(lpn, p, 0); err != nil {
+			t.Fatal(err)
+		}
+		pages[lpn] = p
+	}
+	// Overwrite one page so replay must preserve last-write-wins order.
+	over := randPage(d, 99)
+	if _, err := d.Write(2, over, 0); err != nil {
+		t.Fatal(err)
+	}
+	pages[2] = over
+	d.Crash()
+
+	re, info, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedRecords != 7 {
+		t.Fatalf("replayed %d records, want 7", info.ReplayedRecords)
+	}
+	for lpn, want := range pages {
+		got, _, err := re.Read(lpn, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", lpn, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lpn %d differs after crash recovery", lpn)
+		}
+	}
+	// A page never written stays explicitly unmapped — no ghost data.
+	if _, _, err := re.Read(17, 0); !errors.Is(err, ftl.ErrUnmapped) {
+		t.Fatalf("unwritten lpn read: %v, want ErrUnmapped", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistSnapshotCompaction drives enough commits to trigger
+// automatic rotation and proves the post-rotation mount needs only the
+// journal tail.
+func TestPersistSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 19; i++ {
+		if _, err := d.Write(uint64(i%4), randPage(d, int64(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := d.PersistStats()
+	if !ok || st.Snapshots < 2 {
+		t.Fatalf("19 writes at SnapshotEvery=8 took %d snapshots, want >=2", st.Snapshots)
+	}
+	last := randPage(d, 77)
+	if _, err := d.Write(3, last, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	re, info, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedRecords == 0 || info.ReplayedRecords >= 20 {
+		t.Fatalf("replayed %d records: compaction should leave only the tail", info.ReplayedRecords)
+	}
+	got, _, err := re.Read(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("post-compaction write lost")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistTornJournalTail appends garbage (a torn frame) to the
+// journal of a crashed device: the mount truncates it and recovers
+// everything before it.
+func TestPersistTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := randPage(d, 5)
+	if _, err := d.Write(1, page, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	jpath := filepath.Join(dir, "journal-1.log")
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x21, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("torn tail must not be fatal: %v", err)
+	}
+	if info.TornBytes != 6 {
+		t.Fatalf("torn bytes %d, want 6", info.TornBytes)
+	}
+	got, _, err := re.Read(1, 0)
+	if err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("acked write lost under torn tail: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistOpenRejectsCorruptSnapshot flips one snapshot body byte
+// and requires ErrCorrupt — never a silently different device.
+func TestPersistOpenRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(0, randPage(d, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.bin"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots on disk: %v (%v)", snaps, err)
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(snaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, 0); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot mounted: %v", err)
+	}
+}
+
+// TestPersistTLCTripleRoundTrip covers the TLC triple layout through a
+// crash-recovery cycle.
+func TestPersistTLCTripleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, SmallTLCConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1, p2 := randPage(d, 1), randPage(d, 2), randPage(d, 3)
+	if _, err := d.WriteOperandTriple([3]uint64{0, 1, 2}, [3][]byte{p0, p1, p2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	re, info, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedRecords != 1 {
+		t.Fatalf("replayed %d, want 1", info.ReplayedRecords)
+	}
+	for lpn, want := range map[uint64][]byte{0: p0, 1: p1, 2: p2} {
+		got, _, err := re.Read(lpn, 0)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("triple page %d lost: %v", lpn, err)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,6 +66,9 @@ type devTele struct {
 // reallocations, descrambles) mirror into the sink's registry.
 func (d *Device) SetTelemetry(s *telemetry.Sink) {
 	d.ftl.SetTelemetry(s)
+	if d.store != nil {
+		d.store.SetTelemetry(s)
+	}
 	d.tele = devTele{
 		sink:         s,
 		cOps:         s.Counter(bitwiseOpsName),

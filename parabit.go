@@ -28,6 +28,7 @@ import (
 	"parabit/internal/faults"
 	"parabit/internal/flash"
 	"parabit/internal/latch"
+	"parabit/internal/persist"
 	"parabit/internal/plan"
 	"parabit/internal/reliability"
 	"parabit/internal/sched"
@@ -149,9 +150,11 @@ type Device struct {
 type Option func(*config)
 
 type config struct {
-	cfg     ssd.Config
-	noise   *reliability.Model
-	wantECC bool
+	cfg        ssd.Config
+	noise      *reliability.Model
+	wantECC    bool
+	persistDir string
+	snapEvery  int
 }
 
 // WithPaperGeometry selects the paper's 512 GB, 1024-plane SSD (§5.1).
@@ -197,6 +200,30 @@ func WithECC() Option {
 	return func(c *config) { c.wantECC = true }
 }
 
+// ErrPowerCut reports an operation refused or interrupted by an
+// injected power cut (the "power-cut" fault-plan rule): the device is
+// dead and every call fails until the store is reopened with Open.
+// Match with errors.Is; operations the cut caught mid-flash-program
+// instead surface a flash fault error of kind power-cut.
+var ErrPowerCut = persist.ErrPowerCut
+
+// WithPersistence backs the device with an on-disk journal+snapshot
+// store in dir (created if absent; must not already hold a store when
+// used with NewDevice). Every acknowledged write is durable before its
+// call returns; Open recovers the device from dir after a crash or a
+// clean Close. See internal/persist for the on-disk formats.
+func WithPersistence(dir string) Option {
+	return func(c *config) { c.persistDir = dir }
+}
+
+// WithSnapshotEvery sets the journal compaction threshold: a snapshot
+// replaces the journal after n committed records. Zero keeps the
+// default; negative disables periodic snapshots (the journal then only
+// compacts on Close). Meaningful only with WithPersistence.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.snapEvery = n }
+}
+
 // NewDevice builds a simulated ParaBit SSD.
 func NewDevice(opts ...Option) (*Device, error) {
 	c := config{cfg: ssd.DefaultConfig()}
@@ -211,19 +238,125 @@ func NewDevice(opts ...Option) (*Device, error) {
 		}
 		c.cfg.ECCSectorBytes = sector
 	}
-	dev, err := ssd.New(c.cfg)
+	var dev *ssd.Device
+	var err error
+	if c.persistDir != "" {
+		dev, err = ssd.Create(c.persistDir, c.cfg, c.snapEvery)
+	} else {
+		dev, err = ssd.New(c.cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
+	if err := c.finish(dev); err != nil {
+		return nil, err
+	}
+	return &Device{dev: dev, sched: sched.New(dev)}, nil
+}
+
+// finish applies the post-construction options shared by NewDevice and
+// Open: the read-noise model and the noisy-ECC baseline.
+func (c *config) finish(dev *ssd.Device) error {
 	if c.noise != nil {
 		dev.Array().SetCorruptor(c.noise)
 	}
 	if c.wantECC {
 		if err := dev.Array().SetNoisyBaseline(true); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &Device{dev: dev, sched: sched.New(dev)}, nil
+	return nil
+}
+
+// Recovery summarizes one mount of a persistent device: how much
+// journal replay it took to rebuild the crash-time state.
+type Recovery struct {
+	// ReplayedRecords is the number of committed journal records
+	// re-executed on top of the snapshot.
+	ReplayedRecords int64
+	// SkippedIntents counts journaled intents without a commit record —
+	// writes in flight at the crash, never acknowledged, not recovered.
+	SkippedIntents int64
+	// TornBytes is the length of the incomplete journal tail truncated
+	// at the mount (0 after a clean shutdown).
+	TornBytes int64
+	// ReplayTime is the simulated time the replayed operations spanned.
+	ReplayTime time.Duration
+}
+
+// Open recovers a persistent device from a directory written by a
+// device built with WithPersistence: the last snapshot is loaded, the
+// journal tail is replayed (a torn final record is truncated, exactly
+// as power-fail-interrupted hardware would), and the FTL's invariants
+// are audited before the device accepts commands. Geometry and layout
+// come from the on-disk store; pass only behavioural options
+// (WithErrorModel, WithECC, WithQueryCache is ignored in favour of the
+// stored config). Every write acknowledged by the previous incarnation
+// is readable, byte-identical; unacknowledged writes are absent.
+func Open(dir string, opts ...Option) (*Device, Recovery, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	dev, info, err := ssd.Open(dir, c.snapEvery)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	if err := c.finish(dev); err != nil {
+		return nil, Recovery{}, err
+	}
+	rec := Recovery{
+		ReplayedRecords: info.ReplayedRecords,
+		SkippedIntents:  info.SkippedIntents,
+		TornBytes:       info.TornBytes,
+		ReplayTime:      info.RecoveryTime.Std(),
+	}
+	return &Device{dev: dev, sched: sched.New(dev)}, rec, nil
+}
+
+// Close drains the command queue and shuts the device down. On a
+// persistent device it takes a final compaction snapshot, so the next
+// Open replays nothing; in-memory devices just drain. The device must
+// not be used after Close.
+func (d *Device) Close() error { return d.sched.Close() }
+
+// PersistStats reports the persistence layer's activity; ok is false
+// for in-memory devices. It drains the command queue first so the
+// counters cover every submitted command.
+type PersistStats struct {
+	// JournalRecords / JournalBytes count appended journal records
+	// (intents and commits) and their on-disk bytes in this incarnation.
+	JournalRecords int64
+	JournalBytes   int64
+	// Snapshots counts compaction snapshots taken.
+	Snapshots int64
+	// Recovery accounting for the mount that created this device (all
+	// zero for devices built by NewDevice).
+	ReplayedRecords int64
+	SkippedIntents  int64
+	TornBytes       int64
+}
+
+// PersistStats returns a snapshot of the persistence counters.
+func (d *Device) PersistStats() (PersistStats, bool) {
+	var ps PersistStats
+	ok := false
+	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
+		st, persistent := dev.PersistStats()
+		if !persistent {
+			return
+		}
+		ok = true
+		ps = PersistStats{
+			JournalRecords:  st.JournalRecords,
+			JournalBytes:    st.JournalBytes,
+			Snapshots:       st.Snapshots,
+			ReplayedRecords: st.ReplayedRecords,
+			SkippedIntents:  st.SkippedIntents,
+			TornBytes:       st.TornBytes,
+		}
+	})
+	return ps, ok
 }
 
 // PageSize returns the flash page size in bytes; operand buffers must be
@@ -590,7 +723,7 @@ func (d *Device) installFaultPlan(plan faults.Plan) error {
 		if err != nil {
 			return
 		}
-		dev.Array().SetFaultInjector(eng)
+		dev.SetFaultInjector(eng)
 	})
 	if err != nil {
 		return err
@@ -607,7 +740,7 @@ func (d *Device) installFaultPlan(plan faults.Plan) error {
 // disarmed plan's injection counts; only future injections stop.
 func (d *Device) ClearFaultPlan() {
 	d.sched.Exclusive(func(dev *ssd.Device, _ sim.Time) {
-		dev.Array().SetFaultInjector(nil)
+		dev.SetFaultInjector(nil)
 	})
 }
 
@@ -621,7 +754,10 @@ type FaultStats struct {
 	ProgramFails   int64
 	EraseFails     int64
 	StuckBlock     int64
-	JitterEvents   int64
+	// PowerCuts counts power-cut injections: the cut itself plus every
+	// operation failed against the dead device afterwards.
+	PowerCuts    int64
+	JitterEvents int64
 	// Scheduler recovery: commands re-issued after a transient fault,
 	// and commands that still failed after the last attempt.
 	Retries          int64
@@ -651,6 +787,7 @@ func (d *Device) FaultStats() FaultStats {
 		fs.ProgramFails = es.ProgramFails
 		fs.EraseFails = es.EraseFails
 		fs.StuckBlock = es.StuckBlock
+		fs.PowerCuts = es.PowerCuts
 		fs.JitterEvents = es.JitterEvents
 	}
 	ss := d.sched.Stats()
